@@ -1,0 +1,92 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "common/env.hpp"
+#include "common/timer.hpp"
+#include "graph/generators.hpp"
+
+namespace qaoaml::bench {
+
+BenchConfig bench_config_from_env() {
+  BenchConfig config;
+  config.graphs = env_int("QAOAML_GRAPHS", config.graphs);
+  config.max_depth = env_int("QAOAML_MAX_DEPTH", config.max_depth);
+  config.restarts = env_int("QAOAML_RESTARTS", config.restarts);
+  config.naive_runs = env_int("QAOAML_NAIVE_RUNS", config.naive_runs);
+  config.ml_repeats = env_int("QAOAML_ML_REPEATS", config.ml_repeats);
+  config.seed = static_cast<std::uint64_t>(env_int("QAOAML_SEED", 42));
+  config.cache_path = env_string("QAOAML_CACHE", config.cache_path);
+  return config;
+}
+
+core::DatasetConfig dataset_config(const BenchConfig& config) {
+  core::DatasetConfig ds;
+  ds.num_graphs = config.graphs;
+  ds.num_nodes = 8;
+  ds.edge_probability = 0.5;
+  ds.max_depth = config.max_depth;
+  ds.restarts = config.restarts;
+  ds.optimizer = optim::OptimizerKind::kLbfgsb;
+  ds.options.ftol = 1e-6;
+  ds.seed = config.seed;
+  return ds;
+}
+
+core::ParameterDataset load_corpus(const BenchConfig& config) {
+  Timer timer;
+  std::printf("# corpus: %d graphs x depths 1..%d, best of %d restarts "
+              "(cache: %s)\n",
+              config.graphs, config.max_depth, config.restarts,
+              config.cache_path.c_str());
+  core::ParameterDataset dataset = core::ParameterDataset::load_or_generate(
+      dataset_config(config), config.cache_path);
+  std::printf("# corpus ready: %zu optimal parameters in %.1f s\n",
+              dataset.total_parameter_count(), timer.seconds());
+  return dataset;
+}
+
+Split split_20_80(const core::ParameterDataset& dataset,
+                  const BenchConfig& config) {
+  Rng rng(config.seed ^ 0xabcdef);
+  Split split;
+  auto [train, test] = dataset.split_indices(0.2, rng);
+  split.train = std::move(train);
+  split.test = std::move(test);
+  return split;
+}
+
+core::ParameterPredictor train_default_predictor(
+    const core::ParameterDataset& dataset, const Split& split) {
+  Timer timer;
+  core::ParameterPredictor predictor;  // GPR, two-level features
+  predictor.train(dataset, split.train);
+  std::printf("# predictor: GPR bank trained on %zu graphs in %.1f s\n",
+              split.train.size(), timer.seconds());
+  return predictor;
+}
+
+void print_header(const std::string& title, const BenchConfig& config) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("scale: graphs=%d depths<=%d restarts=%d naive_runs=%d "
+              "ml_repeats=%d seed=%llu\n",
+              config.graphs, config.max_depth, config.restarts,
+              config.naive_runs, config.ml_repeats,
+              static_cast<unsigned long long>(config.seed));
+  std::printf("(set QAOAML_GRAPHS=330 QAOAML_NAIVE_RUNS=20 for the paper's "
+              "full scale)\n");
+  std::printf("==============================================================\n");
+}
+
+std::vector<graph::Graph> four_cubic_graphs(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<graph::Graph> graphs;
+  graphs.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    graphs.push_back(graph::random_regular(8, 3, rng));
+  }
+  return graphs;
+}
+
+}  // namespace qaoaml::bench

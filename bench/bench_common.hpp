@@ -1,0 +1,73 @@
+// Shared infrastructure for the paper-reproduction benchmarks.
+//
+// Workload scale is controlled by QAOAML_* environment variables so the
+// same binaries cover both a quick default run and the paper's
+// full-scale setting:
+//
+//   QAOAML_GRAPHS       ensemble size (default 120; paper: 330)
+//   QAOAML_MAX_DEPTH    corpus depths 1..D (default 6; paper: 6)
+//   QAOAML_RESTARTS     multistart count for data generation
+//                       (default 20; paper: 20)
+//   QAOAML_NAIVE_RUNS   random inits per graph in the naive arm
+//                       (default 8; paper: 20)
+//   QAOAML_ML_REPEATS   two-level repeats per graph (default 2)
+//   QAOAML_SEED         master seed (default 42)
+//   QAOAML_CACHE        dataset cache path
+//                       (default "qaoaml_dataset_cache.txt")
+//   QAOAML_THREADS      worker threads (default: hardware concurrency)
+//
+// The generated corpus is cached on disk and shared by every bench
+// binary that needs it (Table I, Figs. 5/6, ablations).
+#ifndef QAOAML_BENCH_COMMON_HPP
+#define QAOAML_BENCH_COMMON_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/parameter_dataset.hpp"
+#include "core/parameter_predictor.hpp"
+
+namespace qaoaml::bench {
+
+/// Scale knobs resolved from the environment.
+struct BenchConfig {
+  int graphs = 120;
+  int max_depth = 6;
+  int restarts = 20;
+  int naive_runs = 8;
+  int ml_repeats = 2;
+  std::uint64_t seed = 42;
+  std::string cache_path = "qaoaml_dataset_cache.txt";
+};
+
+/// Reads the QAOAML_* environment variables.
+BenchConfig bench_config_from_env();
+
+/// The corresponding dataset-generation config.
+core::DatasetConfig dataset_config(const BenchConfig& config);
+
+/// Loads the cached corpus or generates it (printing a progress note).
+core::ParameterDataset load_corpus(const BenchConfig& config);
+
+/// The paper's 20:80 train/test split, derived from the master seed.
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+Split split_20_80(const core::ParameterDataset& dataset,
+                  const BenchConfig& config);
+
+/// Trains the default (GPR, two-level) predictor bank on the split.
+core::ParameterPredictor train_default_predictor(
+    const core::ParameterDataset& dataset, const Split& split);
+
+/// Prints a standard header naming the experiment and the active scale.
+void print_header(const std::string& title, const BenchConfig& config);
+
+/// Four fixed 8-node 3-regular graphs (G1..G4 of Figs. 1(c) and 2).
+std::vector<graph::Graph> four_cubic_graphs(std::uint64_t seed);
+
+}  // namespace qaoaml::bench
+
+#endif  // QAOAML_BENCH_COMMON_HPP

@@ -1,0 +1,72 @@
+// Fig. 5 reproduction: Pearson correlations between the two-level
+// predictor features (gamma_1OPT(p=1), beta_1OPT(p=1), target depth p)
+// and every response angle (gamma_iOPT, beta_iOPT), over the corpus.
+//
+// Shape to compare against the paper:
+//  - R(gamma1(p=1), beta1(p=1)) strongly positive (paper: 0.92),
+//  - R(gamma_i, p) negative, weakening for higher stages
+//    (paper: -0.63 for gamma1 down to -0.44 for gamma5),
+//  - R(beta_i, p) positive,
+//  - R between depth-1 features and responses positive and decaying
+//    with stage index.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "stats/correlation.hpp"
+
+using namespace qaoaml;
+
+int main() {
+  const bench::BenchConfig config = bench::bench_config_from_env();
+  bench::print_header(
+      "Fig. 5: correlations between predictor features and response angles",
+      config);
+
+  const core::ParameterDataset dataset = bench::load_corpus(config);
+  const int max_depth = dataset.max_depth();
+
+  // Feature samples.
+  std::vector<double> g1_p1;
+  std::vector<double> b1_p1;
+  for (const core::InstanceRecord& r : dataset.records()) {
+    g1_p1.push_back(r.gamma_opt(1, 1));
+    b1_p1.push_back(r.beta_opt(1, 1));
+  }
+  std::printf("\nR(gamma1OPT(p=1), beta1OPT(p=1)) = %+.2f   (paper: +0.92)\n\n",
+              stats::pearson(g1_p1, b1_p1));
+
+  Table table({"stage i", "R(gi,p)", "R(bi,p)", "R(gi,g1(1))", "R(gi,b1(1))",
+               "R(bi,g1(1))", "R(bi,b1(1))"});
+  for (int stage = 1; stage <= max_depth; ++stage) {
+    // Response samples across all records and depths where stage exists.
+    std::vector<double> gi;
+    std::vector<double> bi;
+    std::vector<double> depth;
+    std::vector<double> fg1;
+    std::vector<double> fb1;
+    for (const core::InstanceRecord& r : dataset.records()) {
+      for (int p = std::max(stage, 2); p <= max_depth; ++p) {
+        gi.push_back(r.gamma_opt(p, stage));
+        bi.push_back(r.beta_opt(p, stage));
+        depth.push_back(static_cast<double>(p));
+        fg1.push_back(r.gamma_opt(1, 1));
+        fb1.push_back(r.beta_opt(1, 1));
+      }
+    }
+    if (gi.size() < 3) continue;
+    table.add_row({Table::num(static_cast<long long>(stage)),
+                   Table::num(stats::pearson(gi, depth), 2),
+                   Table::num(stats::pearson(bi, depth), 2),
+                   Table::num(stats::pearson(gi, fg1), 2),
+                   Table::num(stats::pearson(gi, fb1), 2),
+                   Table::num(stats::pearson(bi, fg1), 2),
+                   Table::num(stats::pearson(bi, fb1), 2)});
+  }
+  table.print(std::cout);
+  std::printf("\nshape check vs paper: R(gi,p) negative; R(bi,p) positive; "
+              "feature-response correlations decay with stage.\n");
+  return 0;
+}

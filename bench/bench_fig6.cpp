@@ -1,0 +1,66 @@
+// Fig. 6 reproduction: prediction-error distributions of the two-level
+// GPR predictor on the held-out test graphs, per target depth p = 2..5.
+//
+// Shape to compare against the paper: the mean absolute percentage
+// error grows with target depth (paper: 5.7% / 8.1% / 9.4% / 10.2% with
+// widening spread for p = 2/3/4/5).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "ml/metrics.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+
+using namespace qaoaml;
+
+int main() {
+  const bench::BenchConfig config = bench::bench_config_from_env();
+  bench::print_header(
+      "Fig. 6: per-depth prediction errors of the two-level GPR predictor",
+      config);
+
+  const core::ParameterDataset dataset = bench::load_corpus(config);
+  const bench::Split split = bench::split_20_80(dataset, config);
+  const core::ParameterPredictor predictor =
+      bench::train_default_predictor(dataset, split);
+
+  Table table({"p", "#params", "mean |%err|", "SD |%err|", "median |%err|",
+               "MAE [rad]"});
+  const int max_target = std::min(5, dataset.max_depth());
+  for (int p = 2; p <= max_target; ++p) {
+    std::vector<double> percent_errors;
+    std::vector<double> abs_errors;
+    for (const std::size_t t : split.test) {
+      const core::InstanceRecord& r = dataset.records()[t];
+      const std::vector<double> pred =
+          predictor.predict(r.gamma_opt(1, 1), r.beta_opt(1, 1), p);
+      const std::vector<double>& truth =
+          r.optimal_params[static_cast<std::size_t>(p - 1)];
+      for (std::size_t k = 0; k < truth.size(); ++k) {
+        const double err = pred[k] - truth[k];
+        abs_errors.push_back(std::abs(err));
+        if (std::abs(truth[k]) > 1e-6) {
+          percent_errors.push_back(std::abs(err) / std::abs(truth[k]) * 100.0);
+        }
+      }
+    }
+    table.add_row({Table::num(static_cast<long long>(p)),
+                   Table::num(static_cast<long long>(percent_errors.size())),
+                   Table::num(stats::mean(percent_errors), 1),
+                   Table::num(stats::stddev(percent_errors), 1),
+                   Table::num(stats::median(percent_errors), 1),
+                   Table::num(stats::mean(abs_errors), 3)});
+
+    if (p == max_target) {
+      std::printf("\nabsolute-%% error distribution at p = %d:\n", p);
+      stats::Histogram::of(percent_errors, 12).print(std::cout);
+    }
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf("\nshape check vs paper Fig. 6: mean abs %% error grows with "
+              "target depth (paper: 5.7 / 8.1 / 9.4 / 10.2).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// M3 micro-benchmarks: regression-model training and prediction cost at
+// the corpus scales used by the predictor bank.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "ml/model.hpp"
+
+using namespace qaoaml;
+
+namespace {
+
+/// Synthetic parameter-prediction-like data: 3 features, smooth target.
+ml::Dataset synthetic(std::size_t n, Rng& rng) {
+  ml::Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double g1 = rng.uniform(0.3, 0.9);
+    const double b1 = rng.uniform(0.4, 0.9);
+    const double p = static_cast<double>(2 + rng.uniform_int(5));
+    data.add({g1, b1, p}, 0.8 * g1 - 0.1 * p + 0.2 * b1 * b1 +
+                              0.02 * rng.normal());
+  }
+  return data;
+}
+
+void BM_Fit(benchmark::State& state, ml::RegressorKind kind) {
+  Rng rng(5);
+  const ml::Dataset data = synthetic(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto model = ml::make_regressor(kind);
+    model->fit(data);
+    benchmark::DoNotOptimize(model->predict({0.5, 0.6, 3.0}));
+  }
+}
+
+void BM_Fit_GPR(benchmark::State& state) { BM_Fit(state, ml::RegressorKind::kGpr); }
+void BM_Fit_LM(benchmark::State& state) { BM_Fit(state, ml::RegressorKind::kLinear); }
+void BM_Fit_RTREE(benchmark::State& state) {
+  BM_Fit(state, ml::RegressorKind::kRegressionTree);
+}
+void BM_Fit_RSVM(benchmark::State& state) { BM_Fit(state, ml::RegressorKind::kSvr); }
+BENCHMARK(BM_Fit_GPR)->Arg(60)->Arg(120);
+BENCHMARK(BM_Fit_LM)->Arg(60)->Arg(120)->Arg(480);
+BENCHMARK(BM_Fit_RTREE)->Arg(60)->Arg(120)->Arg(480);
+BENCHMARK(BM_Fit_RSVM)->Arg(60)->Arg(120)->Arg(480);
+
+void BM_Predict(benchmark::State& state, ml::RegressorKind kind) {
+  Rng rng(7);
+  const ml::Dataset data = synthetic(240, rng);
+  auto model = ml::make_regressor(kind);
+  model->fit(data);
+  std::vector<double> x{0.5, 0.6, 3.0};
+  for (auto _ : state) {
+    x[0] += 1e-9;
+    benchmark::DoNotOptimize(model->predict(x));
+  }
+}
+
+void BM_Predict_GPR(benchmark::State& state) {
+  BM_Predict(state, ml::RegressorKind::kGpr);
+}
+void BM_Predict_LM(benchmark::State& state) {
+  BM_Predict(state, ml::RegressorKind::kLinear);
+}
+void BM_Predict_RTREE(benchmark::State& state) {
+  BM_Predict(state, ml::RegressorKind::kRegressionTree);
+}
+void BM_Predict_RSVM(benchmark::State& state) {
+  BM_Predict(state, ml::RegressorKind::kSvr);
+}
+BENCHMARK(BM_Predict_GPR);
+BENCHMARK(BM_Predict_LM);
+BENCHMARK(BM_Predict_RTREE);
+BENCHMARK(BM_Predict_RSVM);
+
+}  // namespace

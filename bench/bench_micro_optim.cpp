@@ -1,0 +1,86 @@
+// M2 micro-benchmarks: classical optimizer cost on standard test
+// functions and on the QAOA energy surface itself.
+#include <benchmark/benchmark.h>
+
+#include "core/angles.hpp"
+#include "core/qaoa_objective.hpp"
+#include "graph/generators.hpp"
+#include "optim/optimizer.hpp"
+#include "optim/test_functions.hpp"
+
+using namespace qaoaml;
+
+namespace {
+
+void run_optimizer_benchmark(benchmark::State& state,
+                             optim::OptimizerKind kind) {
+  const std::size_t dim = 6;
+  const optim::Bounds box = optim::Bounds::uniform(dim, -5.0, 5.0);
+  Rng rng(static_cast<std::uint64_t>(state.range(0)) + 99);
+  std::int64_t total_nfev = 0;
+  for (auto _ : state) {
+    std::vector<double> x0(dim);
+    for (double& v : x0) v = rng.uniform(-4.0, 4.0);
+    const optim::OptimResult result =
+        optim::minimize(kind, optim::testfn::sphere, x0, box);
+    total_nfev += result.nfev;
+    benchmark::DoNotOptimize(result.fun);
+  }
+  state.counters["nfev/run"] = benchmark::Counter(
+      static_cast<double>(total_nfev) / static_cast<double>(state.iterations()));
+}
+
+void BM_Sphere6D_Lbfgsb(benchmark::State& state) {
+  run_optimizer_benchmark(state, optim::OptimizerKind::kLbfgsb);
+}
+void BM_Sphere6D_NelderMead(benchmark::State& state) {
+  run_optimizer_benchmark(state, optim::OptimizerKind::kNelderMead);
+}
+void BM_Sphere6D_Slsqp(benchmark::State& state) {
+  run_optimizer_benchmark(state, optim::OptimizerKind::kSlsqp);
+}
+void BM_Sphere6D_Cobyla(benchmark::State& state) {
+  run_optimizer_benchmark(state, optim::OptimizerKind::kCobyla);
+}
+BENCHMARK(BM_Sphere6D_Lbfgsb)->Arg(1);
+BENCHMARK(BM_Sphere6D_NelderMead)->Arg(1);
+BENCHMARK(BM_Sphere6D_Slsqp)->Arg(1);
+BENCHMARK(BM_Sphere6D_Cobyla)->Arg(1);
+
+void BM_QaoaLoop(benchmark::State& state, optim::OptimizerKind kind) {
+  const int depth = static_cast<int>(state.range(0));
+  Rng graph_rng(3);
+  const graph::Graph g = graph::random_regular(8, 3, graph_rng);
+  const core::MaxCutQaoa instance(g, depth);
+  const optim::ObjectiveFn objective = instance.objective();
+  Rng rng(17);
+  std::int64_t total_nfev = 0;
+  for (auto _ : state) {
+    const std::vector<double> x0 = core::random_angles(depth, rng);
+    const optim::OptimResult result =
+        optim::minimize(kind, objective, x0, instance.bounds());
+    total_nfev += result.nfev;
+    benchmark::DoNotOptimize(result.fun);
+  }
+  state.counters["nfev/run"] = benchmark::Counter(
+      static_cast<double>(total_nfev) / static_cast<double>(state.iterations()));
+}
+
+void BM_QaoaLoop_Lbfgsb(benchmark::State& state) {
+  BM_QaoaLoop(state, optim::OptimizerKind::kLbfgsb);
+}
+void BM_QaoaLoop_NelderMead(benchmark::State& state) {
+  BM_QaoaLoop(state, optim::OptimizerKind::kNelderMead);
+}
+void BM_QaoaLoop_Slsqp(benchmark::State& state) {
+  BM_QaoaLoop(state, optim::OptimizerKind::kSlsqp);
+}
+void BM_QaoaLoop_Cobyla(benchmark::State& state) {
+  BM_QaoaLoop(state, optim::OptimizerKind::kCobyla);
+}
+BENCHMARK(BM_QaoaLoop_Lbfgsb)->DenseRange(1, 5, 2);
+BENCHMARK(BM_QaoaLoop_NelderMead)->DenseRange(1, 5, 2);
+BENCHMARK(BM_QaoaLoop_Slsqp)->DenseRange(1, 5, 2);
+BENCHMARK(BM_QaoaLoop_Cobyla)->DenseRange(1, 5, 2);
+
+}  // namespace

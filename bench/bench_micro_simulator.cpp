@@ -1,0 +1,105 @@
+// M1 micro-benchmarks: statevector simulator throughput — gate
+// application scaling with qubit count, the fused vs gate-level QAOA
+// expectation paths, and the integral-spectrum fast path.
+#include <benchmark/benchmark.h>
+
+#include "core/angles.hpp"
+#include "core/qaoa_objective.hpp"
+#include "graph/generators.hpp"
+#include "quantum/statevector.hpp"
+
+using namespace qaoaml;
+
+namespace {
+
+void BM_SingleQubitGate(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  quantum::Statevector sv = quantum::Statevector::uniform(qubits);
+  const quantum::Gate1Q gate = quantum::gates::rx(0.3);
+  int target = 0;
+  for (auto _ : state) {
+    sv.apply_gate(gate, target);
+    target = (target + 1) % qubits;
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << qubits));
+}
+BENCHMARK(BM_SingleQubitGate)->DenseRange(4, 20, 4);
+
+void BM_Cnot(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  quantum::Statevector sv = quantum::Statevector::uniform(qubits);
+  for (auto _ : state) {
+    sv.apply_cnot(0, qubits - 1);
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << qubits));
+}
+BENCHMARK(BM_Cnot)->DenseRange(4, 20, 4);
+
+void BM_DiagonalEvolution(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  quantum::Statevector sv = quantum::Statevector::uniform(qubits);
+  std::vector<double> diag(sv.dimension());
+  for (std::size_t z = 0; z < diag.size(); ++z) {
+    diag[z] = static_cast<double>(__builtin_popcountll(z));
+  }
+  for (auto _ : state) {
+    sv.apply_diagonal_evolution(diag, 0.017);
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << qubits));
+}
+BENCHMARK(BM_DiagonalEvolution)->DenseRange(4, 20, 4);
+
+void BM_DiagonalEvolutionIntegral(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  quantum::Statevector sv = quantum::Statevector::uniform(qubits);
+  std::vector<int> diag(sv.dimension());
+  for (std::size_t z = 0; z < diag.size(); ++z) {
+    diag[z] = __builtin_popcountll(z);
+  }
+  for (auto _ : state) {
+    sv.apply_diagonal_evolution_integral(diag, 0.017, qubits);
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << qubits));
+}
+BENCHMARK(BM_DiagonalEvolutionIntegral)->DenseRange(4, 20, 4);
+
+void BM_QaoaExpectationFast(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Rng rng(7);
+  const graph::Graph g = graph::random_regular(8, 3, rng);
+  const core::MaxCutQaoa instance(g, depth);
+  std::vector<double> params = core::random_angles(depth, rng);
+  for (auto _ : state) {
+    params[0] += 1e-9;  // defeat value caching
+    benchmark::DoNotOptimize(instance.expectation(params));
+  }
+}
+BENCHMARK(BM_QaoaExpectationFast)->DenseRange(1, 6, 1);
+
+void BM_QaoaExpectationGateLevel(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Rng rng(7);
+  const graph::Graph g = graph::random_regular(8, 3, rng);
+  const core::MaxCutQaoa instance(g, depth);
+  std::vector<double> params = core::random_angles(depth, rng);
+  for (auto _ : state) {
+    params[0] += 1e-9;
+    benchmark::DoNotOptimize(instance.expectation_gate_level(params));
+  }
+}
+BENCHMARK(BM_QaoaExpectationGateLevel)->DenseRange(1, 6, 1);
+
+void BM_QaoaExpectationQubits(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  Rng rng(11);
+  const graph::Graph g = graph::random_regular(qubits, 3, rng);
+  const core::MaxCutQaoa instance(g, 3);
+  std::vector<double> params = core::random_angles(3, rng);
+  for (auto _ : state) {
+    params[0] += 1e-9;
+    benchmark::DoNotOptimize(instance.expectation(params));
+  }
+}
+BENCHMARK(BM_QaoaExpectationQubits)->DenseRange(4, 16, 4);
+
+}  // namespace

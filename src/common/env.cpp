@@ -1,0 +1,30 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace qaoaml {
+
+int env_int(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<int>(value);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') return fallback;
+  return value;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
+}  // namespace qaoaml

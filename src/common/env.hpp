@@ -1,0 +1,27 @@
+// Environment-variable configuration knobs.
+//
+// Benchmarks accept QAOAML_* environment variables to scale workloads
+// (graph counts, restart counts) between quick CI runs and the paper's
+// full-scale settings.  These helpers parse them with defaults.
+#ifndef QAOAML_COMMON_ENV_HPP
+#define QAOAML_COMMON_ENV_HPP
+
+#include <string>
+
+namespace qaoaml {
+
+/// Returns the integer value of environment variable `name`, or
+/// `fallback` when unset or unparsable.
+int env_int(const char* name, int fallback);
+
+/// Returns the double value of environment variable `name`, or
+/// `fallback` when unset or unparsable.
+double env_double(const char* name, double fallback);
+
+/// Returns the string value of environment variable `name`, or
+/// `fallback` when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace qaoaml
+
+#endif  // QAOAML_COMMON_ENV_HPP

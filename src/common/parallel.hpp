@@ -1,0 +1,68 @@
+// Minimal data-parallel helper.
+//
+// The experiment sweeps are embarrassingly parallel across problem
+// instances; this runs a loop body on a small pool of std::threads.
+// Determinism: callers seed per-index RNGs from (seed, index), so the
+// result does not depend on thread scheduling.
+#ifndef QAOAML_COMMON_PARALLEL_HPP
+#define QAOAML_COMMON_PARALLEL_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+
+namespace qaoaml {
+
+/// Number of worker threads to use: QAOAML_THREADS when set, otherwise
+/// the hardware concurrency (at least 1).
+inline int default_thread_count() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return env_int("QAOAML_THREADS", hw > 0 ? hw : 1);
+}
+
+/// Runs body(i) for every i in [0, count) across `threads` workers.
+/// Exceptions thrown by the body are rethrown (the first one observed)
+/// after all workers join.
+inline void parallel_for(std::size_t count,
+                         const std::function<void(std::size_t)>& body,
+                         int threads = default_thread_count()) {
+  if (count == 0) return;
+  if (threads <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const int workers = std::min<int>(threads, static_cast<int>(count));
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace qaoaml
+
+#endif  // QAOAML_COMMON_PARALLEL_HPP

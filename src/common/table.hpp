@@ -1,0 +1,49 @@
+// Fixed-width plain-text table printer.
+//
+// The benchmark binaries print paper-style tables (Table I rows, figure
+// series) to stdout; this class keeps the columns aligned without pulling
+// in a formatting dependency.
+#ifndef QAOAML_COMMON_TABLE_HPP
+#define QAOAML_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qaoaml {
+
+/// Column-aligned table builder.
+///
+/// Usage:
+///   Table t({"optimizer", "p", "mean AR"});
+///   t.add_row({"L-BFGS-B", "2", Table::num(0.8708)});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders the table with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Formats a double with `digits` digits after the decimal point.
+  static std::string num(double value, int digits = 4);
+
+  /// Formats an integer.
+  static std::string num(long long value);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace qaoaml
+
+#endif  // QAOAML_COMMON_TABLE_HPP

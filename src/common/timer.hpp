@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by benchmarks and examples.
+#ifndef QAOAML_COMMON_TIMER_HPP
+#define QAOAML_COMMON_TIMER_HPP
+
+#include <chrono>
+
+namespace qaoaml {
+
+/// Monotonic stopwatch; starts running at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qaoaml
+
+#endif  // QAOAML_COMMON_TIMER_HPP

@@ -1,0 +1,120 @@
+#include "core/angles.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qaoaml::core {
+namespace {
+void check_stage(std::size_t num_params, int i) {
+  require(num_params % 2 == 0, "angles: parameter count must be even");
+  const int p = static_cast<int>(num_params / 2);
+  require(i >= 1 && i <= p, "angles: stage index out of range");
+}
+}  // namespace
+
+std::size_t num_angles(int p) {
+  require(p >= 1, "num_angles: depth must be >= 1");
+  return static_cast<std::size_t>(2 * p);
+}
+
+double gamma_of(std::span<const double> params, int i) {
+  check_stage(params.size(), i);
+  return params[static_cast<std::size_t>(i - 1)];
+}
+
+double beta_of(std::span<const double> params, int i) {
+  check_stage(params.size(), i);
+  return params[params.size() / 2 + static_cast<std::size_t>(i - 1)];
+}
+
+void set_gamma(std::vector<double>& params, int i, double value) {
+  check_stage(params.size(), i);
+  params[static_cast<std::size_t>(i - 1)] = value;
+}
+
+void set_beta(std::vector<double>& params, int i, double value) {
+  check_stage(params.size(), i);
+  params[params.size() / 2 + static_cast<std::size_t>(i - 1)] = value;
+}
+
+std::vector<double> pack_angles(const std::vector<double>& gammas,
+                                const std::vector<double>& betas) {
+  require(!gammas.empty() && gammas.size() == betas.size(),
+          "pack_angles: gamma/beta length mismatch");
+  std::vector<double> params;
+  params.reserve(2 * gammas.size());
+  params.insert(params.end(), gammas.begin(), gammas.end());
+  params.insert(params.end(), betas.begin(), betas.end());
+  return params;
+}
+
+optim::Bounds qaoa_bounds(int p) {
+  require(p >= 1, "qaoa_bounds: depth must be >= 1");
+  const std::size_t n = num_angles(p);
+  std::vector<double> lo(n, 0.0);
+  std::vector<double> hi(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hi[i] = i < n / 2 ? 2.0 * M_PI : M_PI;  // gammas first, then betas
+  }
+  return optim::Bounds(std::move(lo), std::move(hi));
+}
+
+std::vector<double> random_angles(int p, Rng& rng) {
+  const optim::Bounds bounds = qaoa_bounds(p);
+  std::vector<double> params(num_angles(p));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] = rng.uniform(bounds.lower()[i], bounds.upper()[i]);
+  }
+  return params;
+}
+
+std::vector<double> linear_ramp_angles(int p, double gamma_scale,
+                                       double beta_scale) {
+  require(p >= 1, "linear_ramp_angles: depth must be >= 1");
+  std::vector<double> gammas(static_cast<std::size_t>(p));
+  std::vector<double> betas(static_cast<std::size_t>(p));
+  for (int i = 1; i <= p; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(p + 1);
+    gammas[static_cast<std::size_t>(i - 1)] = gamma_scale * frac;
+    betas[static_cast<std::size_t>(i - 1)] = beta_scale * (1.0 - frac);
+  }
+  return pack_angles(gammas, betas);
+}
+
+std::vector<double> interp_angles(std::span<const double> params_p) {
+  require(params_p.size() >= 2 && params_p.size() % 2 == 0,
+          "interp_angles: malformed parameter vector");
+  const int p = static_cast<int>(params_p.size() / 2);
+  const auto stage_value = [&](bool is_gamma, int i) -> double {
+    if (i < 1 || i > p) return 0.0;
+    return is_gamma ? gamma_of(params_p, i) : beta_of(params_p, i);
+  };
+  std::vector<double> gammas(static_cast<std::size_t>(p + 1));
+  std::vector<double> betas(static_cast<std::size_t>(p + 1));
+  for (int i = 1; i <= p + 1; ++i) {
+    const double w_prev = static_cast<double>(i - 1) / static_cast<double>(p);
+    const double w_here =
+        static_cast<double>(p - i + 1) / static_cast<double>(p);
+    gammas[static_cast<std::size_t>(i - 1)] =
+        w_prev * stage_value(true, i - 1) + w_here * stage_value(true, i);
+    betas[static_cast<std::size_t>(i - 1)] =
+        w_prev * stage_value(false, i - 1) + w_here * stage_value(false, i);
+  }
+  return pack_angles(gammas, betas);
+}
+
+std::vector<double> canonicalize_angles(std::span<const double> params) {
+  require(params.size() >= 2 && params.size() % 2 == 0,
+          "canonicalize_angles: malformed parameter vector");
+  std::vector<double> out(params.begin(), params.end());
+  const std::size_t p = params.size() / 2;
+  if (out[p] <= M_PI / 2.0) return out;  // beta_1 already canonical
+  for (std::size_t i = 0; i < p; ++i) {
+    out[i] = 2.0 * M_PI - out[i];       // gamma_i -> 2*pi - gamma_i
+    out[p + i] = M_PI - out[p + i];     // beta_i  -> pi - beta_i
+  }
+  return out;
+}
+
+}  // namespace qaoaml::core

@@ -1,0 +1,69 @@
+// QAOA parameter-vector layout and initialization strategies.
+//
+// A depth-p instance has 2p parameters laid out as
+//   [gamma_1 ... gamma_p, beta_1 ... beta_p]
+// with the paper's optimization domain gamma in [0, 2*pi], beta in
+// [0, pi].  Stage indices are 1-based in the API to match the paper's
+// gamma_iOPT / beta_iOPT notation.
+#ifndef QAOAML_CORE_ANGLES_HPP
+#define QAOAML_CORE_ANGLES_HPP
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "optim/types.hpp"
+
+namespace qaoaml::core {
+
+/// Number of parameters of a depth-p instance (2p).
+std::size_t num_angles(int p);
+
+/// gamma_i (i in [1, p]) from a packed parameter vector.
+double gamma_of(std::span<const double> params, int i);
+
+/// beta_i (i in [1, p]) from a packed parameter vector.
+double beta_of(std::span<const double> params, int i);
+
+/// Writes gamma_i / beta_i into a packed parameter vector.
+void set_gamma(std::vector<double>& params, int i, double value);
+void set_beta(std::vector<double>& params, int i, double value);
+
+/// Packs separate gamma/beta lists into the canonical layout.
+std::vector<double> pack_angles(const std::vector<double>& gammas,
+                                const std::vector<double>& betas);
+
+/// The paper's optimization box: gamma in [0, 2*pi], beta in [0, pi].
+optim::Bounds qaoa_bounds(int p);
+
+/// Uniform random angles inside qaoa_bounds(p).
+std::vector<double> random_angles(int p, Rng& rng);
+
+/// Linear-ramp heuristic (the tutorial-style warm start used as an
+/// ablation baseline): gamma ramps up across stages, beta ramps down,
+///   gamma_i = gamma_scale * i / (p + 1),
+///   beta_i  = beta_scale * (1 - i / (p + 1)).
+std::vector<double> linear_ramp_angles(int p, double gamma_scale = 1.0,
+                                       double beta_scale = 0.7);
+
+/// INTERP bootstrap (Zhou et al., the paper's ref. [5]): linearly
+/// interpolates a depth-p optimum into an initial point for depth p + 1,
+///   gamma^{p+1}_i = (i-1)/p * gamma^p_{i-1} + (p-i+1)/p * gamma^p_i
+/// (and likewise for beta), with out-of-range stages read as 0.  Used to
+/// seed the data-generation multistart and as an ablation baseline.
+std::vector<double> interp_angles(std::span<const double> params_p);
+
+/// Canonicalizes optima of instances with an *integral* cut spectrum.
+///
+/// Unweighted MaxCut-QAOA has the exact symmetry
+///   E(2*pi - gamma_i, pi - beta_i for all i) = E(gamma_i, beta_i)
+/// (complex conjugation; gamma period 2*pi holds because C is integer
+/// valued).  Optima therefore come in mirror pairs; this maps every
+/// optimum into the half-domain beta_1 <= pi/2 so that the parameter
+/// *trends* the paper observes (and the ML features/targets) are not
+/// washed out by randomly mixing the two mirror copies.
+std::vector<double> canonicalize_angles(std::span<const double> params);
+
+}  // namespace qaoaml::core
+
+#endif  // QAOAML_CORE_ANGLES_HPP

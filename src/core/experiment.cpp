@@ -1,0 +1,109 @@
+#include "core/experiment.hpp"
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "stats/descriptive.hpp"
+
+namespace qaoaml::core {
+namespace {
+
+/// Per-graph means for one (optimizer, depth) cell.
+struct GraphStats {
+  double naive_ar = 0.0;
+  double naive_fc = 0.0;
+  double ml_ar = 0.0;
+  double ml_fc = 0.0;
+};
+
+}  // namespace
+
+std::vector<TableRow> run_table1(const ParameterDataset& dataset,
+                                 const std::vector<std::size_t>& test_records,
+                                 const ParameterPredictor& predictor,
+                                 const ExperimentConfig& config) {
+  require(predictor.trained(), "run_table1: predictor not trained");
+  require(!test_records.empty(), "run_table1: empty test set");
+  require(config.naive_runs >= 1 && config.ml_repeats >= 1,
+          "run_table1: run counts must be >= 1");
+
+  std::vector<TableRow> rows;
+  for (const optim::OptimizerKind optimizer : config.optimizers) {
+    for (const int depth : config.target_depths) {
+      std::vector<GraphStats> per_graph(test_records.size());
+
+      parallel_for(test_records.size(), [&](std::size_t t) {
+        const InstanceRecord& record =
+            dataset.records()[test_records[t]];
+        // Deterministic per-(cell, graph) stream.
+        Rng rng(config.seed ^
+                (static_cast<std::uint64_t>(record.id) << 32) ^
+                (static_cast<std::uint64_t>(depth) << 8) ^
+                static_cast<std::uint64_t>(optimizer));
+
+        const MaxCutQaoa instance(record.problem, depth);
+
+        // Naive arm: per-run statistics over random initializations.
+        std::vector<double> naive_ar;
+        std::vector<double> naive_fc;
+        for (int run = 0; run < config.naive_runs; ++run) {
+          const QaoaRun r =
+              solve_random_init(instance, optimizer, rng, config.options);
+          naive_ar.push_back(r.approximation_ratio);
+          naive_fc.push_back(static_cast<double>(r.function_calls));
+        }
+
+        // ML arm: the two-level flow (level-1 randomness repeats).
+        TwoLevelConfig two_level;
+        two_level.optimizer = optimizer;
+        two_level.options = config.options;
+        std::vector<double> ml_ar;
+        std::vector<double> ml_fc;
+        for (int run = 0; run < config.ml_repeats; ++run) {
+          const AcceleratedRun r = solve_two_level(record.problem, depth,
+                                                   predictor, two_level, rng);
+          ml_ar.push_back(r.final.approximation_ratio);
+          ml_fc.push_back(static_cast<double>(r.total_function_calls));
+        }
+
+        per_graph[t] = GraphStats{stats::mean(naive_ar), stats::mean(naive_fc),
+                                  stats::mean(ml_ar), stats::mean(ml_fc)};
+      });
+
+      std::vector<double> nar;
+      std::vector<double> nfc;
+      std::vector<double> mar;
+      std::vector<double> mfc;
+      for (const GraphStats& g : per_graph) {
+        nar.push_back(g.naive_ar);
+        nfc.push_back(g.naive_fc);
+        mar.push_back(g.ml_ar);
+        mfc.push_back(g.ml_fc);
+      }
+
+      TableRow row;
+      row.optimizer = optimizer;
+      row.target_depth = depth;
+      row.naive_ar_mean = stats::mean(nar);
+      row.naive_ar_sd = stats::stddev(nar);
+      row.naive_fc_mean = stats::mean(nfc);
+      row.naive_fc_sd = stats::stddev(nfc);
+      row.ml_ar_mean = stats::mean(mar);
+      row.ml_ar_sd = stats::stddev(mar);
+      row.ml_fc_mean = stats::mean(mfc);
+      row.ml_fc_sd = stats::stddev(mfc);
+      row.fc_reduction_percent =
+          100.0 * (row.naive_fc_mean - row.ml_fc_mean) / row.naive_fc_mean;
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+double average_fc_reduction(const std::vector<TableRow>& rows) {
+  require(!rows.empty(), "average_fc_reduction: no rows");
+  double acc = 0.0;
+  for (const TableRow& row : rows) acc += row.fc_reduction_percent;
+  return acc / static_cast<double>(rows.size());
+}
+
+}  // namespace qaoaml::core

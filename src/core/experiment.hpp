@@ -1,0 +1,56 @@
+// The Table I experiment harness: naive random initialization vs the
+// two-level ML flow, swept over optimizers and target depths on the
+// held-out test graphs.
+#ifndef QAOAML_CORE_EXPERIMENT_HPP
+#define QAOAML_CORE_EXPERIMENT_HPP
+
+#include <vector>
+
+#include "core/two_level_solver.hpp"
+
+namespace qaoaml::core {
+
+/// Aggregated statistics of one (optimizer, depth) cell of Table I.
+struct TableRow {
+  optim::OptimizerKind optimizer = optim::OptimizerKind::kLbfgsb;
+  int target_depth = 2;
+
+  double naive_ar_mean = 0.0;
+  double naive_ar_sd = 0.0;
+  double naive_fc_mean = 0.0;  ///< raw mean function calls
+  double naive_fc_sd = 0.0;
+
+  double ml_ar_mean = 0.0;
+  double ml_ar_sd = 0.0;
+  double ml_fc_mean = 0.0;
+  double ml_fc_sd = 0.0;
+
+  /// 100 * (naive_fc_mean - ml_fc_mean) / naive_fc_mean.
+  double fc_reduction_percent = 0.0;
+};
+
+/// Sweep settings (defaults = the paper's Section IV setup, scaled by
+/// the benches through env knobs).
+struct ExperimentConfig {
+  std::vector<optim::OptimizerKind> optimizers = optim::all_optimizers();
+  std::vector<int> target_depths{2, 3, 4, 5};
+  int naive_runs = 20;   ///< random initializations per graph (naive arm)
+  int ml_repeats = 3;    ///< two-level repeats per graph (level-1 noise)
+  optim::Options options{};
+  std::uint64_t seed = 7;
+};
+
+/// Runs the full sweep.  Per-graph statistics are averaged first, then
+/// aggregated across graphs (mean and SD reported across graphs).
+/// Parallel across graphs; deterministic in `config.seed`.
+std::vector<TableRow> run_table1(const ParameterDataset& dataset,
+                                 const std::vector<std::size_t>& test_records,
+                                 const ParameterPredictor& predictor,
+                                 const ExperimentConfig& config);
+
+/// Average FC reduction over all rows (the paper's headline 44.9%).
+double average_fc_reduction(const std::vector<TableRow>& rows);
+
+}  // namespace qaoaml::core
+
+#endif  // QAOAML_CORE_EXPERIMENT_HPP

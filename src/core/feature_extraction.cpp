@@ -1,0 +1,66 @@
+#include "core/feature_extraction.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/angles.hpp"
+
+namespace qaoaml::core {
+
+std::string AngleId::name() const {
+  return (kind == Kind::kGamma ? "gamma" : "beta") + std::to_string(stage);
+}
+
+std::vector<double> two_level_features(const InstanceRecord& record,
+                                       int target_depth) {
+  require(!record.optimal_params.empty(),
+          "two_level_features: record has no depth-1 optimum");
+  return {record.gamma_opt(1, 1), record.beta_opt(1, 1),
+          static_cast<double>(target_depth)};
+}
+
+std::vector<double> hierarchical_features(const InstanceRecord& record,
+                                          int intermediate_depth,
+                                          int target_depth) {
+  require(intermediate_depth >= 1, "hierarchical_features: bad pm");
+  require(static_cast<std::size_t>(intermediate_depth) <=
+              record.optimal_params.size(),
+          "hierarchical_features: record lacks the intermediate depth");
+  std::vector<double> features{record.gamma_opt(1, 1), record.beta_opt(1, 1)};
+  const std::vector<double>& pm_params =
+      record.optimal_params[static_cast<std::size_t>(intermediate_depth - 1)];
+  features.insert(features.end(), pm_params.begin(), pm_params.end());
+  features.push_back(static_cast<double>(target_depth));
+  return features;
+}
+
+double response_of(const InstanceRecord& record, AngleId angle,
+                   int target_depth) {
+  return angle.kind == AngleId::Kind::kGamma
+             ? record.gamma_opt(target_depth, angle.stage)
+             : record.beta_opt(target_depth, angle.stage);
+}
+
+ml::Dataset build_angle_training_set(const ParameterDataset& dataset,
+                                     const std::vector<std::size_t>& records,
+                                     AngleId angle, int intermediate_depth) {
+  require(angle.stage >= 1 && angle.stage <= dataset.max_depth(),
+          "build_angle_training_set: stage out of range");
+  ml::Dataset out;
+  const int min_target = std::max({angle.stage, 2, intermediate_depth + 1});
+  for (const std::size_t r : records) {
+    require(r < dataset.size(), "build_angle_training_set: bad record index");
+    const InstanceRecord& record = dataset.records()[r];
+    for (int pt = min_target; pt <= dataset.max_depth(); ++pt) {
+      const std::vector<double> features =
+          intermediate_depth > 0
+              ? hierarchical_features(record, intermediate_depth, pt)
+              : two_level_features(record, pt);
+      out.add(features, response_of(record, angle, pt));
+    }
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace qaoaml::core

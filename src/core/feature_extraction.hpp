@@ -1,0 +1,54 @@
+// Feature extraction for the parameter-prediction models (Section II-D).
+//
+// Two-level features: (gamma_1OPT(p=1), beta_1OPT(p=1), target depth pt)
+// — three features predicting each of the 2*pt response angles.
+//
+// Hierarchical features (Section II-E's extension): the two-level
+// features plus all optimal angles of an intermediate depth pm.
+#ifndef QAOAML_CORE_FEATURE_EXTRACTION_HPP
+#define QAOAML_CORE_FEATURE_EXTRACTION_HPP
+
+#include <vector>
+
+#include "core/parameter_dataset.hpp"
+#include "ml/dataset.hpp"
+
+namespace qaoaml::core {
+
+/// Identifies one response variable: gamma_i or beta_i (1-based stage).
+struct AngleId {
+  enum class Kind { kGamma, kBeta };
+  Kind kind = Kind::kGamma;
+  int stage = 1;
+
+  /// "gamma3" / "beta1" style display name.
+  std::string name() const;
+};
+
+/// Two-level feature vector for one record and target depth.
+std::vector<double> two_level_features(const InstanceRecord& record,
+                                       int target_depth);
+
+/// Hierarchical feature vector: two-level features plus the optimal
+/// angles at `intermediate_depth`.
+std::vector<double> hierarchical_features(const InstanceRecord& record,
+                                          int intermediate_depth,
+                                          int target_depth);
+
+/// The response value for `angle` at `target_depth` in a record.
+double response_of(const InstanceRecord& record, AngleId angle,
+                   int target_depth);
+
+/// Builds the supervised training set for one response angle across the
+/// given records.  Rows span every target depth pt in
+/// [max(stage, 2), max_depth] (the angle must exist and pt = 1 is the
+/// feature source, not a target).  Set `intermediate_depth` > 0 for
+/// hierarchical features (then pt additionally must exceed it).
+ml::Dataset build_angle_training_set(const ParameterDataset& dataset,
+                                     const std::vector<std::size_t>& records,
+                                     AngleId angle,
+                                     int intermediate_depth = 0);
+
+}  // namespace qaoaml::core
+
+#endif  // QAOAML_CORE_FEATURE_EXTRACTION_HPP

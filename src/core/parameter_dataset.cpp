@@ -1,0 +1,266 @@
+#include <cmath>
+#include "core/parameter_dataset.hpp"
+
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "core/angles.hpp"
+#include "graph/generators.hpp"
+#include "graph/maxcut.hpp"
+
+namespace qaoaml::core {
+
+double InstanceRecord::gamma_opt(int p, int i) const {
+  require(p >= 1 && static_cast<std::size_t>(p) <= optimal_params.size(),
+          "InstanceRecord::gamma_opt: depth out of range");
+  return gamma_of(optimal_params[static_cast<std::size_t>(p - 1)], i);
+}
+
+double InstanceRecord::beta_opt(int p, int i) const {
+  require(p >= 1 && static_cast<std::size_t>(p) <= optimal_params.size(),
+          "InstanceRecord::beta_opt: depth out of range");
+  return beta_of(optimal_params[static_cast<std::size_t>(p - 1)], i);
+}
+
+ParameterDataset::ParameterDataset(DatasetConfig config,
+                                   std::vector<InstanceRecord> records)
+    : config_(std::move(config)), records_(std::move(records)) {}
+
+ParameterDataset ParameterDataset::generate(const DatasetConfig& config) {
+  require(config.num_graphs >= 1, "ParameterDataset: need >= 1 graph");
+  require(config.max_depth >= 1, "ParameterDataset: max_depth must be >= 1");
+
+  std::vector<InstanceRecord> records(
+      static_cast<std::size_t>(config.num_graphs));
+
+  parallel_for(static_cast<std::size_t>(config.num_graphs), [&](std::size_t g) {
+    // Per-graph deterministic stream: independent of thread scheduling.
+    Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + g);
+    graph::Graph problem = graph::erdos_renyi_gnp(
+        config.num_nodes, config.edge_probability, rng);
+    while (static_cast<int>(problem.num_edges()) < config.min_edges) {
+      problem = graph::erdos_renyi_gnp(config.num_nodes,
+                                       config.edge_probability, rng);
+    }
+
+    InstanceRecord record;
+    record.id = static_cast<int>(g);
+    record.problem = problem;
+    record.max_cut = graph::max_cut_brute_force(problem).value;
+
+    for (int p = 1; p <= config.max_depth; ++p) {
+      const MaxCutQaoa instance(problem, p);
+      MultistartRuns runs = solve_multistart(
+          instance, config.optimizer, config.restarts, rng, config.options);
+      // Heuristic seeds on top of the random restarts: the linear ramp
+      // and the INTERP bootstrap from the depth-(p-1) optimum (Zhou et
+      // al., the paper's ref. [5]).  Pure random multistart frequently
+      // stalls in shallow local basins at p >= 3, which would corrupt
+      // the parameter *trends* the ML model learns from; taking the best
+      // of {random..., ramp, interp} keeps the corpus at the true optima
+      // without touching the naive Table-I baseline (still pure random).
+      std::vector<std::vector<double>> seeds;
+      seeds.push_back(linear_ramp_angles(p));
+      if (p >= 2) {
+        seeds.push_back(
+            interp_angles(record.optimal_params[static_cast<std::size_t>(p - 2)]));
+      }
+      for (const std::vector<double>& seed : seeds) {
+        QaoaRun run = solve_from(instance, config.optimizer, seed,
+                                 config.options);
+        runs.total_function_calls += run.function_calls;
+        // ">= - eps": when a random restart found an exact symmetry copy
+        // of the seeded optimum (equal energy up to the optimizer's own
+        // ftol resolution), prefer the seeded one — it lives in the
+        // canonical pattern basin the ML model learns.
+        const double tie_eps =
+            1e-4 * std::max(1.0, std::abs(runs.best.expectation));
+        if (run.expectation >= runs.best.expectation - tie_eps) {
+          runs.best = std::move(run);
+        }
+      }
+      record.optimal_params.push_back(runs.best.params);
+      record.expectation.push_back(runs.best.expectation);
+      record.approximation_ratio.push_back(runs.best.approximation_ratio);
+      record.generation_fc.push_back(runs.total_function_calls);
+    }
+    records[g] = std::move(record);
+  });
+
+  return ParameterDataset(config, std::move(records));
+}
+
+std::size_t ParameterDataset::total_parameter_count() const {
+  std::size_t total = 0;
+  for (const InstanceRecord& record : records_) {
+    for (const auto& params : record.optimal_params) total += params.size();
+  }
+  return total;
+}
+
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+ParameterDataset::split_indices(double train_fraction, Rng& rng) const {
+  require(train_fraction > 0.0 && train_fraction < 1.0,
+          "split_indices: fraction must lie in (0, 1)");
+  require(records_.size() >= 2, "split_indices: need >= 2 records");
+  std::vector<std::size_t> order(records_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  std::size_t train_count = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(order.size()) + 0.5);
+  train_count = std::clamp<std::size_t>(train_count, 1, order.size() - 1);
+  return {
+      std::vector<std::size_t>(order.begin(),
+                               order.begin() + static_cast<std::ptrdiff_t>(train_count)),
+      std::vector<std::size_t>(order.begin() + static_cast<std::ptrdiff_t>(train_count),
+                               order.end())};
+}
+
+std::string to_string(const DatasetConfig& config) {
+  std::ostringstream os;
+  os.precision(17);
+  // "gen=3" versions the generation recipe itself (seeding, tie
+  // breaking); bumping it invalidates stale disk caches.
+  os << "gen=3 graphs=" << config.num_graphs << " nodes=" << config.num_nodes
+     << " edge_prob=" << config.edge_probability
+     << " min_edges=" << config.min_edges << " max_depth=" << config.max_depth
+     << " restarts=" << config.restarts
+     << " optimizer=" << optim::to_string(config.optimizer)
+     << " ftol=" << config.options.ftol << " seed=" << config.seed;
+  return os.str();
+}
+
+void ParameterDataset::save(const std::string& path) const {
+  std::ofstream os(path);
+  require(os.good(), "ParameterDataset::save: cannot open " + path);
+  os.precision(17);
+  os << "qaoaml-dataset-v1\n";
+  os << "config " << to_string(config_) << '\n';
+  for (const InstanceRecord& record : records_) {
+    os << "graph " << record.id << ' ' << record.problem.num_nodes() << ' '
+       << record.problem.num_edges();
+    for (const graph::Edge& e : record.problem.edges()) {
+      os << ' ' << e.u << ' ' << e.v << ' ' << e.weight;
+    }
+    os << '\n';
+    for (std::size_t d = 0; d < record.optimal_params.size(); ++d) {
+      os << "params " << record.id << ' ' << d + 1 << ' '
+         << record.generation_fc[d] << ' ' << record.expectation[d] << ' '
+         << record.approximation_ratio[d];
+      for (const double v : record.optimal_params[d]) os << ' ' << v;
+      os << '\n';
+    }
+  }
+  require(os.good(), "ParameterDataset::save: write failed");
+}
+
+ParameterDataset ParameterDataset::load(const std::string& path) {
+  std::ifstream is(path);
+  require(is.good(), "ParameterDataset::load: cannot open " + path);
+  std::string line;
+  require(static_cast<bool>(std::getline(is, line)) &&
+              line == "qaoaml-dataset-v1",
+          "ParameterDataset::load: bad header");
+  require(static_cast<bool>(std::getline(is, line)) &&
+              line.rfind("config ", 0) == 0,
+          "ParameterDataset::load: missing config line");
+
+  DatasetConfig config;  // reconstructed partially; stored string is the key
+  std::vector<InstanceRecord> records;
+  const std::string config_line = line.substr(7);
+
+  // Parse key=value tokens we understand (enough to recreate the config).
+  {
+    std::istringstream cs(config_line);
+    std::string token;
+    while (cs >> token) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "graphs") config.num_graphs = std::stoi(value);
+      else if (key == "nodes") config.num_nodes = std::stoi(value);
+      else if (key == "edge_prob") config.edge_probability = std::stod(value);
+      else if (key == "min_edges") config.min_edges = std::stoi(value);
+      else if (key == "max_depth") config.max_depth = std::stoi(value);
+      else if (key == "restarts") config.restarts = std::stoi(value);
+      else if (key == "optimizer") config.optimizer = optim::optimizer_from_string(value);
+      else if (key == "ftol") config.options.ftol = std::stod(value);
+      else if (key == "seed") config.seed = static_cast<std::uint64_t>(std::stoull(value));
+    }
+  }
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "graph") {
+      InstanceRecord record;
+      int nodes = 0;
+      std::size_t edges = 0;
+      ls >> record.id >> nodes >> edges;
+      graph::Graph problem(nodes);
+      for (std::size_t e = 0; e < edges; ++e) {
+        int u = 0;
+        int v = 0;
+        double w = 0.0;
+        ls >> u >> v >> w;
+        problem.add_edge(u, v, w);
+      }
+      require(!ls.fail(), "ParameterDataset::load: malformed graph line");
+      record.problem = problem;
+      record.max_cut = graph::max_cut_brute_force(problem).value;
+      records.push_back(std::move(record));
+    } else if (tag == "params") {
+      require(!records.empty(), "ParameterDataset::load: params before graph");
+      InstanceRecord& record = records.back();
+      int id = 0;
+      int p = 0;
+      int fc = 0;
+      double expectation = 0.0;
+      double ar = 0.0;
+      ls >> id >> p >> fc >> expectation >> ar;
+      require(id == record.id, "ParameterDataset::load: params id mismatch");
+      require(p == static_cast<int>(record.optimal_params.size()) + 1,
+              "ParameterDataset::load: depths out of order");
+      std::vector<double> params(num_angles(p));
+      for (double& v : params) ls >> v;
+      require(!ls.fail(), "ParameterDataset::load: malformed params line");
+      record.optimal_params.push_back(std::move(params));
+      record.expectation.push_back(expectation);
+      record.approximation_ratio.push_back(ar);
+      record.generation_fc.push_back(fc);
+    } else {
+      throw InvalidArgument("ParameterDataset::load: unknown tag " + tag);
+    }
+  }
+  return ParameterDataset(config, std::move(records));
+}
+
+ParameterDataset ParameterDataset::load_or_generate(
+    const DatasetConfig& config, const std::string& path) {
+  {
+    std::ifstream probe(path);
+    if (probe.good()) {
+      try {
+        ParameterDataset cached = load(path);
+        if (to_string(cached.config()) == to_string(config)) return cached;
+      } catch (const Error&) {
+        // fall through to regeneration on any parse problem
+      }
+    }
+  }
+  ParameterDataset fresh = generate(config);
+  try {
+    fresh.save(path);
+  } catch (const Error&) {
+    // Cache write failure is non-fatal (e.g. read-only directory).
+  }
+  return fresh;
+}
+
+}  // namespace qaoaml::core

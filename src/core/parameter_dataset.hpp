@@ -1,0 +1,97 @@
+// The training corpus of optimal QAOA parameters.
+//
+// Mirrors the paper's data-generation phase: an ensemble of Erdos-Renyi
+// G(n = 8, p_edge = 0.5) graphs, each optimized at every depth p = 1..6
+// with multistart L-BFGS-B (tolerance 1e-6), keeping the best optimum.
+// At full scale (330 graphs) the corpus holds 330 * (2+4+...+12) =
+// 13,860 optimal parameters — the paper's headline dataset size.
+#ifndef QAOAML_CORE_PARAMETER_DATASET_HPP
+#define QAOAML_CORE_PARAMETER_DATASET_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/qaoa_solver.hpp"
+#include "graph/graph.hpp"
+#include "optim/optimizer.hpp"
+
+namespace qaoaml::core {
+
+/// All optimal-parameter data for one problem graph.
+struct InstanceRecord {
+  int id = 0;
+  graph::Graph problem;
+  double max_cut = 0.0;
+
+  /// optimal_params[p - 1] = canonicalized best angles at depth p
+  /// (length 2p).
+  std::vector<std::vector<double>> optimal_params;
+  /// Best expectation per depth.
+  std::vector<double> expectation;
+  /// Approximation ratio per depth.
+  std::vector<double> approximation_ratio;
+  /// Total function calls spent generating each depth's optimum.
+  std::vector<int> generation_fc;
+
+  /// gamma_i / beta_i accessors at a given depth (1-based stage i).
+  double gamma_opt(int p, int i) const;
+  double beta_opt(int p, int i) const;
+};
+
+/// Generation settings (defaults = the paper's full-scale setup).
+struct DatasetConfig {
+  int num_graphs = 330;
+  int num_nodes = 8;
+  double edge_probability = 0.5;
+  int min_edges = 1;           ///< resample graphs with fewer edges
+  int max_depth = 6;
+  int restarts = 20;           ///< random initializations per (graph, p)
+  optim::OptimizerKind optimizer = optim::OptimizerKind::kLbfgsb;
+  optim::Options options{};    ///< ftol defaults to 1e-6
+  std::uint64_t seed = 42;
+};
+
+/// Immutable corpus of per-graph optimal parameters.
+class ParameterDataset {
+ public:
+  ParameterDataset() = default;
+  ParameterDataset(DatasetConfig config, std::vector<InstanceRecord> records);
+
+  /// Generates the corpus (parallel across graphs, deterministic in
+  /// `config.seed` regardless of thread count).
+  static ParameterDataset generate(const DatasetConfig& config);
+
+  const DatasetConfig& config() const { return config_; }
+  const std::vector<InstanceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  int max_depth() const { return config_.max_depth; }
+
+  /// Total number of stored optimal parameters: sum over graphs and
+  /// depths of 2p (13,860 at full scale).
+  std::size_t total_parameter_count() const;
+
+  /// Shuffled (train, test) record-index split; the paper uses 20:80.
+  std::pair<std::vector<std::size_t>, std::vector<std::size_t>> split_indices(
+      double train_fraction, Rng& rng) const;
+
+  /// Text persistence; benches cache the generated corpus on disk.
+  void save(const std::string& path) const;
+  static ParameterDataset load(const std::string& path);
+
+  /// Loads from `path` when present and generated with an identical
+  /// config; otherwise generates and saves.
+  static ParameterDataset load_or_generate(const DatasetConfig& config,
+                                           const std::string& path);
+
+ private:
+  DatasetConfig config_;
+  std::vector<InstanceRecord> records_;
+};
+
+/// One-line summary of a config (also the cache key).
+std::string to_string(const DatasetConfig& config);
+
+}  // namespace qaoaml::core
+
+#endif  // QAOAML_CORE_PARAMETER_DATASET_HPP

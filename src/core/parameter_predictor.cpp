@@ -1,0 +1,96 @@
+#include "core/parameter_predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/angles.hpp"
+
+namespace qaoaml::core {
+
+ParameterPredictor::ParameterPredictor(PredictorConfig config)
+    : config_(config) {
+  require(config.intermediate_depth >= 0,
+          "ParameterPredictor: intermediate depth must be >= 0");
+}
+
+void ParameterPredictor::train(const ParameterDataset& dataset,
+                               const std::vector<std::size_t>& train_records) {
+  require(!train_records.empty(), "ParameterPredictor: empty training set");
+  max_depth_ = dataset.max_depth();
+  gamma_models_.clear();
+  beta_models_.clear();
+
+  for (int stage = 1; stage <= max_depth_; ++stage) {
+    for (const AngleId::Kind kind :
+         {AngleId::Kind::kGamma, AngleId::Kind::kBeta}) {
+      const AngleId angle{kind, stage};
+      const ml::Dataset train = build_angle_training_set(
+          dataset, train_records, angle, config_.intermediate_depth);
+      auto model = ml::make_regressor(config_.model);
+      model->fit(train);
+      (kind == AngleId::Kind::kGamma ? gamma_models_ : beta_models_)
+          .push_back(std::move(model));
+    }
+  }
+  trained_ = true;
+}
+
+std::vector<double> ParameterPredictor::predict_from_features(
+    std::vector<double> features, int target_depth) const {
+  require(trained_, "ParameterPredictor: predict before train");
+  require(target_depth >= 2 && target_depth <= max_depth_,
+          "ParameterPredictor: target depth out of range");
+
+  std::vector<double> gammas(static_cast<std::size_t>(target_depth));
+  std::vector<double> betas(static_cast<std::size_t>(target_depth));
+  for (int stage = 1; stage <= target_depth; ++stage) {
+    const double g =
+        gamma_models_[static_cast<std::size_t>(stage - 1)]->predict(features);
+    const double b =
+        beta_models_[static_cast<std::size_t>(stage - 1)]->predict(features);
+    gammas[static_cast<std::size_t>(stage - 1)] =
+        std::clamp(g, 0.0, 2.0 * M_PI);
+    betas[static_cast<std::size_t>(stage - 1)] = std::clamp(b, 0.0, M_PI);
+  }
+  return pack_angles(gammas, betas);
+}
+
+std::vector<double> ParameterPredictor::predict(double gamma1_opt,
+                                                double beta1_opt,
+                                                int target_depth) const {
+  require(config_.intermediate_depth == 0,
+          "ParameterPredictor: two-level predict on a hierarchical bank");
+  return predict_from_features(
+      {gamma1_opt, beta1_opt, static_cast<double>(target_depth)},
+      target_depth);
+}
+
+std::vector<double> ParameterPredictor::predict_hierarchical(
+    double gamma1_opt, double beta1_opt,
+    const std::vector<double>& intermediate_params, int target_depth) const {
+  require(config_.intermediate_depth >= 1,
+          "ParameterPredictor: hierarchical predict on a two-level bank");
+  require(intermediate_params.size() ==
+              num_angles(config_.intermediate_depth),
+          "ParameterPredictor: wrong intermediate parameter count");
+  require(target_depth > config_.intermediate_depth,
+          "ParameterPredictor: target must exceed the intermediate depth");
+  std::vector<double> features{gamma1_opt, beta1_opt};
+  features.insert(features.end(), intermediate_params.begin(),
+                  intermediate_params.end());
+  features.push_back(static_cast<double>(target_depth));
+  return predict_from_features(std::move(features), target_depth);
+}
+
+double ParameterPredictor::predict_angle(
+    AngleId angle, const std::vector<double>& features) const {
+  require(trained_, "ParameterPredictor: predict before train");
+  require(angle.stage >= 1 && angle.stage <= max_depth_,
+          "ParameterPredictor: stage out of range");
+  const auto& bank =
+      angle.kind == AngleId::Kind::kGamma ? gamma_models_ : beta_models_;
+  return bank[static_cast<std::size_t>(angle.stage - 1)]->predict(features);
+}
+
+}  // namespace qaoaml::core

@@ -1,0 +1,67 @@
+// The trained predictor bank (the paper's "Predictor Model" box in
+// Fig. 4).
+//
+// One regressor per response angle (gamma_i and beta_i, i = 1..max
+// depth), each mapping the feature vector to that angle's optimal value.
+// Predictions are clamped into the QAOA domain (gamma in [0, 2*pi],
+// beta in [0, pi]) before they seed the optimizer.
+#ifndef QAOAML_CORE_PARAMETER_PREDICTOR_HPP
+#define QAOAML_CORE_PARAMETER_PREDICTOR_HPP
+
+#include <memory>
+#include <vector>
+
+#include "core/feature_extraction.hpp"
+#include "ml/model.hpp"
+
+namespace qaoaml::core {
+
+/// Predictor settings.
+struct PredictorConfig {
+  ml::RegressorKind model = ml::RegressorKind::kGpr;
+  /// 0 = two-level features; >= 1 = hierarchical with this intermediate
+  /// depth (predictions then only cover targets above it).
+  int intermediate_depth = 0;
+};
+
+/// Bank of per-angle regressors.
+class ParameterPredictor {
+ public:
+  explicit ParameterPredictor(PredictorConfig config = {});
+
+  /// Trains one model per angle on the given training records.
+  void train(const ParameterDataset& dataset,
+             const std::vector<std::size_t>& train_records);
+
+  bool trained() const { return trained_; }
+  const PredictorConfig& config() const { return config_; }
+  int max_depth() const { return max_depth_; }
+
+  /// Predicts all 2*pt initial angles from the depth-1 optimum
+  /// (two-level mode).
+  std::vector<double> predict(double gamma1_opt, double beta1_opt,
+                              int target_depth) const;
+
+  /// Hierarchical prediction: depth-1 optimum plus the full optimal
+  /// angle vector at the configured intermediate depth.
+  std::vector<double> predict_hierarchical(
+      double gamma1_opt, double beta1_opt,
+      const std::vector<double>& intermediate_params, int target_depth) const;
+
+  /// Per-angle prediction used by the Fig. 6 error study.
+  double predict_angle(AngleId angle, const std::vector<double>& features) const;
+
+ private:
+  std::vector<double> predict_from_features(std::vector<double> features,
+                                            int target_depth) const;
+
+  PredictorConfig config_;
+  bool trained_ = false;
+  int max_depth_ = 0;
+  std::vector<std::unique_ptr<ml::Regressor>> gamma_models_;  // [stage - 1]
+  std::vector<std::unique_ptr<ml::Regressor>> beta_models_;
+};
+
+}  // namespace qaoaml::core
+
+#endif  // QAOAML_CORE_PARAMETER_PREDICTOR_HPP

@@ -1,0 +1,46 @@
+#include "core/qaoa_circuit.hpp"
+
+#include "common/error.hpp"
+#include "core/angles.hpp"
+
+namespace qaoaml::core {
+
+quantum::Circuit build_maxcut_ansatz(const graph::Graph& g, int p) {
+  require(g.num_nodes() >= 2, "build_maxcut_ansatz: need >= 2 nodes");
+  require(p >= 1, "build_maxcut_ansatz: depth must be >= 1");
+
+  quantum::Circuit circuit(g.num_nodes());
+  for (int q = 0; q < g.num_nodes(); ++q) circuit.h(q);
+
+  for (int stage = 0; stage < p; ++stage) {
+    const int gamma_index = stage;      // [gamma_1..gamma_p, ...]
+    const int beta_index = p + stage;   // [..., beta_1..beta_p]
+    // Phase separation: exp(-i gamma C) realized edge by edge.
+    for (const graph::Edge& e : g.edges()) {
+      circuit.cnot(e.u, e.v);
+      circuit.rz(e.v, quantum::ParamExpr::bound(gamma_index, -e.weight));
+      circuit.cnot(e.u, e.v);
+    }
+    // Mixing: the paper's parametric RX(beta) gate = exp(-i beta X / 2)
+    // on every qubit.  (With beta in [0, pi] the box holds exactly one
+    // period of the mixer; a 2*beta convention would fold two symmetric
+    // copies of every optimum into the domain and scramble the trends.)
+    for (int q = 0; q < g.num_nodes(); ++q) {
+      circuit.rx(q, quantum::ParamExpr::bound(beta_index, 1.0));
+    }
+  }
+  return circuit;
+}
+
+AnsatzCost ansatz_cost(const graph::Graph& g, int p) {
+  const quantum::Circuit circuit = build_maxcut_ansatz(g, p);
+  AnsatzCost cost;
+  cost.cnot_count = circuit.count(quantum::GateKind::kCnot);
+  cost.rz_count = circuit.count(quantum::GateKind::kRz);
+  cost.rx_count = circuit.count(quantum::GateKind::kRx);
+  cost.h_count = circuit.count(quantum::GateKind::kH);
+  cost.depth = circuit.depth();
+  return cost;
+}
+
+}  // namespace qaoaml::core

@@ -1,0 +1,37 @@
+// Gate-level MaxCut-QAOA ansatz construction (the circuit of Fig. 1(a)).
+//
+// Layout per stage i (1-based):
+//   phase separation: for every edge (u, v) with weight w:
+//     CNOT(u, v); RZ(v, -w * gamma_i); CNOT(u, v)
+//   (equal to exp(+i gamma_i w Z_u Z_v / 2), i.e. exp(-i gamma_i C) up to
+//   a global phase for the MaxCut cost C)
+//   mixing: RX(beta_i) = exp(-i beta_i X / 2) on every qubit (the
+//   paper's convention; beta in [0, pi] is one mixer period).
+// The initial layer is Hadamard on all qubits.
+#ifndef QAOAML_CORE_QAOA_CIRCUIT_HPP
+#define QAOAML_CORE_QAOA_CIRCUIT_HPP
+
+#include "graph/graph.hpp"
+#include "quantum/circuit.hpp"
+
+namespace qaoaml::core {
+
+/// Builds the depth-p MaxCut ansatz over `g`.  The circuit references
+/// 2p external parameters in the canonical [gammas, betas] layout.
+quantum::Circuit build_maxcut_ansatz(const graph::Graph& g, int p);
+
+/// Gate-count summary of an ansatz, for reporting.
+struct AnsatzCost {
+  std::size_t cnot_count = 0;
+  std::size_t rz_count = 0;
+  std::size_t rx_count = 0;
+  std::size_t h_count = 0;
+  int depth = 0;
+};
+
+/// Computes gate counts and schedule depth for the ansatz of (g, p).
+AnsatzCost ansatz_cost(const graph::Graph& g, int p);
+
+}  // namespace qaoaml::core
+
+#endif  // QAOAML_CORE_QAOA_CIRCUIT_HPP

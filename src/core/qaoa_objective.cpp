@@ -1,0 +1,99 @@
+#include "core/qaoa_objective.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/angles.hpp"
+#include "core/qaoa_circuit.hpp"
+
+namespace qaoaml::core {
+
+MaxCutQaoa::MaxCutQaoa(graph::Graph g, int depth)
+    : graph_(std::move(g)),
+      depth_(depth),
+      hamiltonian_(ising::DiagonalHamiltonian::maxcut(graph_)),
+      circuit_(build_maxcut_ansatz(graph_, depth)) {
+  require(depth >= 1, "MaxCutQaoa: depth must be >= 1");
+  require(graph_.num_edges() >= 1, "MaxCutQaoa: graph needs at least one edge");
+  max_cut_ = hamiltonian_.max_value();
+
+  // Detect an integral cut spectrum (always true for unit weights).
+  integral_ = true;
+  const std::vector<double>& diag = hamiltonian_.diagonal();
+  int_diagonal_.resize(diag.size());
+  for (std::size_t z = 0; z < diag.size(); ++z) {
+    const double rounded = std::round(diag[z]);
+    if (std::abs(diag[z] - rounded) > 1e-9 || rounded < 0.0 ||
+        rounded > 1e6) {
+      integral_ = false;
+      break;
+    }
+    int_diagonal_[z] = static_cast<int>(rounded);
+    max_int_value_ = std::max(max_int_value_, int_diagonal_[z]);
+  }
+  if (!integral_) int_diagonal_.clear();
+}
+
+std::size_t MaxCutQaoa::num_parameters() const { return num_angles(depth_); }
+
+optim::Bounds MaxCutQaoa::bounds() const { return qaoa_bounds(depth_); }
+
+quantum::Statevector MaxCutQaoa::state(std::span<const double> params) const {
+  require(params.size() == num_parameters(),
+          "MaxCutQaoa::state: wrong parameter count");
+  quantum::Statevector sv = quantum::Statevector::uniform(graph_.num_nodes());
+
+  const std::vector<double>& diag = hamiltonian_.diagonal();
+  for (int stage = 0; stage < depth_; ++stage) {
+    const double gamma = params[static_cast<std::size_t>(stage)];
+    const double beta = params[static_cast<std::size_t>(depth_ + stage)];
+
+    if (integral_) {
+      // exp(-i gamma C) via powers of exp(-i gamma): the cut spectrum is
+      // integral so only max_int_value_+1 distinct phases occur.
+      sv.apply_diagonal_evolution_integral(int_diagonal_, gamma,
+                                           max_int_value_);
+    } else {
+      sv.apply_diagonal_evolution(diag, gamma);
+    }
+
+    const quantum::Gate1Q mixer = quantum::gates::rx(beta);
+    for (int q = 0; q < graph_.num_nodes(); ++q) sv.apply_gate(mixer, q);
+  }
+  return sv;
+}
+
+double MaxCutQaoa::expectation(std::span<const double> params) const {
+  return state(params).expectation_diagonal(hamiltonian_.diagonal());
+}
+
+double MaxCutQaoa::expectation_gate_level(
+    std::span<const double> params) const {
+  require(params.size() == num_parameters(),
+          "MaxCutQaoa::expectation_gate_level: wrong parameter count");
+  const quantum::Statevector sv = circuit_.simulate(params);
+  return sv.expectation_diagonal(hamiltonian_.diagonal());
+}
+
+double MaxCutQaoa::sampled_expectation(std::span<const double> params,
+                                       int shots, Rng& rng) const {
+  require(shots >= 1, "MaxCutQaoa::sampled_expectation: shots must be >= 1");
+  const quantum::Statevector sv = state(params);
+  double acc = 0.0;
+  for (int s = 0; s < shots; ++s) {
+    acc += hamiltonian_.value(sv.sample(rng));
+  }
+  return acc / static_cast<double>(shots);
+}
+
+double MaxCutQaoa::approximation_ratio(std::span<const double> params) const {
+  return expectation(params) / max_cut_;
+}
+
+optim::ObjectiveFn MaxCutQaoa::objective() const {
+  return [this](std::span<const double> params) {
+    return -expectation(params);
+  };
+}
+
+}  // namespace qaoaml::core

@@ -1,0 +1,57 @@
+#include "core/qaoa_solver.hpp"
+
+#include "common/error.hpp"
+#include "core/angles.hpp"
+
+namespace qaoaml::core {
+namespace {
+
+QaoaRun to_run(const MaxCutQaoa& instance, optim::OptimResult result) {
+  QaoaRun run;
+  run.params = instance.has_integer_spectrum()
+                   ? canonicalize_angles(result.x)
+                   : std::move(result.x);
+  run.expectation = -result.fun;
+  run.approximation_ratio = run.expectation / instance.max_cut_value();
+  run.function_calls = result.nfev;
+  run.iterations = result.nit;
+  run.stop = result.reason;
+  return run;
+}
+
+}  // namespace
+
+QaoaRun solve_from(const MaxCutQaoa& instance, optim::OptimizerKind optimizer,
+                   std::span<const double> x0, const optim::Options& options) {
+  require(x0.size() == instance.num_parameters(),
+          "solve_from: wrong parameter count");
+  const optim::ObjectiveFn objective = instance.objective();
+  optim::OptimResult result =
+      optim::minimize(optimizer, objective, x0, instance.bounds(), options);
+  return to_run(instance, std::move(result));
+}
+
+QaoaRun solve_random_init(const MaxCutQaoa& instance,
+                          optim::OptimizerKind optimizer, Rng& rng,
+                          const optim::Options& options) {
+  const std::vector<double> x0 = random_angles(instance.depth(), rng);
+  return solve_from(instance, optimizer, x0, options);
+}
+
+MultistartRuns solve_multistart(const MaxCutQaoa& instance,
+                                optim::OptimizerKind optimizer, int restarts,
+                                Rng& rng, const optim::Options& options) {
+  require(restarts >= 1, "solve_multistart: need at least one restart");
+  MultistartRuns out;
+  for (int r = 0; r < restarts; ++r) {
+    QaoaRun run = solve_random_init(instance, optimizer, rng, options);
+    out.total_function_calls += run.function_calls;
+    if (out.runs.empty() || run.expectation > out.best.expectation) {
+      out.best = run;
+    }
+    out.runs.push_back(std::move(run));
+  }
+  return out;
+}
+
+}  // namespace qaoaml::core

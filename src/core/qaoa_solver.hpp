@@ -1,0 +1,53 @@
+// The QAOA classical optimization loop (Fig. 1(a) of the paper).
+//
+// Wraps the optim module around a MaxCutQaoa objective and translates
+// results into QAOA vocabulary: expectation, approximation ratio (AR)
+// and function-call count (FC, the paper's run-time metric).
+#ifndef QAOAML_CORE_QAOA_SOLVER_HPP
+#define QAOAML_CORE_QAOA_SOLVER_HPP
+
+#include <vector>
+
+#include "core/qaoa_objective.hpp"
+#include "optim/multistart.hpp"
+#include "optim/optimizer.hpp"
+
+namespace qaoaml::core {
+
+/// Outcome of one optimization-loop run.
+struct QaoaRun {
+  std::vector<double> params;       ///< optimized angles (canonicalized
+                                    ///  when the spectrum is integral)
+  double expectation = 0.0;         ///< <C> at the optimum
+  double approximation_ratio = 0.0; ///< expectation / MaxCut
+  int function_calls = 0;           ///< QC calls consumed by this run
+  int iterations = 0;
+  optim::StopReason stop = optim::StopReason::kConverged;
+};
+
+/// Runs the loop from an explicit starting point (warm start).
+QaoaRun solve_from(const MaxCutQaoa& instance, optim::OptimizerKind optimizer,
+                   std::span<const double> x0,
+                   const optim::Options& options = {});
+
+/// Runs the loop from one uniformly random initialization (the paper's
+/// QCR flow).
+QaoaRun solve_random_init(const MaxCutQaoa& instance,
+                          optim::OptimizerKind optimizer, Rng& rng,
+                          const optim::Options& options = {});
+
+/// Best-of-k multistart (the paper's data-generation setting: "optimal
+/// parameters ... from 20 random initializations").
+struct MultistartRuns {
+  QaoaRun best;
+  std::vector<QaoaRun> runs;
+  int total_function_calls = 0;
+};
+
+MultistartRuns solve_multistart(const MaxCutQaoa& instance,
+                                optim::OptimizerKind optimizer, int restarts,
+                                Rng& rng, const optim::Options& options = {});
+
+}  // namespace qaoaml::core
+
+#endif  // QAOAML_CORE_QAOA_SOLVER_HPP

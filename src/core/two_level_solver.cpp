@@ -1,0 +1,96 @@
+#include "core/two_level_solver.hpp"
+
+#include "common/error.hpp"
+#include "core/angles.hpp"
+
+namespace qaoaml::core {
+namespace {
+
+/// Options for a warm-started stage: identical tolerances, but the
+/// derivative-free trust region opens at warm_rho_begin instead of the
+/// cold-start radius.
+optim::Options warm_options(const TwoLevelConfig& config) {
+  optim::Options options = config.options;
+  options.rho_begin = std::min(options.rho_begin, config.warm_rho_begin);
+  return options;
+}
+
+/// Level 1 of both flows: optimize the depth-1 instance.
+QaoaRun run_level1(const graph::Graph& problem, const TwoLevelConfig& config,
+                   Rng& rng) {
+  const MaxCutQaoa level1_instance(problem, 1);
+  if (config.level1_restarts <= 1) {
+    return solve_random_init(level1_instance, config.optimizer, rng,
+                             config.options);
+  }
+  MultistartRuns runs =
+      solve_multistart(level1_instance, config.optimizer,
+                       config.level1_restarts, rng, config.options);
+  QaoaRun best = runs.best;
+  best.function_calls = runs.total_function_calls;  // all restarts count
+  return best;
+}
+
+}  // namespace
+
+AcceleratedRun solve_two_level(const graph::Graph& problem, int target_depth,
+                               const ParameterPredictor& predictor,
+                               const TwoLevelConfig& config, Rng& rng) {
+  require(predictor.trained(), "solve_two_level: predictor not trained");
+  require(predictor.config().intermediate_depth == 0,
+          "solve_two_level: needs a two-level predictor bank");
+  require(target_depth >= 2, "solve_two_level: target depth must be >= 2");
+
+  AcceleratedRun out;
+  out.level1 = run_level1(problem, config, rng);
+
+  out.predicted_init = predictor.predict(gamma_of(out.level1.params, 1),
+                                         beta_of(out.level1.params, 1),
+                                         target_depth);
+
+  const MaxCutQaoa target_instance(problem, target_depth);
+  out.final = solve_from(target_instance, config.optimizer,
+                         out.predicted_init, warm_options(config));
+  out.total_function_calls =
+      out.level1.function_calls + out.final.function_calls;
+  return out;
+}
+
+AcceleratedRun solve_three_level(const graph::Graph& problem, int target_depth,
+                                 const ParameterPredictor& coarse,
+                                 const ParameterPredictor& fine,
+                                 const TwoLevelConfig& config, Rng& rng) {
+  require(coarse.trained() && fine.trained(),
+          "solve_three_level: predictors not trained");
+  require(coarse.config().intermediate_depth == 0,
+          "solve_three_level: coarse bank must be two-level");
+  const int pm = fine.config().intermediate_depth;
+  require(pm >= 2, "solve_three_level: hierarchical bank needs pm >= 2");
+  require(target_depth > pm,
+          "solve_three_level: target depth must exceed the intermediate");
+
+  AcceleratedRun out;
+  out.level1 = run_level1(problem, config, rng);
+  const double gamma1 = gamma_of(out.level1.params, 1);
+  const double beta1 = beta_of(out.level1.params, 1);
+
+  // Level 2: intermediate depth, seeded by the two-level prediction.
+  const std::vector<double> pm_init = coarse.predict(gamma1, beta1, pm);
+  const MaxCutQaoa pm_instance(problem, pm);
+  out.intermediate =
+      solve_from(pm_instance, config.optimizer, pm_init, warm_options(config));
+
+  // Level 3: target depth, seeded by the hierarchical prediction.
+  out.predicted_init = fine.predict_hierarchical(
+      gamma1, beta1, out.intermediate.params, target_depth);
+  const MaxCutQaoa target_instance(problem, target_depth);
+  out.final = solve_from(target_instance, config.optimizer,
+                         out.predicted_init, warm_options(config));
+
+  out.total_function_calls = out.level1.function_calls +
+                             out.intermediate.function_calls +
+                             out.final.function_calls;
+  return out;
+}
+
+}  // namespace qaoaml::core

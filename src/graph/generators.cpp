@@ -1,0 +1,108 @@
+#include "graph/generators.hpp"
+
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qaoaml::graph {
+
+Graph erdos_renyi_gnp(int num_nodes, double edge_probability, Rng& rng) {
+  require(num_nodes >= 0, "erdos_renyi_gnp: num_nodes must be non-negative");
+  require(edge_probability >= 0.0 && edge_probability <= 1.0,
+          "erdos_renyi_gnp: probability must lie in [0, 1]");
+  Graph g(num_nodes);
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int v = u + 1; v < num_nodes; ++v) {
+      if (rng.bernoulli(edge_probability)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph gnm_random(int num_nodes, int num_edges, Rng& rng) {
+  const long long max_edges =
+      static_cast<long long>(num_nodes) * (num_nodes - 1) / 2;
+  require(num_edges >= 0 && num_edges <= max_edges,
+          "gnm_random: edge count out of range");
+  std::vector<std::pair<int, int>> all;
+  all.reserve(static_cast<std::size_t>(max_edges));
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int v = u + 1; v < num_nodes; ++v) all.emplace_back(u, v);
+  }
+  rng.shuffle(all);
+  Graph g(num_nodes);
+  for (int i = 0; i < num_edges; ++i) g.add_edge(all[static_cast<std::size_t>(i)].first,
+                                                 all[static_cast<std::size_t>(i)].second);
+  return g;
+}
+
+Graph random_regular(int num_nodes, int degree, Rng& rng, int max_attempts) {
+  require(num_nodes > 0 && degree >= 0, "random_regular: bad arguments");
+  require(degree < num_nodes, "random_regular: degree must be < num_nodes");
+  require((static_cast<long long>(num_nodes) * degree) % 2 == 0,
+          "random_regular: n*k must be even");
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Configuration model: k "stubs" per node, paired uniformly at random.
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(num_nodes) *
+                  static_cast<std::size_t>(degree));
+    for (int u = 0; u < num_nodes; ++u) {
+      for (int s = 0; s < degree; ++s) stubs.push_back(u);
+    }
+    rng.shuffle(stubs);
+
+    Graph g(num_nodes);
+    bool valid = true;
+    for (std::size_t i = 0; i + 1 < stubs.size() && valid; i += 2) {
+      const int u = stubs[i];
+      const int v = stubs[i + 1];
+      if (u == v || g.has_edge(u, v)) {
+        valid = false;
+      } else {
+        g.add_edge(u, v);
+      }
+    }
+    if (valid) return g;
+  }
+  throw NumericalError("random_regular: failed to find a simple pairing");
+}
+
+Graph cycle_graph(int num_nodes) {
+  require(num_nodes >= 3, "cycle_graph: need at least 3 nodes");
+  Graph g(num_nodes);
+  for (int u = 0; u < num_nodes; ++u) g.add_edge(u, (u + 1) % num_nodes);
+  return g;
+}
+
+Graph complete_graph(int num_nodes) {
+  Graph g(num_nodes);
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int v = u + 1; v < num_nodes; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph star_graph(int num_nodes) {
+  require(num_nodes >= 2, "star_graph: need at least 2 nodes");
+  Graph g(num_nodes);
+  for (int u = 1; u < num_nodes; ++u) g.add_edge(0, u);
+  return g;
+}
+
+Graph path_graph(int num_nodes) {
+  require(num_nodes >= 2, "path_graph: need at least 2 nodes");
+  Graph g(num_nodes);
+  for (int u = 0; u + 1 < num_nodes; ++u) g.add_edge(u, u + 1);
+  return g;
+}
+
+Graph with_random_weights(const Graph& g, double lo, double hi, Rng& rng) {
+  Graph out(g.num_nodes());
+  for (const Edge& e : g.edges()) out.add_edge(e.u, e.v, rng.uniform(lo, hi));
+  return out;
+}
+
+}  // namespace qaoaml::graph

@@ -1,0 +1,48 @@
+// Random and structured graph generators.
+//
+// The paper draws problem instances from the Erdos-Renyi G(n, p) ensemble
+// with edge probability 0.5 (330 graphs, 8 nodes) and uses 8-node
+// 3-regular graphs for the trend figures; both generators live here,
+// along with deterministic families used by tests and examples.
+#ifndef QAOAML_GRAPH_GENERATORS_HPP
+#define QAOAML_GRAPH_GENERATORS_HPP
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace qaoaml::graph {
+
+/// Erdos-Renyi G(n, p): each of the n(n-1)/2 possible edges is present
+/// independently with probability `edge_probability`.
+Graph erdos_renyi_gnp(int num_nodes, double edge_probability, Rng& rng);
+
+/// G(n, m): a graph drawn uniformly among those with exactly `num_edges`
+/// edges.  Requires num_edges <= n(n-1)/2.
+Graph gnm_random(int num_nodes, int num_edges, Rng& rng);
+
+/// Uniform-ish random k-regular graph via the configuration (pairing)
+/// model with rejection of loops/multi-edges.  Requires n*k even and
+/// k < n.  Throws NumericalError if no valid pairing is found in
+/// `max_attempts` tries (practically impossible for the small sizes used
+/// here).
+Graph random_regular(int num_nodes, int degree, Rng& rng,
+                     int max_attempts = 1000);
+
+/// Cycle 0-1-...-(n-1)-0.  Requires n >= 3.
+Graph cycle_graph(int num_nodes);
+
+/// Complete graph K_n.
+Graph complete_graph(int num_nodes);
+
+/// Star with node 0 at the center.  Requires n >= 2.
+Graph star_graph(int num_nodes);
+
+/// Simple path 0-1-...-(n-1).  Requires n >= 2.
+Graph path_graph(int num_nodes);
+
+/// Assigns every edge a weight drawn uniformly from [lo, hi).
+Graph with_random_weights(const Graph& g, double lo, double hi, Rng& rng);
+
+}  // namespace qaoaml::graph
+
+#endif  // QAOAML_GRAPH_GENERATORS_HPP

@@ -1,0 +1,75 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qaoaml::graph {
+
+Graph::Graph(int num_nodes) : num_nodes_(num_nodes) {
+  require(num_nodes >= 0, "Graph: num_nodes must be non-negative");
+  adjacency_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void Graph::add_edge(int u, int v, double weight) {
+  require(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_,
+          "Graph::add_edge: endpoint out of range");
+  require(u != v, "Graph::add_edge: self-loops are not allowed");
+  require(!has_edge(u, v), "Graph::add_edge: duplicate edge");
+  if (u > v) std::swap(u, v);
+  edges_.push_back(Edge{u, v, weight});
+  adjacency_[static_cast<std::size_t>(u)].push_back(v);
+  adjacency_[static_cast<std::size_t>(v)].push_back(u);
+}
+
+bool Graph::has_edge(int u, int v) const {
+  if (u < 0 || u >= num_nodes_ || v < 0 || v >= num_nodes_) return false;
+  const auto& adj = adjacency_[static_cast<std::size_t>(u)];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+int Graph::degree(int u) const {
+  require(u >= 0 && u < num_nodes_, "Graph::degree: node out of range");
+  return static_cast<int>(adjacency_[static_cast<std::size_t>(u)].size());
+}
+
+std::vector<int> Graph::neighbors(int u) const {
+  require(u >= 0 && u < num_nodes_, "Graph::neighbors: node out of range");
+  return adjacency_[static_cast<std::size_t>(u)];
+}
+
+double Graph::total_weight() const {
+  double acc = 0.0;
+  for (const Edge& e : edges_) acc += e.weight;
+  return acc;
+}
+
+bool Graph::is_connected() const {
+  if (num_nodes_ <= 1) return true;
+  std::vector<bool> seen(static_cast<std::size_t>(num_nodes_), false);
+  std::vector<int> stack{0};
+  seen[0] = true;
+  int visited = 1;
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    for (const int next : adjacency_[static_cast<std::size_t>(node)]) {
+      if (!seen[static_cast<std::size_t>(next)]) {
+        seen[static_cast<std::size_t>(next)] = true;
+        ++visited;
+        stack.push_back(next);
+      }
+    }
+  }
+  return visited == num_nodes_;
+}
+
+bool Graph::is_regular(int k) const {
+  for (int u = 0; u < num_nodes_; ++u) {
+    if (degree(u) != k) return false;
+  }
+  return num_nodes_ > 0;
+}
+
+}  // namespace qaoaml::graph

@@ -1,0 +1,68 @@
+// Undirected simple graph with optional edge weights.
+//
+// This is the problem-instance representation for MaxCut-QAOA.  Node ids
+// are dense integers [0, num_nodes).  Self-loops are rejected; parallel
+// edges are rejected.
+#ifndef QAOAML_GRAPH_GRAPH_HPP
+#define QAOAML_GRAPH_GRAPH_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace qaoaml::graph {
+
+/// One undirected edge (u < v after normalization) with a weight.
+struct Edge {
+  int u = 0;
+  int v = 0;
+  double weight = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Undirected simple weighted graph.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `num_nodes` isolated nodes.
+  explicit Graph(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Adds edge {u, v} with `weight`.  Throws InvalidArgument for
+  /// out-of-range endpoints, self-loops, or duplicate edges.
+  void add_edge(int u, int v, double weight = 1.0);
+
+  /// True when {u, v} is an edge (order-insensitive).
+  bool has_edge(int u, int v) const;
+
+  /// Normalized edge list (u < v within each edge).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Number of incident edges for node `u`.
+  int degree(int u) const;
+
+  /// Neighbors of node `u`.
+  std::vector<int> neighbors(int u) const;
+
+  /// Sum of all edge weights.
+  double total_weight() const;
+
+  /// True when every node is reachable from node 0 (true for empty and
+  /// single-node graphs).
+  bool is_connected() const;
+
+  /// True when every node has degree exactly `k`.
+  bool is_regular(int k) const;
+
+ private:
+  int num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace qaoaml::graph
+
+#endif  // QAOAML_GRAPH_GRAPH_HPP

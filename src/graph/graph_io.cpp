@@ -1,0 +1,48 @@
+#include "graph/graph_io.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qaoaml::graph {
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "n " << g.num_nodes() << '\n';
+  for (const Edge& e : g.edges()) {
+    os << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+  }
+  return os.str();
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag;
+  int num_nodes = 0;
+  if (!(is >> tag >> num_nodes) || tag != "n") {
+    throw InvalidArgument("from_edge_list: missing 'n <count>' header");
+  }
+  Graph g(num_nodes);
+  int u = 0;
+  int v = 0;
+  double w = 0.0;
+  while (is >> u >> v >> w) g.add_edge(u, v, w);
+  if (!is.eof()) {
+    throw InvalidArgument("from_edge_list: trailing malformed content");
+  }
+  return g;
+}
+
+std::string to_dot(const Graph& g, const std::string& name) {
+  std::ostringstream os;
+  os << "graph " << name << " {\n";
+  for (int u = 0; u < g.num_nodes(); ++u) os << "  " << u << ";\n";
+  for (const Edge& e : g.edges()) {
+    os << "  " << e.u << " -- " << e.v << " [weight=" << e.weight << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace qaoaml::graph

@@ -1,0 +1,27 @@
+// Graph serialization: edge-list text format and Graphviz DOT export.
+//
+// The edge-list format is one header line "n <num_nodes>" followed by one
+// "u v weight" line per edge; it round-trips exactly and is what the
+// dataset cache stores.
+#ifndef QAOAML_GRAPH_GRAPH_IO_HPP
+#define QAOAML_GRAPH_GRAPH_IO_HPP
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace qaoaml::graph {
+
+/// Serializes `g` to the edge-list text format.
+std::string to_edge_list(const Graph& g);
+
+/// Parses the edge-list text format; throws InvalidArgument on malformed
+/// input.
+Graph from_edge_list(const std::string& text);
+
+/// Graphviz DOT (undirected) representation, for visual inspection.
+std::string to_dot(const Graph& g, const std::string& name = "G");
+
+}  // namespace qaoaml::graph
+
+#endif  // QAOAML_GRAPH_GRAPH_IO_HPP

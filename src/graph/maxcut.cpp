@@ -1,0 +1,51 @@
+#include "graph/maxcut.hpp"
+
+#include "common/error.hpp"
+
+namespace qaoaml::graph {
+
+double cut_value(const Graph& g, std::uint64_t assignment) {
+  double acc = 0.0;
+  for (const Edge& e : g.edges()) {
+    const std::uint64_t side_u = (assignment >> e.u) & 1ULL;
+    const std::uint64_t side_v = (assignment >> e.v) & 1ULL;
+    if (side_u != side_v) acc += e.weight;
+  }
+  return acc;
+}
+
+MaxCutResult max_cut_brute_force(const Graph& g) {
+  require(g.num_nodes() >= 1 && g.num_nodes() <= 30,
+          "max_cut_brute_force: supports 1..30 nodes");
+  MaxCutResult best;
+  const std::uint64_t half = 1ULL << (g.num_nodes() - 1);
+  // Node 0 pinned to side 0: cuts are invariant under global flip.
+  for (std::uint64_t z = 0; z < half; ++z) {
+    const std::uint64_t assignment = z << 1;
+    const double value = cut_value(g, assignment);
+    if (value > best.value) {
+      best.value = value;
+      best.assignment = assignment;
+    }
+  }
+  return best;
+}
+
+std::vector<double> cut_value_table(const Graph& g) {
+  require(g.num_nodes() >= 1 && g.num_nodes() <= 30,
+          "cut_value_table: supports 1..30 nodes");
+  const std::uint64_t dim = 1ULL << g.num_nodes();
+  std::vector<double> table(dim, 0.0);
+  // Incremental: each edge contributes its weight to exactly the
+  // assignments where its endpoints differ.
+  for (const Edge& e : g.edges()) {
+    const std::uint64_t mask_u = 1ULL << e.u;
+    const std::uint64_t mask_v = 1ULL << e.v;
+    for (std::uint64_t z = 0; z < dim; ++z) {
+      if (((z & mask_u) != 0) != ((z & mask_v) != 0)) table[z] += e.weight;
+    }
+  }
+  return table;
+}
+
+}  // namespace qaoaml::graph

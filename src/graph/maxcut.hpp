@@ -1,0 +1,40 @@
+// Exact MaxCut utilities.
+//
+// QAOA solves MaxCut approximately; the approximation ratio (AR) that the
+// paper reports divides the QAOA expectation by the exact optimum, which
+// for the 8-node instances here is computed by enumeration.
+//
+// A cut is encoded as a bitmask `assignment`: bit u gives the partition
+// of node u.  The cut value is the total weight of edges whose endpoints
+// fall in different partitions.
+#ifndef QAOAML_GRAPH_MAXCUT_HPP
+#define QAOAML_GRAPH_MAXCUT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qaoaml::graph {
+
+/// Weight of the cut induced by `assignment` (bit u = side of node u).
+double cut_value(const Graph& g, std::uint64_t assignment);
+
+/// Exact MaxCut result.
+struct MaxCutResult {
+  double value = 0.0;           ///< optimal cut weight
+  std::uint64_t assignment = 0; ///< one optimal bitmask (bit 0 of node 0 fixed to 0)
+};
+
+/// Brute-force exact MaxCut.  Enumerates 2^(n-1) assignments (node 0 is
+/// pinned to side 0 by symmetry).  Requires num_nodes <= 30.
+MaxCutResult max_cut_brute_force(const Graph& g);
+
+/// Cut value for every assignment z in [0, 2^n): the diagonal of the
+/// MaxCut cost Hamiltonian in the computational basis.  Requires
+/// num_nodes <= 30.
+std::vector<double> cut_value_table(const Graph& g);
+
+}  // namespace qaoaml::graph
+
+#endif  // QAOAML_GRAPH_MAXCUT_HPP

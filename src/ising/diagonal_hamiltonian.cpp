@@ -1,0 +1,42 @@
+#include "ising/diagonal_hamiltonian.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "graph/maxcut.hpp"
+
+namespace qaoaml::ising {
+
+DiagonalHamiltonian::DiagonalHamiltonian(std::vector<double> diagonal)
+    : diagonal_(std::move(diagonal)) {
+  require(diagonal_.size() >= 2, "DiagonalHamiltonian: need >= 2 entries");
+  int qubits = 0;
+  while ((std::size_t{1} << qubits) < diagonal_.size()) ++qubits;
+  require(std::size_t{1} << qubits == diagonal_.size(),
+          "DiagonalHamiltonian: length must be a power of two");
+  num_qubits_ = qubits;
+}
+
+DiagonalHamiltonian DiagonalHamiltonian::maxcut(const graph::Graph& g) {
+  return DiagonalHamiltonian(graph::cut_value_table(g));
+}
+
+DiagonalHamiltonian DiagonalHamiltonian::from_ising(const IsingModel& model) {
+  return DiagonalHamiltonian(model.diagonal());
+}
+
+double DiagonalHamiltonian::max_value() const {
+  return *std::max_element(diagonal_.begin(), diagonal_.end());
+}
+
+double DiagonalHamiltonian::min_value() const {
+  return *std::min_element(diagonal_.begin(), diagonal_.end());
+}
+
+std::uint64_t DiagonalHamiltonian::argmax() const {
+  return static_cast<std::uint64_t>(std::distance(
+      diagonal_.begin(),
+      std::max_element(diagonal_.begin(), diagonal_.end())));
+}
+
+}  // namespace qaoaml::ising

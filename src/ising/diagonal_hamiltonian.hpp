@@ -1,0 +1,53 @@
+// Precomputed diagonal cost Hamiltonian.
+//
+// QAOA for MaxCut only ever needs the cost operator's diagonal in the
+// computational basis: the phase-separation layer multiplies amplitude z
+// by exp(-i*gamma*C(z)) and the objective is sum_z |psi_z|^2 C(z).
+// Precomputing C once per problem instance makes each optimizer
+// iteration O(2^n) instead of O(|E| * 2^n).
+#ifndef QAOAML_ISING_DIAGONAL_HAMILTONIAN_HPP
+#define QAOAML_ISING_DIAGONAL_HAMILTONIAN_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ising/ising_model.hpp"
+
+namespace qaoaml::ising {
+
+/// Immutable diagonal observable over n qubits.
+class DiagonalHamiltonian {
+ public:
+  /// Wraps an explicit diagonal (length must be a power of two >= 2).
+  explicit DiagonalHamiltonian(std::vector<double> diagonal);
+
+  /// MaxCut cost operator of `g` (entry z = weight of the cut z).
+  static DiagonalHamiltonian maxcut(const graph::Graph& g);
+
+  /// Diagonal of a general Ising model.
+  static DiagonalHamiltonian from_ising(const IsingModel& model);
+
+  int num_qubits() const { return num_qubits_; }
+  std::size_t dimension() const { return diagonal_.size(); }
+  const std::vector<double>& diagonal() const { return diagonal_; }
+
+  double value(std::uint64_t z) const { return diagonal_[z]; }
+
+  /// Largest diagonal entry (the classical optimum for a maximization).
+  double max_value() const;
+
+  /// Smallest diagonal entry.
+  double min_value() const;
+
+  /// One basis state attaining max_value().
+  std::uint64_t argmax() const;
+
+ private:
+  int num_qubits_ = 0;
+  std::vector<double> diagonal_;
+};
+
+}  // namespace qaoaml::ising
+
+#endif  // QAOAML_ISING_DIAGONAL_HAMILTONIAN_HPP

@@ -1,0 +1,68 @@
+// Classical Ising cost models.
+//
+// A combinatorial cost function over spin variables s_i in {+1, -1}:
+//   E(s) = constant + sum_i h_i s_i + sum_{i<j} J_ij s_i s_j
+// MaxCut maps onto this with h = 0, J_uv = -w_uv / 2 and
+// constant = W/2 where W is the total edge weight; then the *cut value*
+// equals E(s) read as a maximization objective.
+//
+// Spins relate to qubit basis states by s_i = +1 for bit i = 0 and
+// s_i = -1 for bit i = 1 (the eigenvalues of Pauli Z).
+#ifndef QAOAML_ISING_ISING_MODEL_HPP
+#define QAOAML_ISING_ISING_MODEL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qaoaml::ising {
+
+/// One quadratic coupling term J * s_i * s_j.
+struct Coupling {
+  int i = 0;
+  int j = 0;
+  double strength = 0.0;
+};
+
+/// Diagonal (classical) Ising cost function.
+class IsingModel {
+ public:
+  /// Model on `num_spins` spins with zero fields and couplings.
+  explicit IsingModel(int num_spins);
+
+  /// MaxCut objective of `g` as an Ising model: the energy of a spin
+  /// configuration equals the weight of the induced cut.
+  static IsingModel from_maxcut(const graph::Graph& g);
+
+  int num_spins() const { return num_spins_; }
+  double constant() const { return constant_; }
+  const std::vector<double>& fields() const { return fields_; }
+  const std::vector<Coupling>& couplings() const { return couplings_; }
+
+  void set_constant(double value) { constant_ = value; }
+
+  /// Sets the linear field h_i.
+  void set_field(int i, double value);
+
+  /// Adds a coupling J_ij (i != j); repeated pairs accumulate.
+  void add_coupling(int i, int j, double strength);
+
+  /// Energy of the configuration encoded by `bits` (bit i = 1 means
+  /// s_i = -1).
+  double energy(std::uint64_t bits) const;
+
+  /// Energies of all 2^n configurations (the Hamiltonian diagonal).
+  /// Requires num_spins <= 26.
+  std::vector<double> diagonal() const;
+
+ private:
+  int num_spins_ = 0;
+  double constant_ = 0.0;
+  std::vector<double> fields_;
+  std::vector<Coupling> couplings_;
+};
+
+}  // namespace qaoaml::ising
+
+#endif  // QAOAML_ISING_ISING_MODEL_HPP

@@ -1,0 +1,77 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qaoaml::linalg {
+
+Cholesky::Cholesky(const Matrix& a, double jitter) {
+  require(a.rows() == a.cols(), "Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j) + jitter;
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      throw NumericalError("Cholesky: matrix is not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k);
+      l_(i, j) = acc / ljj;
+    }
+  }
+}
+
+std::vector<double> Cholesky::solve_lower(const std::vector<double>& b) const {
+  const std::size_t n = size();
+  require(b.size() == n, "Cholesky::solve_lower: length mismatch");
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+    y[i] = acc / l_(i, i);
+  }
+  return y;
+}
+
+std::vector<double> Cholesky::solve_upper(const std::vector<double>& y) const {
+  const std::size_t n = size();
+  require(y.size() == n, "Cholesky::solve_upper: length mismatch");
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> Cholesky::solve(const std::vector<double>& b) const {
+  return solve_upper(solve_lower(b));
+}
+
+double Cholesky::log_determinant() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+Cholesky cholesky_with_jitter(const Matrix& a, double initial_jitter,
+                              int max_tries) {
+  double jitter = 0.0;
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    try {
+      return Cholesky(a, jitter);
+    } catch (const NumericalError&) {
+      jitter = jitter == 0.0 ? initial_jitter : jitter * 10.0;
+    }
+  }
+  throw NumericalError(
+      "cholesky_with_jitter: matrix not positive definite even with jitter");
+}
+
+}  // namespace qaoaml::linalg

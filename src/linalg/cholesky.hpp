@@ -1,0 +1,49 @@
+// Cholesky (L L^T) factorization of symmetric positive-definite matrices.
+//
+// Used by Gaussian process regression (kernel matrix solves and
+// log-determinants) and by the SLSQP quadratic subproblem.
+#ifndef QAOAML_LINALG_CHOLESKY_HPP
+#define QAOAML_LINALG_CHOLESKY_HPP
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qaoaml::linalg {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+class Cholesky {
+ public:
+  /// Factorizes `a` (must be square and symmetric).  Throws NumericalError
+  /// when the matrix is not positive definite (after adding `jitter` to the
+  /// diagonal; pass jitter > 0 to regularize near-singular kernels).
+  explicit Cholesky(const Matrix& a, double jitter = 0.0);
+
+  /// Solves A x = b.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solves L y = b (forward substitution).
+  std::vector<double> solve_lower(const std::vector<double>& b) const;
+
+  /// Solves L^T x = y (backward substitution).
+  std::vector<double> solve_upper(const std::vector<double>& y) const;
+
+  /// log(det(A)) = 2 * sum(log(L_ii)).
+  double log_determinant() const;
+
+  const Matrix& lower() const { return l_; }
+  std::size_t size() const { return l_.rows(); }
+
+ private:
+  Matrix l_;
+};
+
+/// Factorizes `a`, retrying with exponentially growing diagonal jitter
+/// (starting at `initial_jitter`) until it succeeds or `max_tries` is
+/// exhausted.  Returns the factorization of the first success.
+Cholesky cholesky_with_jitter(const Matrix& a, double initial_jitter = 1e-10,
+                              int max_tries = 10);
+
+}  // namespace qaoaml::linalg
+
+#endif  // QAOAML_LINALG_CHOLESKY_HPP

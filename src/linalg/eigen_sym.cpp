@@ -1,0 +1,90 @@
+#include "linalg/eigen_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace qaoaml::linalg {
+
+EigenSym eigen_sym(const Matrix& a, double tol, int max_sweeps) {
+  require(a.rows() == a.cols(), "eigen_sym: matrix must be square");
+  require(a.is_symmetric(1e-9 * (1.0 + a.max_abs())),
+          "eigen_sym: matrix must be symmetric");
+  const std::size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += d(p, q) * d(p, q);
+    }
+    if (std::sqrt(off) <= tol * (1.0 + d.max_abs())) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(d(p, q)) < 1e-300) continue;
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * d(p, q));
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return d(i, i) < d(j, j); });
+
+  EigenSym out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = d(order[k], order[k]);
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, k) = v(r, order[k]);
+  }
+  return out;
+}
+
+Matrix make_positive_definite(const Matrix& a, double min_eigenvalue) {
+  const EigenSym eig = eigen_sym(a);
+  const std::size_t n = a.rows();
+  Matrix out(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double lambda = std::max(eig.values[k], min_eigenvalue);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double vr = eig.vectors(r, k);
+      if (vr == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        out(r, c) += lambda * vr * eig.vectors(c, k);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qaoaml::linalg

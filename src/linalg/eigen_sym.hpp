@@ -1,0 +1,30 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Used for diagnostics (kernel-matrix conditioning in GPR tests) and for
+// the positive-definiteness repair in the SLSQP Hessian approximation.
+#ifndef QAOAML_LINALG_EIGEN_SYM_HPP
+#define QAOAML_LINALG_EIGEN_SYM_HPP
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qaoaml::linalg {
+
+/// Eigenvalues and eigenvectors of a symmetric matrix.
+struct EigenSym {
+  std::vector<double> values;  ///< ascending eigenvalues
+  Matrix vectors;              ///< column k is the eigenvector of values[k]
+};
+
+/// Computes the full eigendecomposition of symmetric `a`.
+/// Throws InvalidArgument when `a` is not (numerically) symmetric.
+EigenSym eigen_sym(const Matrix& a, double tol = 1e-12, int max_sweeps = 64);
+
+/// Returns the nearest (in Frobenius norm) symmetric positive-definite
+/// matrix to `a`, flooring eigenvalues at `min_eigenvalue`.
+Matrix make_positive_definite(const Matrix& a, double min_eigenvalue = 1e-8);
+
+}  // namespace qaoaml::linalg
+
+#endif  // QAOAML_LINALG_EIGEN_SYM_HPP

@@ -1,0 +1,67 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qaoaml::linalg {
+
+LU::LU(const Matrix& a) : lu_(a) {
+  require(a.rows() == a.cols(), "LU: matrix must be square");
+  const std::size_t n = a.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest remaining |entry| to the diagonal.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::abs(lu_(i, k));
+      if (mag > best) {
+        best = mag;
+        pivot = i;
+      }
+    }
+    if (best < 1e-300) throw NumericalError("LU: singular matrix");
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(pivot, j));
+      std::swap(perm_[k], perm_[pivot]);
+      sign_ = -sign_;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      lu_(i, k) /= lu_(k, k);
+      const double factor = lu_(i, k);
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= factor * lu_(k, j);
+    }
+  }
+}
+
+std::vector<double> LU::solve(const std::vector<double>& b) const {
+  const std::size_t n = lu_.rows();
+  require(b.size() == n, "LU::solve: length mismatch");
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+double LU::determinant() const {
+  double det = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b) {
+  return LU(a).solve(b);
+}
+
+}  // namespace qaoaml::linalg

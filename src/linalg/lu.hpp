@@ -1,0 +1,34 @@
+// LU factorization with partial pivoting; general square solves.
+#ifndef QAOAML_LINALG_LU_HPP
+#define QAOAML_LINALG_LU_HPP
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qaoaml::linalg {
+
+/// PA = LU factorization of a square matrix.
+class LU {
+ public:
+  /// Factorizes `a`; throws NumericalError when `a` is singular.
+  explicit LU(const Matrix& a);
+
+  /// Solves A x = b.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Determinant of A.
+  double determinant() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int sign_ = 1;
+};
+
+/// Convenience wrapper: solves A x = b for square A.
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b);
+
+}  // namespace qaoaml::linalg
+
+#endif  // QAOAML_LINALG_LU_HPP

@@ -1,0 +1,152 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qaoaml::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix{};
+  const std::size_t cols = rows.front().size();
+  Matrix m(rows.size(), cols);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    require(rows[r].size() == cols, "Matrix::from_rows: ragged rows");
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::row(std::size_t r) const {
+  require(r < rows_, "Matrix::row: index out of range");
+  return {data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+          data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_)};
+}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  require(c < cols_, "Matrix::col: index out of range");
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::set_row(std::size_t r, const std::vector<double>& values) {
+  require(r < rows_, "Matrix::set_row: index out of range");
+  require(values.size() == cols_, "Matrix::set_row: length mismatch");
+  std::copy(values.begin(), values.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  require(cols_ == other.rows_, "Matrix::operator*: dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& v) const {
+  require(v.size() == cols_, "Matrix::operator*: vector length mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  Matrix out = *this;
+  out += other;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  require(rows_ == other.rows_ && cols_ == other.cols_,
+          "Matrix::operator-: shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  require(rows_ == other.rows_ && cols_ == other.cols_,
+          "Matrix::operator+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+double Matrix::max_abs() const {
+  double best = 0.0;
+  for (const double x : data_) best = std::max(best, std::abs(x));
+  return best;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (const double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      if (std::abs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<double> left_multiply(const std::vector<double>& v, const Matrix& m) {
+  require(v.size() == m.rows(), "left_multiply: length mismatch");
+  std::vector<double> out(m.cols(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double a = v[r];
+    if (a == 0.0) continue;
+    for (std::size_t c = 0; c < m.cols(); ++c) out[c] += a * m(r, c);
+  }
+  return out;
+}
+
+Matrix outer(const std::vector<double>& a, const std::vector<double>& b) {
+  Matrix out(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    for (std::size_t c = 0; c < b.size(); ++c) out(r, c) = a[r] * b[c];
+  }
+  return out;
+}
+
+}  // namespace qaoaml::linalg

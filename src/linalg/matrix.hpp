@@ -1,0 +1,91 @@
+// Dense row-major matrix of doubles.
+//
+// Sized for this library's needs: regression design matrices (hundreds of
+// rows, tens of columns), GPR kernel matrices (a few hundred square), and
+// quasi-Newton Hessian approximations (tens square).  All storage is a
+// single contiguous std::vector<double>.
+#ifndef QAOAML_LINALG_MATRIX_HPP
+#define QAOAML_LINALG_MATRIX_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace qaoaml::linalg {
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix with every element set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds a matrix from nested initializer data (row by row); used
+  /// mostly by tests.  All rows must have equal length.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw contiguous storage, row-major.
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Returns row `r` as a vector copy.
+  std::vector<double> row(std::size_t r) const;
+
+  /// Returns column `c` as a vector copy.
+  std::vector<double> col(std::size_t c) const;
+
+  /// Sets row `r` from `values`; length must equal cols().
+  void set_row(std::size_t r, const std::vector<double>& values);
+
+  Matrix transposed() const;
+
+  /// this * other.  Dimensions must agree.
+  Matrix operator*(const Matrix& other) const;
+
+  /// Matrix-vector product this * v.
+  std::vector<double> operator*(const std::vector<double>& v) const;
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  /// Largest absolute element; 0 for an empty matrix.
+  double max_abs() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// True when the matrix is square and |a_ij - a_ji| <= tol everywhere.
+  bool is_symmetric(double tol = 1e-12) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// v^T * M for row-vector convenience.
+std::vector<double> left_multiply(const std::vector<double>& v, const Matrix& m);
+
+/// Outer product a * b^T.
+Matrix outer(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace qaoaml::linalg
+
+#endif  // QAOAML_LINALG_MATRIX_HPP

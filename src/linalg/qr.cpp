@@ -1,0 +1,89 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qaoaml::linalg {
+
+QR::QR(const Matrix& a) : v_(a), m_(a.rows()), n_(a.cols()) {
+  require(m_ >= n_, "QR: requires rows() >= cols()");
+  rdiag_.assign(n_, 0.0);
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Householder reflection that annihilates column k below the diagonal.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m_; ++i) norm = std::hypot(norm, v_(i, k));
+    if (norm == 0.0) {
+      rdiag_[k] = 0.0;
+      continue;
+    }
+    if (v_(k, k) < 0.0) norm = -norm;
+    for (std::size_t i = k; i < m_; ++i) v_(i, k) /= norm;
+    v_(k, k) += 1.0;
+    for (std::size_t j = k + 1; j < n_; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m_; ++i) s += v_(i, k) * v_(i, j);
+      s = -s / v_(k, k);
+      for (std::size_t i = k; i < m_; ++i) v_(i, j) += s * v_(i, k);
+    }
+    rdiag_[k] = -norm;
+  }
+}
+
+std::vector<double> QR::qt_apply(const std::vector<double>& b) const {
+  require(b.size() == m_, "QR::qt_apply: length mismatch");
+  std::vector<double> y = b;
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (rdiag_[k] == 0.0) continue;
+    double s = 0.0;
+    for (std::size_t i = k; i < m_; ++i) s += v_(i, k) * y[i];
+    s = -s / v_(k, k);
+    for (std::size_t i = k; i < m_; ++i) y[i] += s * v_(i, k);
+  }
+  return y;
+}
+
+std::vector<double> QR::solve(const std::vector<double>& b) const {
+  std::vector<double> y = qt_apply(b);
+  double largest = 0.0;
+  for (const double d : rdiag_) largest = std::max(largest, std::abs(d));
+  // Rank test relative to the largest pivot: identical or nearly
+  // collinear columns round to ~1e-16 * scale, not exactly zero.
+  const double floor = std::max(largest * 1e-13, 1e-300);
+  std::vector<double> x(n_);
+  for (std::size_t kk = n_; kk-- > 0;) {
+    if (std::abs(rdiag_[kk]) < floor) {
+      throw NumericalError("QR::solve: rank-deficient matrix");
+    }
+    double acc = y[kk];
+    for (std::size_t j = kk + 1; j < n_; ++j) acc -= v_(kk, j) * x[j];
+    x[kk] = acc / rdiag_[kk];
+  }
+  return x;
+}
+
+Matrix QR::r() const {
+  Matrix out(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out(i, i) = rdiag_[i];
+    for (std::size_t j = i + 1; j < n_; ++j) out(i, j) = v_(i, j);
+  }
+  return out;
+}
+
+double QR::diagonal_condition() const {
+  double lo = std::abs(rdiag_.empty() ? 0.0 : rdiag_[0]);
+  double hi = lo;
+  for (const double d : rdiag_) {
+    lo = std::min(lo, std::abs(d));
+    hi = std::max(hi, std::abs(d));
+  }
+  return hi == 0.0 ? 0.0 : lo / hi;
+}
+
+std::vector<double> least_squares(const Matrix& a, const std::vector<double>& b) {
+  return QR(a).solve(b);
+}
+
+}  // namespace qaoaml::linalg

@@ -1,0 +1,45 @@
+// Householder QR factorization and least-squares solving.
+//
+// Backbone of the ordinary-least-squares linear regression model and of
+// the linear interpolation models inside COBYLA.
+#ifndef QAOAML_LINALG_QR_HPP
+#define QAOAML_LINALG_QR_HPP
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qaoaml::linalg {
+
+/// Householder QR of an m x n matrix with m >= n.
+class QR {
+ public:
+  /// Factorizes `a`; throws InvalidArgument when rows() < cols().
+  explicit QR(const Matrix& a);
+
+  /// Minimum-norm residual solution of min ||A x - b||_2.
+  /// Throws NumericalError when A is (numerically) rank deficient.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Applies Q^T to a length-m vector.
+  std::vector<double> qt_apply(const std::vector<double>& b) const;
+
+  /// Upper-triangular factor R (n x n).
+  Matrix r() const;
+
+  /// Smallest |R_ii| / largest |R_ii|; a cheap rank/conditioning signal.
+  double diagonal_condition() const;
+
+ private:
+  Matrix v_;                   // Householder vectors, stored below diagonal
+  std::vector<double> rdiag_;  // diagonal of R
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+};
+
+/// Convenience wrapper: least-squares solution of min ||A x - b||.
+std::vector<double> least_squares(const Matrix& a, const std::vector<double>& b);
+
+}  // namespace qaoaml::linalg
+
+#endif  // QAOAML_LINALG_QR_HPP

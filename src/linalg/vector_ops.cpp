@@ -1,0 +1,68 @@
+#include "linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qaoaml::linalg {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  require(a.size() == b.size(), "dot: length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(const std::vector<double>& v) { return std::sqrt(dot(v, v)); }
+
+double norm_inf(const std::vector<double>& v) {
+  double best = 0.0;
+  for (const double x : v) best = std::max(best, std::abs(x));
+  return best;
+}
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  require(x.size() == y.size(), "axpy: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+std::vector<double> add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  require(a.size() == b.size(), "add: length mismatch");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<double> sub(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  require(a.size() == b.size(), "sub: length mismatch");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> scaled(double alpha, const std::vector<double>& v) {
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = alpha * v[i];
+  return out;
+}
+
+void scale(std::vector<double>& v, double alpha) {
+  for (double& x : v) x *= alpha;
+}
+
+std::vector<double> clamped(const std::vector<double>& v,
+                            const std::vector<double>& lo,
+                            const std::vector<double>& hi) {
+  require(v.size() == lo.size() && v.size() == hi.size(),
+          "clamped: length mismatch");
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = std::clamp(v[i], lo[i], hi[i]);
+  }
+  return out;
+}
+
+}  // namespace qaoaml::linalg

@@ -1,0 +1,43 @@
+// Free functions on std::vector<double> used throughout the optimizers
+// and ML models (BLAS level-1 style).
+#ifndef QAOAML_LINALG_VECTOR_OPS_HPP
+#define QAOAML_LINALG_VECTOR_OPS_HPP
+
+#include <vector>
+
+namespace qaoaml::linalg {
+
+/// Dot product; lengths must match.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double norm2(const std::vector<double>& v);
+
+/// Infinity norm (largest absolute element; 0 for empty).
+double norm_inf(const std::vector<double>& v);
+
+/// y += alpha * x (in place); lengths must match.
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+/// Returns a + b.
+std::vector<double> add(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Returns a - b.
+std::vector<double> sub(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Returns alpha * v.
+std::vector<double> scaled(double alpha, const std::vector<double>& v);
+
+/// In-place v *= alpha.
+void scale(std::vector<double>& v, double alpha);
+
+/// Element-wise clamp of v into [lo, hi] (per-coordinate bounds).
+std::vector<double> clamped(const std::vector<double>& v,
+                            const std::vector<double>& lo,
+                            const std::vector<double>& hi);
+
+}  // namespace qaoaml::linalg
+
+#endif  // QAOAML_LINALG_VECTOR_OPS_HPP

@@ -1,0 +1,110 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace qaoaml::ml {
+
+void Dataset::add(const std::vector<double>& features, double target) {
+  if (x.empty()) {
+    x = linalg::Matrix(1, features.size());
+    x.set_row(0, features);
+  } else {
+    require(features.size() == x.cols(), "Dataset::add: feature arity mismatch");
+    linalg::Matrix grown(x.rows() + 1, x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      for (std::size_t c = 0; c < x.cols(); ++c) grown(r, c) = x(r, c);
+    }
+    grown.set_row(x.rows(), features);
+    x = std::move(grown);
+  }
+  y.push_back(target);
+}
+
+void Dataset::validate() const {
+  require(!y.empty(), "Dataset: empty");
+  require(x.rows() == y.size(), "Dataset: row count mismatch");
+  require(x.cols() >= 1, "Dataset: need at least one feature");
+}
+
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data,
+                                             double train_fraction, Rng& rng) {
+  data.validate();
+  require(train_fraction > 0.0 && train_fraction < 1.0,
+          "train_test_split: fraction must lie in (0, 1)");
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+
+  std::size_t train_count = static_cast<std::size_t>(
+      std::round(train_fraction * static_cast<double>(data.size())));
+  train_count = std::clamp<std::size_t>(train_count, 1, data.size() - 1);
+
+  const std::vector<std::size_t> train_rows(order.begin(),
+                                            order.begin() + static_cast<std::ptrdiff_t>(train_count));
+  const std::vector<std::size_t> test_rows(order.begin() + static_cast<std::ptrdiff_t>(train_count),
+                                           order.end());
+  return {select_rows(data, train_rows), select_rows(data, test_rows)};
+}
+
+Dataset select_rows(const Dataset& data, const std::vector<std::size_t>& rows) {
+  Dataset out;
+  out.x = linalg::Matrix(rows.size(), data.x.cols());
+  out.y.resize(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    require(rows[i] < data.size(), "select_rows: index out of range");
+    for (std::size_t c = 0; c < data.x.cols(); ++c) {
+      out.x(i, c) = data.x(rows[i], c);
+    }
+    out.y[i] = data.y[rows[i]];
+  }
+  return out;
+}
+
+void Standardizer::fit(const linalg::Matrix& x) {
+  require(x.rows() >= 1, "Standardizer::fit: empty matrix");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  mean_.assign(d, 0.0);
+  stddev_.assign(d, 1.0);
+  for (std::size_t c = 0; c < d; ++c) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < n; ++r) acc += x(r, c);
+    mean_[c] = acc / static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double delta = x(r, c) - mean_[c];
+      var += delta * delta;
+    }
+    var /= static_cast<double>(n);
+    stddev_[c] = var > 1e-24 ? std::sqrt(var) : 1.0;
+  }
+}
+
+linalg::Matrix Standardizer::transform(const linalg::Matrix& x) const {
+  require(fitted(), "Standardizer: not fitted");
+  require(x.cols() == mean_.size(), "Standardizer: feature arity mismatch");
+  linalg::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = (x(r, c) - mean_[c]) / stddev_[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Standardizer::transform_row(
+    const std::vector<double>& row) const {
+  require(fitted(), "Standardizer: not fitted");
+  require(row.size() == mean_.size(), "Standardizer: feature arity mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - mean_[c]) / stddev_[c];
+  }
+  return out;
+}
+
+}  // namespace qaoaml::ml

@@ -1,0 +1,65 @@
+// Supervised-learning dataset container and preprocessing.
+//
+// Rows are observations, columns are features; a single real-valued
+// target per row (the predictor bank trains one model per QAOA angle).
+#ifndef QAOAML_ML_DATASET_HPP
+#define QAOAML_ML_DATASET_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qaoaml::ml {
+
+/// Feature matrix plus target vector.
+struct Dataset {
+  linalg::Matrix x;        ///< n_samples x n_features
+  std::vector<double> y;   ///< n_samples targets
+
+  std::size_t size() const { return y.size(); }
+  std::size_t num_features() const { return x.cols(); }
+
+  /// Appends one observation; feature arity must be consistent.
+  void add(const std::vector<double>& features, double target);
+
+  /// Throws InvalidArgument unless x and y dimensions are consistent and
+  /// non-empty.
+  void validate() const;
+};
+
+/// Shuffles rows and splits into (train, test) with `train_fraction` of
+/// the rows in the first part (at least one row in each when possible).
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data,
+                                             double train_fraction, Rng& rng);
+
+/// Selects the given rows into a new dataset.
+Dataset select_rows(const Dataset& data, const std::vector<std::size_t>& rows);
+
+/// Per-feature affine scaling to zero mean / unit variance.  Constant
+/// features keep scale 1 so transform stays invertible.
+class Standardizer {
+ public:
+  /// Learns column means and standard deviations from `x`.
+  void fit(const linalg::Matrix& x);
+
+  /// Applies the learned scaling.
+  linalg::Matrix transform(const linalg::Matrix& x) const;
+
+  /// Scales a single feature vector.
+  std::vector<double> transform_row(const std::vector<double>& row) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace qaoaml::ml
+
+#endif  // QAOAML_ML_DATASET_HPP

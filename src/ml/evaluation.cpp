@@ -1,0 +1,57 @@
+#include "ml/evaluation.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace qaoaml::ml {
+
+MetricReport evaluate_on_split(Regressor& model, const Dataset& train,
+                               const Dataset& test) {
+  model.fit(train);
+  const std::vector<double> pred = model.predict_many(test.x);
+  return compute_metrics(test.y, pred, test.num_features());
+}
+
+MetricReport cross_validate(RegressorKind kind, const Dataset& data, int folds,
+                            Rng& rng) {
+  data.validate();
+  require(folds >= 2, "cross_validate: need at least 2 folds");
+  require(static_cast<std::size_t>(folds) <= data.size(),
+          "cross_validate: more folds than samples");
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+
+  MetricReport total;
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> test_rows;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (static_cast<int>(i % static_cast<std::size_t>(folds)) == fold) {
+        test_rows.push_back(order[i]);
+      } else {
+        train_rows.push_back(order[i]);
+      }
+    }
+    const Dataset train = select_rows(data, train_rows);
+    const Dataset test = select_rows(data, test_rows);
+    auto model = make_regressor(kind);
+    const MetricReport report = evaluate_on_split(*model, train, test);
+    total.mse += report.mse;
+    total.rmse += report.rmse;
+    total.mae += report.mae;
+    total.r2 += report.r2;
+    total.adjusted_r2 += report.adjusted_r2;
+  }
+  const double k = static_cast<double>(folds);
+  total.mse /= k;
+  total.rmse /= k;
+  total.mae /= k;
+  total.r2 /= k;
+  total.adjusted_r2 /= k;
+  return total;
+}
+
+}  // namespace qaoaml::ml

@@ -1,0 +1,23 @@
+// Model evaluation helpers: train/test scoring and k-fold cross
+// validation, used by the Section III-C model-comparison ablation.
+#ifndef QAOAML_ML_EVALUATION_HPP
+#define QAOAML_ML_EVALUATION_HPP
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model.hpp"
+
+namespace qaoaml::ml {
+
+/// Fits `model` on `train` and scores it on `test`.
+MetricReport evaluate_on_split(Regressor& model, const Dataset& train,
+                               const Dataset& test);
+
+/// k-fold cross validation; returns the metric report averaged over
+/// folds.  Folds are contiguous after one shuffle.
+MetricReport cross_validate(RegressorKind kind, const Dataset& data, int folds,
+                            Rng& rng);
+
+}  // namespace qaoaml::ml
+
+#endif  // QAOAML_ML_EVALUATION_HPP

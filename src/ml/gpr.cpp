@@ -1,0 +1,154 @@
+#include "ml/gpr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "optim/multistart.hpp"
+#include "stats/descriptive.hpp"
+
+namespace qaoaml::ml {
+
+GPRegressor::GPRegressor(GprConfig config) : config_(config) {
+  require(config.hyper_restarts >= 1, "GPRegressor: need >= 1 restart");
+}
+
+double GPRegressor::kernel(const std::vector<double>& a,
+                           const std::vector<double>& b) const {
+  double quad = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double delta = (a[d] - b[d]) / lengthscales_[d];
+    quad += delta * delta;
+  }
+  return signal_stddev_ * signal_stddev_ * std::exp(-0.5 * quad);
+}
+
+void GPRegressor::factorize() {
+  const std::size_t n = train_x_.rows();
+  linalg::Matrix k(n, n);
+  std::vector<std::vector<double>> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = train_x_.row(i);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = signal_stddev_ * signal_stddev_ +
+              noise_stddev_ * noise_stddev_;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double kij = kernel(rows[i], rows[j]);
+      k(i, j) = kij;
+      k(j, i) = kij;
+    }
+  }
+  chol_ = linalg::cholesky_with_jitter(k, 1e-10);
+  alpha_ = chol_->solve(train_y_);
+
+  // log p(y | X) = -0.5 y^T alpha - 0.5 log|K| - n/2 log(2 pi)
+  double fit_term = 0.0;
+  for (std::size_t i = 0; i < n; ++i) fit_term += train_y_[i] * alpha_[i];
+  log_marginal_ = -0.5 * fit_term - 0.5 * chol_->log_determinant() -
+                  0.5 * static_cast<double>(n) * std::log(2.0 * M_PI);
+}
+
+double GPRegressor::negative_log_marginal(
+    const std::vector<double>& log_params) {
+  const std::size_t d = train_x_.cols();
+  for (std::size_t i = 0; i < d; ++i) {
+    lengthscales_[i] = std::exp(std::clamp(log_params[i], -6.0, 6.0));
+  }
+  signal_stddev_ = std::exp(std::clamp(log_params[d], -6.0, 6.0));
+  noise_stddev_ = std::exp(std::clamp(log_params[d + 1], -8.0, 4.0));
+  try {
+    factorize();
+  } catch (const NumericalError&) {
+    return 1e12;
+  }
+  return -log_marginal_;
+}
+
+void GPRegressor::fit(const Dataset& data) {
+  data.validate();
+  require(data.size() >= 2, "GPRegressor: need at least two samples");
+
+  x_scaler_.fit(data.x);
+  train_x_ = x_scaler_.transform(data.x);
+
+  y_mean_ = stats::mean(data.y);
+  const double y_sd = stats::stddev(data.y);
+  y_scale_ = y_sd > 1e-12 ? y_sd : 1.0;
+  train_y_.resize(data.y.size());
+  for (std::size_t i = 0; i < data.y.size(); ++i) {
+    train_y_[i] = (data.y[i] - y_mean_) / y_scale_;
+  }
+
+  const std::size_t d = train_x_.cols();
+  lengthscales_.assign(d, config_.initial_lengthscale);
+  signal_stddev_ = config_.initial_signal_stddev;
+  noise_stddev_ = config_.initial_noise_stddev;
+
+  if (config_.optimize_hyperparameters) {
+    // Optimize log hyperparameters with this library's own optimizer.
+    Rng rng(config_.seed);
+    const std::size_t dim = d + 2;
+    const optim::Bounds box = optim::Bounds::uniform(dim, -4.0, 4.0);
+    optim::Options options;
+    options.ftol = 1e-7;
+    options.xtol = 1e-7;
+    options.max_iterations = config_.hyper_max_iterations;
+    options.max_evaluations = 4000;
+
+    const optim::ObjectiveFn objective = [this](std::span<const double> p) {
+      return negative_log_marginal(std::vector<double>(p.begin(), p.end()));
+    };
+    const optim::MultistartResult search = optim::multistart_minimize(
+        optim::OptimizerKind::kNelderMead, objective, box,
+        config_.hyper_restarts, rng, options);
+    // Re-factorize with the winning hyperparameters (the last probe is
+    // not necessarily the best one).
+    negative_log_marginal(search.best.x);
+  } else {
+    factorize();
+  }
+  fitted_ = true;
+}
+
+double GPRegressor::predict(const std::vector<double>& features) const {
+  require(fitted_, "GPRegressor: predict before fit");
+  const std::vector<double> xs = x_scaler_.transform_row(features);
+  const std::size_t n = train_x_.rows();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += kernel(xs, train_x_.row(i)) * alpha_[i];
+  }
+  return y_mean_ + y_scale_ * acc;
+}
+
+GPRegressor::Prediction GPRegressor::predict_with_uncertainty(
+    const std::vector<double>& features) const {
+  require(fitted_, "GPRegressor: predict before fit");
+  const std::vector<double> xs = x_scaler_.transform_row(features);
+  const std::size_t n = train_x_.rows();
+
+  std::vector<double> k_star(n);
+  for (std::size_t i = 0; i < n; ++i) k_star[i] = kernel(xs, train_x_.row(i));
+
+  double mean_std = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean_std += k_star[i] * alpha_[i];
+
+  // var = k(x,x) + sn^2 - ||L^-1 k*||^2
+  const std::vector<double> v = chol_->solve_lower(k_star);
+  double explained = 0.0;
+  for (const double vi : v) explained += vi * vi;
+  const double prior = signal_stddev_ * signal_stddev_ +
+                       noise_stddev_ * noise_stddev_;
+  const double variance = std::max(prior - explained, 0.0);
+
+  Prediction out;
+  out.mean = y_mean_ + y_scale_ * mean_std;
+  out.stddev = y_scale_ * std::sqrt(variance);
+  return out;
+}
+
+double GPRegressor::log_marginal_likelihood() const {
+  require(fitted_, "GPRegressor: not fitted");
+  return log_marginal_;
+}
+
+}  // namespace qaoaml::ml

@@ -1,0 +1,76 @@
+#include "ml/linear_regression.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/qr.hpp"
+
+namespace qaoaml::ml {
+
+LinearRegression::LinearRegression(double ridge) : ridge_(ridge) {
+  require(ridge >= 0.0, "LinearRegression: ridge must be non-negative");
+}
+
+void LinearRegression::fit(const Dataset& data) {
+  data.validate();
+  const std::size_t n = data.size();
+  const std::size_t d = data.num_features();
+
+  // Design matrix with a leading intercept column; ridge rows append
+  // sqrt(lambda) * I below (intercept unpenalized).
+  const std::size_t extra = ridge_ > 0.0 ? d : 0;
+  require(n + extra >= d + 1,
+          "LinearRegression: need at least num_features + 1 samples");
+  linalg::Matrix design(n + extra, d + 1);
+  std::vector<double> target(n + extra, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    design(r, 0) = 1.0;
+    for (std::size_t c = 0; c < d; ++c) design(r, c + 1) = data.x(r, c);
+    target[r] = data.y[r];
+  }
+  if (ridge_ > 0.0) {
+    const double lambda_sqrt = std::sqrt(ridge_);
+    for (std::size_t c = 0; c < d; ++c) design(n + c, c + 1) = lambda_sqrt;
+  }
+
+  std::vector<double> beta;
+  try {
+    beta = linalg::least_squares(design, target);
+  } catch (const NumericalError&) {
+    // Rank-deficient design (e.g. a constant feature duplicating the
+    // intercept): refit with a tiny ridge, which resolves the
+    // degeneracy while leaving well-posed problems untouched.
+    LinearRegression fallback(std::max(ridge_, 1e-8));
+    fallback.fit(data);
+    intercept_ = fallback.intercept_;
+    weights_ = fallback.weights_;
+    fitted_ = true;
+    return;
+  }
+  intercept_ = beta[0];
+  weights_.assign(beta.begin() + 1, beta.end());
+  fitted_ = true;
+}
+
+double LinearRegression::predict(const std::vector<double>& features) const {
+  require(fitted_, "LinearRegression: predict before fit");
+  require(features.size() == weights_.size(),
+          "LinearRegression: feature arity mismatch");
+  double acc = intercept_;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    acc += weights_[i] * features[i];
+  }
+  return acc;
+}
+
+double LinearRegression::intercept() const {
+  require(fitted_, "LinearRegression: not fitted");
+  return intercept_;
+}
+
+const std::vector<double>& LinearRegression::weights() const {
+  require(fitted_, "LinearRegression: not fitted");
+  return weights_;
+}
+
+}  // namespace qaoaml::ml

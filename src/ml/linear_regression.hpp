@@ -1,0 +1,34 @@
+// Ordinary least squares linear regression (the paper's "LM"), solved
+// through Householder QR; an optional ridge penalty stabilizes nearly
+// collinear designs.
+#ifndef QAOAML_ML_LINEAR_REGRESSION_HPP
+#define QAOAML_ML_LINEAR_REGRESSION_HPP
+
+#include "ml/model.hpp"
+
+namespace qaoaml::ml {
+
+/// y ~ intercept + w . x fit by least squares.
+class LinearRegression final : public Regressor {
+ public:
+  /// `ridge` >= 0 adds an L2 penalty on the weights (not the intercept).
+  explicit LinearRegression(double ridge = 0.0);
+
+  void fit(const Dataset& data) override;
+  double predict(const std::vector<double>& features) const override;
+  std::string name() const override { return "LM"; }
+  bool fitted() const override { return fitted_; }
+
+  double intercept() const;
+  const std::vector<double>& weights() const;
+
+ private:
+  double ridge_ = 0.0;
+  bool fitted_ = false;
+  double intercept_ = 0.0;
+  std::vector<double> weights_;
+};
+
+}  // namespace qaoaml::ml
+
+#endif  // QAOAML_ML_LINEAR_REGRESSION_HPP

@@ -1,0 +1,86 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace qaoaml::ml {
+namespace {
+void check(const std::vector<double>& truth, const std::vector<double>& pred) {
+  require(truth.size() == pred.size(), "metrics: length mismatch");
+  require(!truth.empty(), "metrics: empty sample");
+}
+}  // namespace
+
+double mse(const std::vector<double>& truth, const std::vector<double>& pred) {
+  check(truth, pred);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - pred[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double rmse(const std::vector<double>& truth, const std::vector<double>& pred) {
+  return std::sqrt(mse(truth, pred));
+}
+
+double mae(const std::vector<double>& truth, const std::vector<double>& pred) {
+  check(truth, pred);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += std::abs(truth[i] - pred[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double r2(const std::vector<double>& truth, const std::vector<double>& pred) {
+  check(truth, pred);
+  const double mean_truth = stats::mean(truth);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean_truth) * (truth[i] - mean_truth);
+  }
+  if (ss_tot == 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double adjusted_r2(const std::vector<double>& truth,
+                   const std::vector<double>& pred, std::size_t num_features) {
+  check(truth, pred);
+  const double n = static_cast<double>(truth.size());
+  const double p = static_cast<double>(num_features);
+  if (n - p - 1.0 <= 0.0) return r2(truth, pred);
+  return 1.0 - (1.0 - r2(truth, pred)) * (n - 1.0) / (n - p - 1.0);
+}
+
+double mean_abs_percent_error(const std::vector<double>& truth,
+                              const std::vector<double>& pred, double floor) {
+  check(truth, pred);
+  double acc = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (std::abs(truth[i]) <= floor) continue;
+    acc += std::abs(truth[i] - pred[i]) / std::abs(truth[i]) * 100.0;
+    ++used;
+  }
+  return used == 0 ? 0.0 : acc / static_cast<double>(used);
+}
+
+MetricReport compute_metrics(const std::vector<double>& truth,
+                             const std::vector<double>& pred,
+                             std::size_t num_features) {
+  MetricReport report;
+  report.mse = mse(truth, pred);
+  report.rmse = rmse(truth, pred);
+  report.mae = mae(truth, pred);
+  report.r2 = r2(truth, pred);
+  report.adjusted_r2 = adjusted_r2(truth, pred, num_features);
+  return report;
+}
+
+}  // namespace qaoaml::ml

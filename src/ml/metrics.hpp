@@ -1,0 +1,52 @@
+// Regression quality metrics.
+//
+// The paper selects GPR because it achieves the "lowest MSE, RMSE, MAE
+// and highest R^2 and adjusted R^2"; all five are implemented here, plus
+// the mean absolute percentage error used for the Fig. 6 analysis.
+#ifndef QAOAML_ML_METRICS_HPP
+#define QAOAML_ML_METRICS_HPP
+
+#include <vector>
+
+namespace qaoaml::ml {
+
+/// Mean squared error.
+double mse(const std::vector<double>& truth, const std::vector<double>& pred);
+
+/// Root mean squared error.
+double rmse(const std::vector<double>& truth, const std::vector<double>& pred);
+
+/// Mean absolute error.
+double mae(const std::vector<double>& truth, const std::vector<double>& pred);
+
+/// Coefficient of determination; 1 is perfect, 0 matches predicting the
+/// mean.  Returns 0 when the truth has zero variance.
+double r2(const std::vector<double>& truth, const std::vector<double>& pred);
+
+/// R^2 adjusted for the number of predictors `num_features`.
+double adjusted_r2(const std::vector<double>& truth,
+                   const std::vector<double>& pred, std::size_t num_features);
+
+/// Mean of |truth - pred| / |truth| * 100 over entries where
+/// |truth| > `floor` (guards division by near-zero optima).
+double mean_abs_percent_error(const std::vector<double>& truth,
+                              const std::vector<double>& pred,
+                              double floor = 1e-8);
+
+/// Bundle of all metrics for one model evaluation.
+struct MetricReport {
+  double mse = 0.0;
+  double rmse = 0.0;
+  double mae = 0.0;
+  double r2 = 0.0;
+  double adjusted_r2 = 0.0;
+};
+
+/// Computes every metric at once.
+MetricReport compute_metrics(const std::vector<double>& truth,
+                             const std::vector<double>& pred,
+                             std::size_t num_features);
+
+}  // namespace qaoaml::ml
+
+#endif  // QAOAML_ML_METRICS_HPP

@@ -1,0 +1,51 @@
+#include "ml/model.hpp"
+
+#include "common/error.hpp"
+#include "ml/gpr.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/regression_tree.hpp"
+#include "ml/svr.hpp"
+
+namespace qaoaml::ml {
+
+std::vector<double> Regressor::predict_many(const linalg::Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+  return out;
+}
+
+const std::vector<RegressorKind>& all_regressors() {
+  static const std::vector<RegressorKind> kAll{
+      RegressorKind::kGpr,
+      RegressorKind::kLinear,
+      RegressorKind::kRegressionTree,
+      RegressorKind::kSvr,
+  };
+  return kAll;
+}
+
+std::string to_string(RegressorKind kind) {
+  switch (kind) {
+    case RegressorKind::kGpr: return "GPR";
+    case RegressorKind::kLinear: return "LM";
+    case RegressorKind::kRegressionTree: return "RTREE";
+    case RegressorKind::kSvr: return "RSVM";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Regressor> make_regressor(RegressorKind kind) {
+  switch (kind) {
+    case RegressorKind::kGpr:
+      return std::make_unique<GPRegressor>();
+    case RegressorKind::kLinear:
+      return std::make_unique<LinearRegression>();
+    case RegressorKind::kRegressionTree:
+      return std::make_unique<RegressionTree>();
+    case RegressorKind::kSvr:
+      return std::make_unique<SVRegressor>();
+  }
+  throw InvalidArgument("make_regressor: unknown kind");
+}
+
+}  // namespace qaoaml::ml

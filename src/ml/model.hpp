@@ -1,0 +1,54 @@
+// Common interface over the four regression families from the paper:
+// Gaussian Process Regression (GPR), Linear Regression (LM), Regression
+// Tree (RTREE) and Support Vector Machine regression (RSVM).
+#ifndef QAOAML_ML_MODEL_HPP
+#define QAOAML_ML_MODEL_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace qaoaml::ml {
+
+/// Abstract single-output regressor.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains on `data`; may be called again to retrain from scratch.
+  virtual void fit(const Dataset& data) = 0;
+
+  /// Predicts the target for one feature vector.  Requires fit().
+  virtual double predict(const std::vector<double>& features) const = 0;
+
+  /// Short display name ("GPR", "LM", ...).
+  virtual std::string name() const = 0;
+
+  virtual bool fitted() const = 0;
+
+  /// Predicts every row of `x`.
+  std::vector<double> predict_many(const linalg::Matrix& x) const;
+};
+
+/// The paper's model families.
+enum class RegressorKind {
+  kGpr,
+  kLinear,
+  kRegressionTree,
+  kSvr,
+};
+
+/// All kinds, in the paper's Section III-C order.
+const std::vector<RegressorKind>& all_regressors();
+
+/// Display name ("GPR", "LM", "RTREE", "RSVM").
+std::string to_string(RegressorKind kind);
+
+/// Factory with default hyperparameters (the paper's setting).
+std::unique_ptr<Regressor> make_regressor(RegressorKind kind);
+
+}  // namespace qaoaml::ml
+
+#endif  // QAOAML_ML_MODEL_HPP

@@ -1,0 +1,162 @@
+#include "ml/regression_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace qaoaml::ml {
+namespace {
+
+double mean_of(const Dataset& data, const std::vector<std::size_t>& rows) {
+  double acc = 0.0;
+  for (const std::size_t r : rows) acc += data.y[r];
+  return acc / static_cast<double>(rows.size());
+}
+
+/// Sum of squared deviations from the mean over `rows`.
+double sse_of(const Dataset& data, const std::vector<std::size_t>& rows) {
+  const double m = mean_of(data, rows);
+  double acc = 0.0;
+  for (const std::size_t r : rows) {
+    acc += (data.y[r] - m) * (data.y[r] - m);
+  }
+  return acc;
+}
+
+}  // namespace
+
+RegressionTree::RegressionTree(TreeConfig config) : config_(config) {
+  require(config.max_depth >= 1, "RegressionTree: max_depth must be >= 1");
+  require(config.min_samples_leaf >= 1,
+          "RegressionTree: min_samples_leaf must be >= 1");
+}
+
+void RegressionTree::fit(const Dataset& data) {
+  data.validate();
+  nodes_.clear();
+  std::vector<std::size_t> rows(data.size());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  build(data, rows, 1);
+}
+
+int RegressionTree::build(const Dataset& data, std::vector<std::size_t>& rows,
+                          int depth) {
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<std::size_t>(index)].value = mean_of(data, rows);
+
+  const bool can_split =
+      depth < config_.max_depth &&
+      static_cast<int>(rows.size()) >= config_.min_samples_split;
+  if (!can_split) return index;
+
+  const double parent_sse = sse_of(data, rows);
+  if (parent_sse <= 1e-15) return index;  // already pure
+
+  // Exhaustive best split: every feature, every midpoint between
+  // consecutive distinct sorted values.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_sse = parent_sse;
+  const std::size_t d = data.num_features();
+  std::vector<std::size_t> sorted = rows;
+
+  for (std::size_t feature = 0; feature < d; ++feature) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) {
+                return data.x(a, feature) < data.x(b, feature);
+              });
+    // Prefix sums over the sorted order for O(1) split evaluation.
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    double total_sum = 0.0;
+    double total_sq = 0.0;
+    for (const std::size_t r : sorted) {
+      total_sum += data.y[r];
+      total_sq += data.y[r] * data.y[r];
+    }
+    const double n_total = static_cast<double>(sorted.size());
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const std::size_t r = sorted[i];
+      left_sum += data.y[r];
+      left_sq += data.y[r] * data.y[r];
+      const double x_here = data.x(r, feature);
+      const double x_next = data.x(sorted[i + 1], feature);
+      if (x_next <= x_here) continue;  // no boundary between equal values
+      const double n_left = static_cast<double>(i + 1);
+      const double n_right = n_total - n_left;
+      if (n_left < config_.min_samples_leaf ||
+          n_right < config_.min_samples_leaf) {
+        continue;
+      }
+      const double sse_left = left_sq - left_sum * left_sum / n_left;
+      const double right_sum = total_sum - left_sum;
+      const double sse_right =
+          (total_sq - left_sq) - right_sum * right_sum / n_right;
+      const double split_sse = sse_left + sse_right;
+      if (split_sse < best_sse - 1e-12) {
+        best_sse = split_sse;
+        best_feature = static_cast<int>(feature);
+        best_threshold = 0.5 * (x_here + x_next);
+      }
+    }
+  }
+
+  if (best_feature < 0) return index;
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (const std::size_t r : rows) {
+    if (data.x(r, static_cast<std::size_t>(best_feature)) <= best_threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+
+  nodes_[static_cast<std::size_t>(index)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(index)].threshold = best_threshold;
+  const int left = build(data, left_rows, depth + 1);
+  nodes_[static_cast<std::size_t>(index)].left = left;
+  const int right = build(data, right_rows, depth + 1);
+  nodes_[static_cast<std::size_t>(index)].right = right;
+  return index;
+}
+
+double RegressionTree::predict(const std::vector<double>& features) const {
+  require(!nodes_.empty(), "RegressionTree: predict before fit");
+  int node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    require(static_cast<std::size_t>(n.feature) < features.size(),
+            "RegressionTree: feature arity mismatch");
+    node = features[static_cast<std::size_t>(n.feature)] <= n.threshold
+               ? n.left
+               : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+std::size_t RegressionTree::leaf_count() const {
+  std::size_t leaves = 0;
+  for (const Node& n : nodes_) {
+    if (n.feature < 0) ++leaves;
+  }
+  return leaves;
+}
+
+int RegressionTree::depth_of(int node) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.feature < 0) return 1;
+  return 1 + std::max(depth_of(n.left), depth_of(n.right));
+}
+
+int RegressionTree::depth() const {
+  require(!nodes_.empty(), "RegressionTree: not fitted");
+  return depth_of(0);
+}
+
+}  // namespace qaoaml::ml

@@ -1,0 +1,58 @@
+// CART regression tree (the paper's "RTREE").
+//
+// Greedy binary splits minimizing the weighted sum of child variances;
+// leaves predict their sample mean.  Complexity is controlled by maximum
+// depth and minimum leaf size, mirroring the MATLAB fitrtree defaults in
+// spirit.
+#ifndef QAOAML_ML_REGRESSION_TREE_HPP
+#define QAOAML_ML_REGRESSION_TREE_HPP
+
+#include "ml/model.hpp"
+
+namespace qaoaml::ml {
+
+/// Training knobs for RegressionTree.
+struct TreeConfig {
+  int max_depth = 12;
+  int min_samples_leaf = 3;
+  int min_samples_split = 6;
+};
+
+/// Binary regression tree.
+class RegressionTree final : public Regressor {
+ public:
+  explicit RegressionTree(TreeConfig config = {});
+
+  void fit(const Dataset& data) override;
+  double predict(const std::vector<double>& features) const override;
+  std::string name() const override { return "RTREE"; }
+  bool fitted() const override { return !nodes_.empty(); }
+
+  /// Number of nodes in the fitted tree.
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Number of leaves in the fitted tree.
+  std::size_t leaf_count() const;
+
+  /// Depth of the fitted tree (1 for a single leaf).
+  int depth() const;
+
+ private:
+  struct Node {
+    int feature = -1;        ///< -1 marks a leaf
+    double threshold = 0.0;  ///< go left when x[feature] <= threshold
+    double value = 0.0;      ///< leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+
+  int build(const Dataset& data, std::vector<std::size_t>& rows, int depth);
+  int depth_of(int node) const;
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace qaoaml::ml
+
+#endif  // QAOAML_ML_REGRESSION_TREE_HPP

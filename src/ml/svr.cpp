@@ -1,0 +1,110 @@
+#include "ml/svr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace qaoaml::ml {
+
+SVRegressor::SVRegressor(SvrConfig config) : config_(config) {
+  require(config.c > 0.0, "SVRegressor: C must be positive");
+  require(config.epsilon >= 0.0, "SVRegressor: epsilon must be >= 0");
+  require(config.max_sweeps >= 1, "SVRegressor: max_sweeps must be >= 1");
+}
+
+double SVRegressor::kernel(const std::vector<double>& a,
+                           const std::vector<double>& b) const {
+  double quad = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double delta = a[d] - b[d];
+    quad += delta * delta;
+  }
+  // +1 absorbs the bias term into the kernel.
+  return std::exp(-gamma_ * quad) + 1.0;
+}
+
+void SVRegressor::fit(const Dataset& data) {
+  data.validate();
+  require(data.size() >= 2, "SVRegressor: need at least two samples");
+
+  x_scaler_.fit(data.x);
+  train_x_ = x_scaler_.transform(data.x);
+
+  y_mean_ = stats::mean(data.y);
+  const double y_sd = stats::stddev(data.y);
+  y_scale_ = y_sd > 1e-12 ? y_sd : 1.0;
+  const std::size_t n = data.size();
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = (data.y[i] - y_mean_) / y_scale_;
+
+  gamma_ = config_.gamma > 0.0
+               ? config_.gamma
+               : 1.0 / static_cast<double>(data.num_features());
+
+  // Precompute the (small, dense) kernel matrix.
+  linalg::Matrix k(n, n);
+  std::vector<std::vector<double>> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = train_x_.row(i);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double kij = kernel(rows[i], rows[j]);
+      k(i, j) = kij;
+      k(j, i) = kij;
+    }
+  }
+
+  // Coordinate ascent on the dual:
+  //   max_beta  -1/2 beta^T K beta + y^T beta - eps * ||beta||_1,
+  //   beta in [-C, C]^n.
+  // residual_i tracks sum_j K_ij beta_j for fast updates.
+  beta_.assign(n, 0.0);
+  std::vector<double> k_beta(n, 0.0);
+  for (int sweep = 0; sweep < config_.max_sweeps; ++sweep) {
+    double largest_change = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double kii = k(i, i);
+      const double r = y[i] - (k_beta[i] - kii * beta_[i]);
+      // Soft-threshold step: maximizer of the 1-D concave piecewise
+      // quadratic in beta_i.
+      double candidate = 0.0;
+      if (r > config_.epsilon) {
+        candidate = (r - config_.epsilon) / kii;
+      } else if (r < -config_.epsilon) {
+        candidate = (r + config_.epsilon) / kii;
+      }
+      candidate = std::clamp(candidate, -config_.c, config_.c);
+      const double delta = candidate - beta_[i];
+      if (delta != 0.0) {
+        for (std::size_t j = 0; j < n; ++j) k_beta[j] += delta * k(i, j);
+        beta_[i] = candidate;
+        largest_change = std::max(largest_change, std::abs(delta));
+      }
+    }
+    if (largest_change <= config_.tol) break;
+  }
+  fitted_ = true;
+}
+
+double SVRegressor::predict(const std::vector<double>& features) const {
+  require(fitted_, "SVRegressor: predict before fit");
+  const std::vector<double> xs = x_scaler_.transform_row(features);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < train_x_.rows(); ++i) {
+    if (beta_[i] == 0.0) continue;
+    acc += beta_[i] * kernel(xs, train_x_.row(i));
+  }
+  return y_mean_ + y_scale_ * acc;
+}
+
+std::size_t SVRegressor::support_vector_count() const {
+  require(fitted_, "SVRegressor: not fitted");
+  std::size_t count = 0;
+  for (const double b : beta_) {
+    if (std::abs(b) > 1e-12) ++count;
+  }
+  return count;
+}
+
+}  // namespace qaoaml::ml

@@ -1,0 +1,184 @@
+#include "optim/cobyla.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace qaoaml::optim {
+namespace {
+
+using linalg::Matrix;
+
+/// Interpolation set: n+1 points with cached values; index 0 is the best.
+struct Interp {
+  std::vector<std::vector<double>> points;
+  std::vector<double> values;
+
+  void promote_best() {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      if (values[i] < values[best]) best = i;
+    }
+    if (best != 0) {
+      std::swap(points[0], points[best]);
+      std::swap(values[0], values[best]);
+    }
+  }
+
+  std::size_t worst_index() const {
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      if (values[i] > values[worst]) worst = i;
+    }
+    return worst;
+  }
+};
+
+/// Gradient of the linear interpolant through the simplex, or empty when
+/// the geometry is singular.
+std::vector<double> linear_model_gradient(const Interp& interp) {
+  const std::size_t n = interp.points.front().size();
+  Matrix a(n, n);
+  std::vector<double> rhs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < n; ++d) {
+      a(i, d) = interp.points[i + 1][d] - interp.points[0][d];
+    }
+    rhs[i] = interp.values[i + 1] - interp.values[0];
+  }
+  try {
+    return linalg::solve(a, rhs);
+  } catch (const NumericalError&) {
+    return {};
+  }
+}
+
+/// One interpolation vertex at distance `rho` from `center` along
+/// coordinate `d`, stepping inward at the upper bound.
+std::vector<double> coordinate_vertex(const std::vector<double>& center,
+                                      std::size_t d, double rho,
+                                      const Bounds& bounds) {
+  std::vector<double> vertex = center;
+  vertex[d] = (vertex[d] + rho <= bounds.upper()[d]) ? vertex[d] + rho
+                                                     : vertex[d] - rho;
+  return bounds.clamp(vertex);
+}
+
+}  // namespace
+
+OptimResult cobyla(const ObjectiveFn& fn, std::span<const double> x0,
+                   const Bounds& bounds, const Options& options) {
+  const std::size_t n = x0.size();
+  require(n >= 1, "cobyla: empty initial point");
+  require(bounds.size() == n, "cobyla: bounds dimension mismatch");
+  require(options.rho_begin > options.rho_end && options.rho_end > 0.0,
+          "cobyla: requires rho_begin > rho_end > 0");
+
+  CountingObjective counting(fn, options.max_evaluations);
+
+  double rho = options.rho_begin;
+
+  // Initial interpolation set: x0 plus one coordinate step per dimension.
+  Interp interp;
+  interp.points.push_back(bounds.clamp(x0));
+  interp.values.push_back(counting(interp.points[0]));
+  for (std::size_t d = 0; d < n && !counting.exhausted(); ++d) {
+    const std::vector<double> vertex =
+        coordinate_vertex(interp.points[0], d, rho, bounds);
+    interp.points.push_back(vertex);
+    interp.values.push_back(counting(vertex));
+  }
+
+  // Rebuilds every non-best vertex around the current best at radius rho
+  // (restores model validity after the trust region shrinks).
+  const auto rebuild = [&](double radius) {
+    interp.promote_best();
+    for (std::size_t d = 0; d < n && !counting.exhausted(); ++d) {
+      const std::vector<double> vertex =
+          coordinate_vertex(interp.points[0], d, radius, bounds);
+      interp.points[d + 1] = vertex;
+      interp.values[d + 1] = counting(vertex);
+    }
+  };
+
+  OptimResult result;
+  result.reason = StopReason::kMaxIterations;
+
+  int iteration = 0;
+  int stall = 0;  // consecutive iterations with a poor model prediction
+  int level_iterations = 0;  // iterations spent at the current radius
+  // Budget per trust-region level: a long run of barely-successful steps
+  // at one radius is valley creep — the radius no longer matches the
+  // local curvature, so force the shrink the ratio test keeps dodging.
+  const int level_budget = static_cast<int>(12 * n + 20);
+  for (; iteration < options.max_iterations; ++iteration) {
+    if (interp.points.size() < n + 1 || counting.exhausted()) {
+      result.reason = StopReason::kMaxEvaluations;
+      break;
+    }
+    interp.promote_best();
+
+    const std::vector<double> grad = linear_model_gradient(interp);
+    if (grad.empty()) {  // singular geometry: restore and retry
+      rebuild(rho);
+      continue;
+    }
+    const double grad_norm = linalg::norm2(grad);
+    if (grad_norm <= 1e-14) {
+      stall = 2;  // flat model: force a shrink below
+    } else {
+      // Trust-region step against the linear model, judged by the ratio
+      // of actual to predicted decrease.
+      std::vector<double> candidate = interp.points[0];
+      linalg::axpy(-rho / grad_norm, grad, candidate);
+      candidate = bounds.clamp(candidate);
+      const double predicted = rho * grad_norm;
+      const double f_candidate = counting(candidate);
+      const double actual = interp.values[0] - f_candidate;
+      if (actual > 0.0) {
+        const std::size_t worst = interp.worst_index();
+        interp.points[worst] = std::move(candidate);
+        interp.values[worst] = f_candidate;
+      }
+      // Success requires both a trustworthy prediction and a functional
+      // decrease above the tolerance; tiny "successful" steps otherwise
+      // stall the radius at a coarse level indefinitely.
+      const double f_floor =
+          options.ftol * std::max(std::abs(interp.values[0]), 1.0);
+      stall = (actual / predicted >= 0.1 && actual > f_floor) ? 0 : stall + 1;
+    }
+
+    ++level_iterations;
+
+    // Two consecutive failed predictions (or an exhausted level budget):
+    // the model is kept valid by rebuild(), so repeated poor steps mean
+    // the radius is too coarse for the local curvature.
+    if ((stall >= 2 || level_iterations >= level_budget) &&
+        !counting.exhausted()) {
+      rho *= 0.5;
+      stall = 0;
+      level_iterations = 0;
+      if (rho < options.rho_end) {
+        result.reason = StopReason::kConverged;
+        ++iteration;
+        break;
+      }
+      rebuild(rho);
+    }
+  }
+
+  interp.promote_best();
+  if (counting.exhausted()) result.reason = StopReason::kMaxEvaluations;
+  result.x = interp.points[0];
+  result.fun = interp.values[0];
+  result.nfev = counting.count();
+  result.nit = iteration;
+  return result;
+}
+
+}  // namespace qaoaml::optim

@@ -1,0 +1,25 @@
+// COBYLA-style derivative-free trust-region minimizer.
+//
+// Follows the structure of Powell's Constrained Optimization BY Linear
+// Approximation: a simplex of n+1 interpolation points carries a linear
+// model of the objective; each iteration takes a trust-region step of
+// radius rho against that model, improves simplex geometry when the
+// model is unreliable, and shrinks rho (rho_begin -> rho_end) when the
+// model is trusted but no progress is possible.  Box bounds are honored
+// by clamping trial points (they are linear constraints, always
+// satisfiable exactly).
+#ifndef QAOAML_OPTIM_COBYLA_HPP
+#define QAOAML_OPTIM_COBYLA_HPP
+
+#include "optim/types.hpp"
+
+namespace qaoaml::optim {
+
+/// Minimizes `fn` from `x0` subject to `bounds`.
+/// `options.rho_begin` / `options.rho_end` set the trust-region schedule.
+OptimResult cobyla(const ObjectiveFn& fn, std::span<const double> x0,
+                   const Bounds& bounds, const Options& options = {});
+
+}  // namespace qaoaml::optim
+
+#endif  // QAOAML_OPTIM_COBYLA_HPP

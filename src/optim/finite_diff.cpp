@@ -1,0 +1,47 @@
+#include "optim/finite_diff.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qaoaml::optim {
+
+std::vector<double> forward_diff_gradient(CountingObjective& fn,
+                                          std::span<const double> x, double f0,
+                                          double step, const Bounds& bounds) {
+  require(step > 0.0, "forward_diff_gradient: step must be positive");
+  const std::size_t n = x.size();
+  std::vector<double> grad(n, 0.0);
+  std::vector<double> probe(x.begin(), x.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    // Relative step, as SciPy's approx_derivative uses.
+    double h = step * std::max(1.0, std::abs(x[i]));
+    if (!bounds.empty() && x[i] + h > bounds.upper()[i]) h = -h;
+    probe[i] = x[i] + h;
+    const double fi = fn(probe);
+    grad[i] = (fi - f0) / h;
+    probe[i] = x[i];
+  }
+  return grad;
+}
+
+std::vector<double> central_diff_gradient(CountingObjective& fn,
+                                          std::span<const double> x,
+                                          double step) {
+  require(step > 0.0, "central_diff_gradient: step must be positive");
+  const std::size_t n = x.size();
+  std::vector<double> grad(n, 0.0);
+  std::vector<double> probe(x.begin(), x.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double h = step * std::max(1.0, std::abs(x[i]));
+    probe[i] = x[i] + h;
+    const double fp = fn(probe);
+    probe[i] = x[i] - h;
+    const double fm = fn(probe);
+    grad[i] = (fp - fm) / (2.0 * h);
+    probe[i] = x[i];
+  }
+  return grad;
+}
+
+}  // namespace qaoaml::optim

@@ -1,0 +1,31 @@
+// Finite-difference gradient approximation.
+//
+// The gradient-based optimizers (L-BFGS-B, SLSQP) treat the QAOA
+// expectation as a black box, exactly as SciPy does when no analytic
+// Jacobian is supplied; every probe counts as one function call.
+#ifndef QAOAML_OPTIM_FINITE_DIFF_HPP
+#define QAOAML_OPTIM_FINITE_DIFF_HPP
+
+#include <span>
+#include <vector>
+
+#include "optim/types.hpp"
+
+namespace qaoaml::optim {
+
+/// Forward-difference gradient at `x`, reusing the known value f(x)=f0.
+/// Costs exactly n evaluations of `fn`.  When a coordinate sits at its
+/// upper bound, the probe steps backward instead so it stays feasible.
+std::vector<double> forward_diff_gradient(CountingObjective& fn,
+                                          std::span<const double> x, double f0,
+                                          double step, const Bounds& bounds);
+
+/// Central-difference gradient (2n evaluations); used by tests for
+/// higher-accuracy reference gradients.
+std::vector<double> central_diff_gradient(CountingObjective& fn,
+                                          std::span<const double> x,
+                                          double step);
+
+}  // namespace qaoaml::optim
+
+#endif  // QAOAML_OPTIM_FINITE_DIFF_HPP

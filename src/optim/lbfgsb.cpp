@@ -1,0 +1,189 @@
+#include "optim/lbfgsb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+#include "optim/finite_diff.hpp"
+
+namespace qaoaml::optim {
+namespace {
+
+using linalg::dot;
+using linalg::norm_inf;
+using linalg::sub;
+
+/// Projected gradient: zero out components that push against an active
+/// bound; its infinity norm is the first-order optimality measure.
+std::vector<double> projected_gradient(const std::vector<double>& x,
+                                       const std::vector<double>& grad,
+                                       const Bounds& bounds) {
+  std::vector<double> pg = grad;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool at_lower = x[i] <= bounds.lower()[i] && grad[i] > 0.0;
+    const bool at_upper = x[i] >= bounds.upper()[i] && grad[i] < 0.0;
+    if (at_lower || at_upper) pg[i] = 0.0;
+  }
+  return pg;
+}
+
+/// Two-loop recursion over the stored (s, y) pairs.
+std::vector<double> two_loop_direction(
+    const std::deque<std::vector<double>>& s_hist,
+    const std::deque<std::vector<double>>& y_hist,
+    const std::vector<double>& grad) {
+  std::vector<double> q = grad;
+  const std::size_t m = s_hist.size();
+  std::vector<double> alpha(m, 0.0);
+  std::vector<double> rho(m, 0.0);
+  for (std::size_t k = m; k-- > 0;) {
+    rho[k] = 1.0 / dot(y_hist[k], s_hist[k]);
+    alpha[k] = rho[k] * dot(s_hist[k], q);
+    linalg::axpy(-alpha[k], y_hist[k], q);
+  }
+  if (m > 0) {
+    // Initial Hessian scaling gamma = s.y / y.y (Nocedal & Wright eq. 7.20).
+    const double gamma =
+        dot(s_hist.back(), y_hist.back()) / dot(y_hist.back(), y_hist.back());
+    linalg::scale(q, gamma);
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    const double beta = rho[k] * dot(y_hist[k], q);
+    linalg::axpy(alpha[k] - beta, s_hist[k], q);
+  }
+  linalg::scale(q, -1.0);
+  return q;
+}
+
+}  // namespace
+
+OptimResult lbfgsb(const ObjectiveFn& fn, std::span<const double> x0,
+                   const Bounds& bounds, const Options& options, int history) {
+  const std::size_t n = x0.size();
+  require(n >= 1, "lbfgsb: empty initial point");
+  require(bounds.size() == n, "lbfgsb: bounds dimension mismatch");
+  require(history >= 1, "lbfgsb: history must be positive");
+
+  CountingObjective counting(fn, options.max_evaluations);
+
+  std::vector<double> x = bounds.clamp(x0);
+  double f = counting(x);
+  std::vector<double> grad =
+      forward_diff_gradient(counting, x, f, options.fd_step, bounds);
+
+  std::deque<std::vector<double>> s_hist;
+  std::deque<std::vector<double>> y_hist;
+
+  OptimResult result;
+  result.reason = StopReason::kMaxIterations;
+
+  int iteration = 0;
+  for (; iteration < options.max_iterations; ++iteration) {
+    if (norm_inf(projected_gradient(x, grad, bounds)) <= options.gtol) {
+      result.reason = StopReason::kConverged;
+      break;
+    }
+    if (counting.exhausted()) {
+      result.reason = StopReason::kMaxEvaluations;
+      break;
+    }
+
+    std::vector<double> direction = two_loop_direction(s_hist, y_hist, grad);
+    // Fall back to steepest descent when the direction is not a descent
+    // direction (can happen right after history resets).
+    if (dot(direction, grad) >= 0.0) {
+      direction = linalg::scaled(-1.0, grad);
+    }
+    // With no curvature history the two-loop result is just -g; cap that
+    // first step at unit length (H0 = I / ||g||) so the search does not
+    // leap across basins of the periodic QAOA landscape.
+    if (s_hist.empty()) {
+      const double len = linalg::norm2(direction);
+      if (len > 1.0) linalg::scale(direction, 1.0 / len);
+    }
+
+    // Backtracking Armijo line search on the projected path
+    // x(alpha) = clamp(x + alpha * d).
+    const double c1 = 1e-4;
+    double alpha = 1.0;
+    double f_new = f;
+    std::vector<double> x_new = x;
+    bool accepted = false;
+    for (int trial = 0; trial < 25; ++trial) {
+      std::vector<double> candidate = x;
+      linalg::axpy(alpha, direction, candidate);
+      candidate = bounds.clamp(candidate);
+      const std::vector<double> actual_step = sub(candidate, x);
+      const double directional = dot(grad, actual_step);
+      if (counting.exhausted()) break;
+      const double f_candidate = counting(candidate);
+      if (f_candidate <= f + c1 * directional) {
+        x_new = std::move(candidate);
+        f_new = f_candidate;
+        accepted = true;
+        break;
+      }
+      alpha *= 0.5;
+    }
+    if (!accepted) {
+      if (counting.exhausted()) {
+        result.reason = StopReason::kMaxEvaluations;
+        break;
+      }
+      // Quasi-Newton model is misleading here: drop the curvature
+      // history and retry from steepest descent before giving up.
+      if (!s_hist.empty()) {
+        s_hist.clear();
+        y_hist.clear();
+        continue;
+      }
+      result.reason = StopReason::kStalled;
+      break;
+    }
+
+    if (counting.exhausted()) {
+      x = std::move(x_new);
+      f = f_new;
+      result.reason = StopReason::kMaxEvaluations;
+      break;
+    }
+    std::vector<double> grad_new =
+        forward_diff_gradient(counting, x_new, f_new, options.fd_step, bounds);
+
+    // SciPy ftol test: (f_k - f_{k+1}) <= ftol * max(|f_k|, |f_{k+1}|, 1).
+    const double decrease = f - f_new;
+    const double scale = std::max({std::abs(f), std::abs(f_new), 1.0});
+    const bool f_converged = decrease <= options.ftol * scale;
+
+    const std::vector<double> s = sub(x_new, x);
+    const std::vector<double> y = sub(grad_new, grad);
+    if (dot(s, y) > 1e-10) {  // curvature condition keeps H PSD
+      s_hist.push_back(s);
+      y_hist.push_back(y);
+      if (static_cast<int>(s_hist.size()) > history) {
+        s_hist.pop_front();
+        y_hist.pop_front();
+      }
+    }
+
+    x = std::move(x_new);
+    f = f_new;
+    grad = std::move(grad_new);
+
+    if (f_converged) {
+      result.reason = StopReason::kConverged;
+      ++iteration;
+      break;
+    }
+  }
+
+  result.x = std::move(x);
+  result.fun = f;
+  result.nfev = counting.count();
+  result.nit = iteration;
+  return result;
+}
+
+}  // namespace qaoaml::optim

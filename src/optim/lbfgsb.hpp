@@ -1,0 +1,26 @@
+// L-BFGS-B: limited-memory BFGS with box constraints.
+//
+// Quasi-Newton minimizer in the spirit of Byrd, Lu, Nocedal & Zhu:
+// limited-memory curvature pairs drive a two-loop-recursion direction,
+// feasibility is maintained by projecting trial points onto the box, and
+// gradients come from forward finite differences (each probe counted as
+// a function call, matching SciPy's nfev accounting).
+//
+// Termination follows SciPy: relative function decrease below `ftol`
+// or projected-gradient infinity norm below `gtol`.
+#ifndef QAOAML_OPTIM_LBFGSB_HPP
+#define QAOAML_OPTIM_LBFGSB_HPP
+
+#include "optim/types.hpp"
+
+namespace qaoaml::optim {
+
+/// Minimizes `fn` from `x0` subject to `bounds`.
+/// `history` is the number of stored curvature pairs (SciPy default 10).
+OptimResult lbfgsb(const ObjectiveFn& fn, std::span<const double> x0,
+                   const Bounds& bounds, const Options& options = {},
+                   int history = 10);
+
+}  // namespace qaoaml::optim
+
+#endif  // QAOAML_OPTIM_LBFGSB_HPP

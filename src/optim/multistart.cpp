@@ -1,0 +1,38 @@
+#include "optim/multistart.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qaoaml::optim {
+
+std::vector<double> random_point(const Bounds& bounds, Rng& rng) {
+  std::vector<double> x(bounds.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double lo = bounds.lower()[i];
+    const double hi = bounds.upper()[i];
+    require(std::isfinite(lo) && std::isfinite(hi),
+            "random_point: bounds must be finite");
+    x[i] = rng.uniform(lo, hi);
+  }
+  return x;
+}
+
+MultistartResult multistart_minimize(OptimizerKind kind, const ObjectiveFn& fn,
+                                     const Bounds& bounds, int restarts,
+                                     Rng& rng, const Options& options) {
+  require(restarts >= 1, "multistart_minimize: need at least one restart");
+  MultistartResult out;
+  for (int run = 0; run < restarts; ++run) {
+    const std::vector<double> x0 = random_point(bounds, rng);
+    OptimResult result = minimize(kind, fn, x0, bounds, options);
+    out.total_nfev += result.nfev;
+    if (out.runs.empty() || result.fun < out.best.fun) {
+      out.best = result;
+    }
+    out.runs.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace qaoaml::optim

@@ -1,0 +1,195 @@
+#include "optim/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace qaoaml::optim {
+namespace {
+
+/// Simplex vertices with cached objective values, kept sorted by value.
+struct Simplex {
+  std::vector<std::vector<double>> points;
+  std::vector<double> values;
+
+  void sort() {
+    std::vector<std::size_t> order(points.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+      return values[a] < values[b];
+    });
+    std::vector<std::vector<double>> new_points(points.size());
+    std::vector<double> new_values(points.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      new_points[i] = std::move(points[order[i]]);
+      new_values[i] = values[order[i]];
+    }
+    points = std::move(new_points);
+    values = std::move(new_values);
+  }
+
+  /// Centroid of all vertices except the worst (last).
+  std::vector<double> centroid() const {
+    const std::size_t n = points.front().size();
+    std::vector<double> c(n, 0.0);
+    for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+      for (std::size_t d = 0; d < n; ++d) c[d] += points[i][d];
+    }
+    const double scale = 1.0 / static_cast<double>(points.size() - 1);
+    for (double& x : c) x *= scale;
+    return c;
+  }
+
+  double value_spread() const {
+    double spread = 0.0;
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      spread = std::max(spread, std::abs(values[i] - values[0]));
+    }
+    return spread;
+  }
+
+  double point_spread() const {
+    double spread = 0.0;
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      for (std::size_t d = 0; d < points[i].size(); ++d) {
+        spread = std::max(spread, std::abs(points[i][d] - points[0][d]));
+      }
+    }
+    return spread;
+  }
+};
+
+std::vector<double> blend(const std::vector<double>& center,
+                          const std::vector<double>& away, double t,
+                          const Bounds& bounds) {
+  // center + t * (center - away), clipped into the box.
+  std::vector<double> out(center.size());
+  for (std::size_t d = 0; d < center.size(); ++d) {
+    out[d] = center[d] + t * (center[d] - away[d]);
+  }
+  return bounds.clamp(out);
+}
+
+}  // namespace
+
+OptimResult nelder_mead(const ObjectiveFn& fn, std::span<const double> x0,
+                        const Bounds& bounds, const Options& options,
+                        bool adaptive) {
+  const std::size_t n = x0.size();
+  require(n >= 1, "nelder_mead: empty initial point");
+  require(bounds.size() == n, "nelder_mead: bounds dimension mismatch");
+
+  // Gao & Han adaptive coefficients; classic values for adaptive=false.
+  const double dim = static_cast<double>(n);
+  const double rho = 1.0;
+  const double chi = adaptive ? 1.0 + 2.0 / dim : 2.0;
+  const double psi = adaptive ? 0.75 - 1.0 / (2.0 * dim) : 0.5;
+  const double sigma = adaptive ? 1.0 - 1.0 / dim : 0.5;
+
+  CountingObjective counting(fn, options.max_evaluations);
+
+  // SciPy-style initial simplex: perturb each coordinate by 5% (or an
+  // absolute nudge when the coordinate is zero).
+  Simplex simplex;
+  simplex.points.push_back(bounds.clamp(x0));
+  for (std::size_t d = 0; d < n; ++d) {
+    std::vector<double> vertex(x0.begin(), x0.end());
+    vertex[d] = (vertex[d] != 0.0) ? vertex[d] * 1.05 : 0.00025;
+    simplex.points.push_back(bounds.clamp(vertex));
+  }
+  for (const auto& point : simplex.points) {
+    simplex.values.push_back(counting(point));
+  }
+  simplex.sort();
+
+  OptimResult result;
+  result.reason = StopReason::kMaxIterations;
+
+  int iteration = 0;
+  for (; iteration < options.max_iterations; ++iteration) {
+    if (simplex.value_spread() <= options.ftol &&
+        simplex.point_spread() <= options.xtol) {
+      result.reason = StopReason::kConverged;
+      break;
+    }
+    if (counting.exhausted()) {
+      result.reason = StopReason::kMaxEvaluations;
+      break;
+    }
+
+    const std::vector<double> centroid = simplex.centroid();
+    const std::vector<double>& worst = simplex.points.back();
+    const double f_best = simplex.values.front();
+    const double f_second_worst = simplex.values[simplex.values.size() - 2];
+
+    const std::vector<double> reflected = blend(centroid, worst, rho, bounds);
+    const double f_reflected = counting(reflected);
+
+    bool shrink = false;
+    if (f_reflected < f_best) {
+      // Try to expand further along the same direction.
+      const std::vector<double> expanded =
+          blend(centroid, worst, rho * chi, bounds);
+      const double f_expanded = counting(expanded);
+      if (f_expanded < f_reflected) {
+        simplex.points.back() = expanded;
+        simplex.values.back() = f_expanded;
+      } else {
+        simplex.points.back() = reflected;
+        simplex.values.back() = f_reflected;
+      }
+    } else if (f_reflected < f_second_worst) {
+      simplex.points.back() = reflected;
+      simplex.values.back() = f_reflected;
+    } else if (f_reflected < simplex.values.back()) {
+      // Outside contraction.
+      const std::vector<double> contracted =
+          blend(centroid, worst, rho * psi, bounds);
+      const double f_contracted = counting(contracted);
+      if (f_contracted <= f_reflected) {
+        simplex.points.back() = contracted;
+        simplex.values.back() = f_contracted;
+      } else {
+        shrink = true;
+      }
+    } else {
+      // Inside contraction.
+      const std::vector<double> contracted =
+          blend(centroid, worst, -psi, bounds);
+      const double f_contracted = counting(contracted);
+      if (f_contracted < simplex.values.back()) {
+        simplex.points.back() = contracted;
+        simplex.values.back() = f_contracted;
+      } else {
+        shrink = true;
+      }
+    }
+
+    if (shrink) {
+      for (std::size_t i = 1; i < simplex.points.size(); ++i) {
+        for (std::size_t d = 0; d < n; ++d) {
+          simplex.points[i][d] = simplex.points[0][d] +
+                                 sigma * (simplex.points[i][d] -
+                                          simplex.points[0][d]);
+        }
+        simplex.points[i] = bounds.clamp(simplex.points[i]);
+        if (counting.exhausted()) break;
+        simplex.values[i] = counting(simplex.points[i]);
+      }
+    }
+    simplex.sort();
+  }
+
+  if (iteration >= options.max_iterations) {
+    result.reason = StopReason::kMaxIterations;
+  }
+  result.x = simplex.points.front();
+  result.fun = simplex.values.front();
+  result.nfev = counting.count();
+  result.nit = iteration;
+  return result;
+}
+
+}  // namespace qaoaml::optim

@@ -1,0 +1,27 @@
+// Nelder-Mead downhill simplex (derivative-free).
+//
+// Mirrors SciPy's `minimize(method="Nelder-Mead")`: same reflection/
+// expansion/contraction/shrink coefficients, same initial-simplex
+// construction, same twin tolerance test on simplex spread, and bound
+// handling by clipping candidate points into the box.
+#ifndef QAOAML_OPTIM_NELDER_MEAD_HPP
+#define QAOAML_OPTIM_NELDER_MEAD_HPP
+
+#include "optim/types.hpp"
+
+namespace qaoaml::optim {
+
+/// Minimizes `fn` from `x0` with the downhill-simplex method.
+///
+/// Uses `options.ftol` as the function-spread tolerance and
+/// `options.xtol` as the simplex-extent tolerance; both must hold to
+/// declare convergence (as in SciPy).  Set `adaptive` for the
+/// dimension-dependent coefficients of Gao & Han (helps for >= ~10
+/// parameters, i.e. the p = 5 QAOA instances).
+OptimResult nelder_mead(const ObjectiveFn& fn, std::span<const double> x0,
+                        const Bounds& bounds, const Options& options = {},
+                        bool adaptive = false);
+
+}  // namespace qaoaml::optim
+
+#endif  // QAOAML_OPTIM_NELDER_MEAD_HPP

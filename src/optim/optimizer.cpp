@@ -1,0 +1,65 @@
+#include "optim/optimizer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "optim/cobyla.hpp"
+#include "optim/lbfgsb.hpp"
+#include "optim/nelder_mead.hpp"
+#include "optim/slsqp.hpp"
+
+namespace qaoaml::optim {
+
+const std::vector<OptimizerKind>& all_optimizers() {
+  static const std::vector<OptimizerKind> kAll{
+      OptimizerKind::kLbfgsb,
+      OptimizerKind::kNelderMead,
+      OptimizerKind::kSlsqp,
+      OptimizerKind::kCobyla,
+  };
+  return kAll;
+}
+
+std::string to_string(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kLbfgsb: return "L-BFGS-B";
+    case OptimizerKind::kNelderMead: return "Nelder-Mead";
+    case OptimizerKind::kSlsqp: return "SLSQP";
+    case OptimizerKind::kCobyla: return "COBYLA";
+  }
+  return "unknown";
+}
+
+OptimizerKind optimizer_from_string(const std::string& name) {
+  for (const OptimizerKind kind : all_optimizers()) {
+    if (to_string(kind) == name) return kind;
+  }
+  throw InvalidArgument("optimizer_from_string: unknown optimizer '" + name +
+                        "'");
+}
+
+bool is_gradient_based(OptimizerKind kind) {
+  return kind == OptimizerKind::kLbfgsb || kind == OptimizerKind::kSlsqp;
+}
+
+OptimResult minimize(OptimizerKind kind, const ObjectiveFn& fn,
+                     std::span<const double> x0, const Bounds& bounds,
+                     const Options& options) {
+  // Convergence is governed by the tolerances; the caller's budget caps
+  // are passed through unchanged so the naive and warm-started arms of
+  // the experiments face identical limits.
+  const Options& effective = options;
+  switch (kind) {
+    case OptimizerKind::kLbfgsb:
+      return lbfgsb(fn, x0, bounds, effective);
+    case OptimizerKind::kNelderMead:
+      return nelder_mead(fn, x0, bounds, effective);
+    case OptimizerKind::kSlsqp:
+      return slsqp(fn, x0, bounds, effective);
+    case OptimizerKind::kCobyla:
+      return cobyla(fn, x0, bounds, effective);
+  }
+  throw InvalidArgument("minimize: unknown optimizer kind");
+}
+
+}  // namespace qaoaml::optim

@@ -1,0 +1,41 @@
+// Uniform front end over the four classical optimizers studied in the
+// paper (L-BFGS-B, Nelder-Mead, SLSQP, COBYLA).
+#ifndef QAOAML_OPTIM_OPTIMIZER_HPP
+#define QAOAML_OPTIM_OPTIMIZER_HPP
+
+#include <string>
+#include <vector>
+
+#include "optim/types.hpp"
+
+namespace qaoaml::optim {
+
+/// The optimizer families from the paper's Table I.
+enum class OptimizerKind {
+  kLbfgsb,
+  kNelderMead,
+  kSlsqp,
+  kCobyla,
+};
+
+/// All kinds, in the paper's Table I order.
+const std::vector<OptimizerKind>& all_optimizers();
+
+/// Display name matching the paper ("L-BFGS-B", "Nelder-Mead", ...).
+std::string to_string(OptimizerKind kind);
+
+/// Parses a display name (case-sensitive); throws InvalidArgument on
+/// unknown names.
+OptimizerKind optimizer_from_string(const std::string& name);
+
+/// True for the gradient-based families (L-BFGS-B, SLSQP).
+bool is_gradient_based(OptimizerKind kind);
+
+/// Minimizes `fn` from `x0` subject to `bounds` with the chosen method.
+OptimResult minimize(OptimizerKind kind, const ObjectiveFn& fn,
+                     std::span<const double> x0, const Bounds& bounds,
+                     const Options& options = {});
+
+}  // namespace qaoaml::optim
+
+#endif  // QAOAML_OPTIM_OPTIMIZER_HPP

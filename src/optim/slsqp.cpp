@@ -1,0 +1,215 @@
+#include "optim/slsqp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/vector_ops.hpp"
+#include "optim/finite_diff.hpp"
+
+namespace qaoaml::optim {
+
+using linalg::Cholesky;
+using linalg::dot;
+using linalg::Matrix;
+using linalg::sub;
+
+std::vector<double> solve_box_qp(const Matrix& b, const std::vector<double>& g,
+                                 const std::vector<double>& lo,
+                                 const std::vector<double>& hi) {
+  const std::size_t n = g.size();
+  require(b.rows() == n && b.cols() == n, "solve_box_qp: shape mismatch");
+  require(lo.size() == n && hi.size() == n, "solve_box_qp: bounds mismatch");
+
+  // Active-set loop: coordinates pinned at a bound are eliminated and the
+  // reduced (free) system is re-solved.  state: 0 free, -1 at lo, +1 at hi.
+  std::vector<int> state(n, 0);
+  std::vector<double> d(n, 0.0);
+
+  const int max_passes = static_cast<int>(3 * n + 10);
+  for (int pass = 0; pass < max_passes; ++pass) {
+    std::vector<std::size_t> free_idx;
+    for (std::size_t i = 0; i < n; ++i) {
+      d[i] = state[i] == -1 ? lo[i] : state[i] == 1 ? hi[i] : 0.0;
+      if (state[i] == 0) free_idx.push_back(i);
+    }
+
+    if (!free_idx.empty()) {
+      // Reduced system: B_ff d_f = -(g_f + B_fa d_a).
+      Matrix bff(free_idx.size(), free_idx.size());
+      std::vector<double> rhs(free_idx.size());
+      for (std::size_t r = 0; r < free_idx.size(); ++r) {
+        const std::size_t i = free_idx[r];
+        double acc = g[i];
+        for (std::size_t j = 0; j < n; ++j) {
+          if (state[j] != 0) acc += b(i, j) * d[j];
+        }
+        rhs[r] = -acc;
+        for (std::size_t c = 0; c < free_idx.size(); ++c) {
+          bff(r, c) = b(i, free_idx[c]);
+        }
+      }
+      const std::vector<double> df = cholesky_with_jitter(bff).solve(rhs);
+      for (std::size_t r = 0; r < free_idx.size(); ++r) d[free_idx[r]] = df[r];
+    }
+
+    // Clamp the most violated free coordinate (if any) and iterate.
+    std::size_t worst = n;
+    double worst_violation = 0.0;
+    for (const std::size_t i : free_idx) {
+      const double below = lo[i] - d[i];
+      const double above = d[i] - hi[i];
+      const double violation = std::max(below, above);
+      if (violation > worst_violation + 1e-15) {
+        worst_violation = violation;
+        worst = i;
+      }
+    }
+    if (worst != n) {
+      state[worst] = (lo[worst] - d[worst] > d[worst] - hi[worst]) ? -1 : 1;
+      continue;
+    }
+
+    // KKT check: release a pinned coordinate whose multiplier has the
+    // wrong sign (i.e. the model wants to move it back inside the box).
+    std::size_t release = n;
+    double strongest = 1e-12;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state[i] == 0) continue;
+      double lagrange = g[i];
+      for (std::size_t j = 0; j < n; ++j) lagrange += b(i, j) * d[j];
+      // At lower bound the multiplier must be >= 0; at upper, <= 0.
+      const double badness = state[i] == -1 ? -lagrange : lagrange;
+      if (badness > strongest) {
+        strongest = badness;
+        release = i;
+      }
+    }
+    if (release == n) return d;  // KKT satisfied
+    state[release] = 0;
+  }
+  return d;  // best effort; loop limit is generous for the sizes used here
+}
+
+OptimResult slsqp(const ObjectiveFn& fn, std::span<const double> x0,
+                  const Bounds& bounds, const Options& options) {
+  const std::size_t n = x0.size();
+  require(n >= 1, "slsqp: empty initial point");
+  require(bounds.size() == n, "slsqp: bounds dimension mismatch");
+
+  CountingObjective counting(fn, options.max_evaluations);
+
+  std::vector<double> x = bounds.clamp(x0);
+  double f = counting(x);
+  std::vector<double> grad =
+      forward_diff_gradient(counting, x, f, options.fd_step, bounds);
+
+  Matrix b = Matrix::identity(n);
+
+  OptimResult result;
+  result.reason = StopReason::kMaxIterations;
+
+  int iteration = 0;
+  for (; iteration < options.max_iterations; ++iteration) {
+    if (counting.exhausted()) {
+      result.reason = StopReason::kMaxEvaluations;
+      break;
+    }
+
+    std::vector<double> lo(n);
+    std::vector<double> hi(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      lo[i] = bounds.lower()[i] - x[i];
+      hi[i] = bounds.upper()[i] - x[i];
+    }
+    const std::vector<double> d = solve_box_qp(b, grad, lo, hi);
+
+    // A vanishing QP step means first-order optimality inside the box;
+    // the threshold is fixed (not options.xtol, which is the Nelder-Mead
+    // simplex tolerance).
+    const double step_norm = linalg::norm2(d);
+    if (step_norm <= 1e-10) {
+      result.reason = StopReason::kConverged;
+      break;
+    }
+
+    // Armijo backtracking along d.
+    const double directional = dot(grad, d);
+    const double c1 = 1e-4;
+    double alpha = 1.0;
+    bool accepted = false;
+    double f_new = f;
+    std::vector<double> x_new = x;
+    for (int trial = 0; trial < 25 && !counting.exhausted(); ++trial) {
+      std::vector<double> candidate = x;
+      linalg::axpy(alpha, d, candidate);
+      candidate = bounds.clamp(candidate);
+      const double f_candidate = counting(candidate);
+      if (f_candidate <= f + c1 * alpha * directional) {
+        x_new = std::move(candidate);
+        f_new = f_candidate;
+        accepted = true;
+        break;
+      }
+      alpha *= 0.5;
+    }
+    if (!accepted) {
+      result.reason = counting.exhausted() ? StopReason::kMaxEvaluations
+                                           : StopReason::kStalled;
+      break;
+    }
+    if (counting.exhausted()) {
+      x = std::move(x_new);
+      f = f_new;
+      result.reason = StopReason::kMaxEvaluations;
+      break;
+    }
+
+    std::vector<double> grad_new =
+        forward_diff_gradient(counting, x_new, f_new, options.fd_step, bounds);
+
+    // Damped BFGS update (Powell's modification keeps B positive definite).
+    const std::vector<double> s = sub(x_new, x);
+    std::vector<double> y = sub(grad_new, grad);
+    const std::vector<double> bs = b * s;
+    const double sbs = dot(s, bs);
+    const double sy = dot(s, y);
+    if (sbs > 1e-14) {
+      if (sy < 0.2 * sbs) {
+        const double theta = 0.8 * sbs / (sbs - sy);
+        for (std::size_t i = 0; i < n; ++i) {
+          y[i] = theta * y[i] + (1.0 - theta) * bs[i];
+        }
+      }
+      const double sy_damped = dot(s, y);
+      if (sy_damped > 1e-14) {
+        for (std::size_t r = 0; r < n; ++r) {
+          for (std::size_t c = 0; c < n; ++c) {
+            b(r, c) += y[r] * y[c] / sy_damped - bs[r] * bs[c] / sbs;
+          }
+        }
+      }
+    }
+
+    const double decrease = f - f_new;
+    const double scale = std::max({std::abs(f), std::abs(f_new), 1.0});
+    x = std::move(x_new);
+    f = f_new;
+    grad = std::move(grad_new);
+
+    if (decrease >= 0.0 && decrease <= options.ftol * scale) {
+      result.reason = StopReason::kConverged;
+      ++iteration;
+      break;
+    }
+  }
+
+  result.x = std::move(x);
+  result.fun = f;
+  result.nfev = counting.count();
+  result.nit = iteration;
+  return result;
+}
+
+}  // namespace qaoaml::optim

@@ -1,0 +1,32 @@
+// SLSQP-style sequential quadratic programming for box constraints.
+//
+// Each iteration builds a dense BFGS model of the objective (with Powell
+// damping to stay positive definite), solves the box-constrained QP
+//   min_d  g^T d + 0.5 d^T B d   s.t.  l <= x + d <= u
+// with an active-set solver, and applies an Armijo line search along d.
+// For problems whose only constraints are bounds — the QAOA setting —
+// this is exactly the subproblem structure of Kraft's SLSQP; gradients
+// are forward finite differences counted as function calls.
+#ifndef QAOAML_OPTIM_SLSQP_HPP
+#define QAOAML_OPTIM_SLSQP_HPP
+
+#include "linalg/matrix.hpp"
+#include "optim/types.hpp"
+
+namespace qaoaml::optim {
+
+/// Minimizes `fn` from `x0` subject to `bounds`.
+OptimResult slsqp(const ObjectiveFn& fn, std::span<const double> x0,
+                  const Bounds& bounds, const Options& options = {});
+
+/// Solves min_d g^T d + 0.5 d^T B d subject to lo <= d <= hi with an
+/// active-set method.  `b` must be symmetric positive definite.
+/// Exposed for unit testing.
+std::vector<double> solve_box_qp(const linalg::Matrix& b,
+                                 const std::vector<double>& g,
+                                 const std::vector<double>& lo,
+                                 const std::vector<double>& hi);
+
+}  // namespace qaoaml::optim
+
+#endif  // QAOAML_OPTIM_SLSQP_HPP

@@ -1,0 +1,43 @@
+#include "optim/test_functions.hpp"
+
+#include <cmath>
+
+namespace qaoaml::optim::testfn {
+
+double sphere(std::span<const double> x) {
+  double acc = 0.0;
+  for (const double v : x) acc += v * v;
+  return acc;
+}
+
+double rosenbrock(std::span<const double> x) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    const double a = x[i + 1] - x[i] * x[i];
+    const double b = 1.0 - x[i];
+    acc += 100.0 * a * a + b * b;
+  }
+  return acc;
+}
+
+double booth(std::span<const double> x) {
+  const double a = x[0] + 2.0 * x[1] - 7.0;
+  const double b = 2.0 * x[0] + x[1] - 5.0;
+  return a * a + b * b;
+}
+
+double rastrigin(std::span<const double> x) {
+  double acc = 10.0 * static_cast<double>(x.size());
+  for (const double v : x) {
+    acc += v * v - 10.0 * std::cos(2.0 * M_PI * v);
+  }
+  return acc;
+}
+
+double cosine_valley(std::span<const double> x) {
+  double acc = 0.0;
+  for (const double v : x) acc -= std::sin(v) * std::sin(v) * std::sin(v);
+  return acc;
+}
+
+}  // namespace qaoaml::optim::testfn

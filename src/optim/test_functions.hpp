@@ -1,0 +1,31 @@
+// Standard optimization test functions.
+//
+// Used by the optimizer unit tests and the M2 micro-benchmark to verify
+// convergence behaviour independently of the quantum stack.
+#ifndef QAOAML_OPTIM_TEST_FUNCTIONS_HPP
+#define QAOAML_OPTIM_TEST_FUNCTIONS_HPP
+
+#include <span>
+
+namespace qaoaml::optim::testfn {
+
+/// sum_i x_i^2; minimum 0 at the origin.
+double sphere(std::span<const double> x);
+
+/// Rosenbrock's banana; minimum 0 at (1, ..., 1).
+double rosenbrock(std::span<const double> x);
+
+/// Booth function (2-D); minimum 0 at (1, 3).
+double booth(std::span<const double> x);
+
+/// Rastrigin: highly multimodal; global minimum 0 at the origin.
+double rastrigin(std::span<const double> x);
+
+/// Smooth trigonometric surface qualitatively similar to a QAOA energy
+/// landscape (periodic, multimodal, bounded): minimum -(dim) at
+/// x_i = pi/2.
+double cosine_valley(std::span<const double> x);
+
+}  // namespace qaoaml::optim::testfn
+
+#endif  // QAOAML_OPTIM_TEST_FUNCTIONS_HPP

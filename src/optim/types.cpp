@@ -1,0 +1,65 @@
+#include "optim/types.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qaoaml::optim {
+
+Bounds::Bounds(std::vector<double> lower, std::vector<double> upper)
+    : lower_(std::move(lower)), upper_(std::move(upper)) {
+  require(lower_.size() == upper_.size(), "Bounds: length mismatch");
+  for (std::size_t i = 0; i < lower_.size(); ++i) {
+    require(lower_[i] <= upper_[i], "Bounds: lower must be <= upper");
+  }
+}
+
+Bounds Bounds::unbounded(std::size_t n) {
+  const double inf = std::numeric_limits<double>::infinity();
+  return Bounds(std::vector<double>(n, -inf), std::vector<double>(n, inf));
+}
+
+Bounds Bounds::uniform(std::size_t n, double lo, double hi) {
+  return Bounds(std::vector<double>(n, lo), std::vector<double>(n, hi));
+}
+
+bool Bounds::contains(std::span<const double> x) const {
+  require(x.size() == lower_.size(), "Bounds::contains: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < lower_[i] || x[i] > upper_[i]) return false;
+  }
+  return true;
+}
+
+std::vector<double> Bounds::clamp(std::span<const double> x) const {
+  require(x.size() == lower_.size(), "Bounds::clamp: length mismatch");
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::clamp(x[i], lower_[i], upper_[i]);
+  }
+  return out;
+}
+
+std::string to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kConverged: return "converged";
+    case StopReason::kMaxEvaluations: return "max-evaluations";
+    case StopReason::kMaxIterations: return "max-iterations";
+    case StopReason::kStalled: return "stalled";
+  }
+  return "unknown";
+}
+
+CountingObjective::CountingObjective(ObjectiveFn fn, int max_evaluations)
+    : fn_(std::move(fn)), max_evaluations_(max_evaluations) {
+  require(static_cast<bool>(fn_), "CountingObjective: null objective");
+  require(max_evaluations_ > 0,
+          "CountingObjective: max_evaluations must be positive");
+}
+
+double CountingObjective::operator()(std::span<const double> x) {
+  ++count_;
+  return fn_(x);
+}
+
+}  // namespace qaoaml::optim

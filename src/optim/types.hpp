@@ -1,0 +1,111 @@
+// Shared vocabulary of the optimization module: objective functions,
+// box bounds, options, and results.
+//
+// Every optimizer here *minimizes*; QAOA maximizes the cost expectation
+// by minimizing its negative.  The `nfev` field counts objective
+// evaluations including finite-difference probes — this is the paper's
+// "number of function calls / QC calls" metric.
+#ifndef QAOAML_OPTIM_TYPES_HPP
+#define QAOAML_OPTIM_TYPES_HPP
+
+#include <functional>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qaoaml::optim {
+
+/// Objective callable: maps a parameter vector to a scalar cost.
+using ObjectiveFn = std::function<double(std::span<const double>)>;
+
+/// Per-coordinate box constraints.
+class Bounds {
+ public:
+  Bounds() = default;
+
+  /// Explicit per-coordinate bounds; lengths must match and lower <= upper.
+  Bounds(std::vector<double> lower, std::vector<double> upper);
+
+  /// Unbounded box of dimension n.
+  static Bounds unbounded(std::size_t n);
+
+  /// Same [lo, hi] interval for every coordinate.
+  static Bounds uniform(std::size_t n, double lo, double hi);
+
+  std::size_t size() const { return lower_.size(); }
+  bool empty() const { return lower_.empty(); }
+  const std::vector<double>& lower() const { return lower_; }
+  const std::vector<double>& upper() const { return upper_; }
+
+  /// True when x lies inside the box (inclusive).
+  bool contains(std::span<const double> x) const;
+
+  /// Returns x clamped into the box.
+  std::vector<double> clamp(std::span<const double> x) const;
+
+ private:
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+};
+
+/// Why an optimizer stopped.
+enum class StopReason {
+  kConverged,       ///< tolerance test satisfied
+  kMaxEvaluations,  ///< evaluation budget exhausted
+  kMaxIterations,   ///< iteration budget exhausted
+  kStalled,         ///< no acceptable step found (line search failure etc.)
+};
+
+/// Human-readable form of a StopReason.
+std::string to_string(StopReason reason);
+
+/// Outcome of a minimization run.
+struct OptimResult {
+  std::vector<double> x;  ///< best parameters found
+  double fun = std::numeric_limits<double>::infinity();  ///< f(x)
+  int nfev = 0;           ///< objective evaluations (incl. FD probes)
+  int nit = 0;            ///< outer iterations
+  StopReason reason = StopReason::kConverged;
+
+  bool converged() const { return reason == StopReason::kConverged; }
+};
+
+/// Knobs shared by all optimizers; each ignores the fields it does not
+/// use.  Defaults mirror the paper's setup (ftol = 1e-6) and SciPy's.
+struct Options {
+  double ftol = 1e-6;     ///< relative function-decrease tolerance (the
+                          ///  paper's "functional tolerance limit")
+  double xtol = 1e-4;     ///< simplex-extent tolerance (Nelder-Mead;
+                          ///  SciPy's xatol default)
+  double gtol = 1e-5;     ///< projected-gradient tolerance (L-BFGS-B)
+  double fd_step = 1e-8;  ///< finite-difference step for gradients
+  double rho_begin = 0.5; ///< initial trust-region radius (COBYLA)
+  double rho_end = 1e-6;  ///< final trust-region radius (COBYLA)
+  int max_evaluations = 100000;
+  int max_iterations = 5000;  ///< generous; convergence comes from the
+                              ///  tolerances, not this cap
+};
+
+/// Wraps an objective and counts evaluations; optimizers evaluate the
+/// objective only through this so that nfev is exact.
+class CountingObjective {
+ public:
+  CountingObjective(ObjectiveFn fn, int max_evaluations);
+
+  /// Evaluates the objective; throws BudgetExhausted (internal) semantics
+  /// are avoided — callers must check exhausted() before evaluating.
+  double operator()(std::span<const double> x);
+
+  int count() const { return count_; }
+  bool exhausted() const { return count_ >= max_evaluations_; }
+
+ private:
+  ObjectiveFn fn_;
+  int max_evaluations_;
+  int count_ = 0;
+};
+
+}  // namespace qaoaml::optim
+
+#endif  // QAOAML_OPTIM_TYPES_HPP

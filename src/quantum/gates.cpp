@@ -1,0 +1,96 @@
+#include "quantum/gates.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qaoaml::quantum::gates {
+
+namespace {
+constexpr Complex kI{0.0, 1.0};
+}
+
+Gate1Q identity() { return {{{1, 0}, {0, 1}}}; }
+
+Gate1Q hadamard() {
+  const double s = 1.0 / std::sqrt(2.0);
+  return {{{s, s}, {s, -s}}};
+}
+
+Gate1Q pauli_x() { return {{{0, 1}, {1, 0}}}; }
+
+Gate1Q pauli_y() { return {{{0, -kI}, {kI, 0}}}; }
+
+Gate1Q pauli_z() { return {{{1, 0}, {0, -1}}}; }
+
+Gate1Q rx(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return {{{c, -kI * s}, {-kI * s, c}}};
+}
+
+Gate1Q ry(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return {{{c, -s}, {s, c}}};
+}
+
+Gate1Q rz(double theta) {
+  const Complex lo = std::exp(-kI * (theta / 2.0));
+  const Complex hi = std::exp(kI * (theta / 2.0));
+  return {{{lo, 0}, {0, hi}}};
+}
+
+Gate1Q phase(double phi) { return {{{1, 0}, {0, std::exp(kI * phi)}}}; }
+
+Gate1Q multiply(const Gate1Q& a, const Gate1Q& b) {
+  Gate1Q out{};
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      out.m[r][c] = a.m[r][0] * b.m[0][c] + a.m[r][1] * b.m[1][c];
+    }
+  }
+  return out;
+}
+
+bool is_unitary(const Gate1Q& g, double tol) {
+  // g^dagger * g must be the identity.
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      Complex acc = 0.0;
+      for (int k = 0; k < 2; ++k) acc += std::conj(g.m[k][r]) * g.m[k][c];
+      const Complex expected = (r == c) ? Complex{1.0, 0.0} : Complex{0.0, 0.0};
+      if (std::abs(acc - expected) > tol) return false;
+    }
+  }
+  return true;
+}
+
+double distance_up_to_phase(const Gate1Q& a, const Gate1Q& b) {
+  // Align phases on the largest-magnitude entry of a.
+  int br = 0;
+  int bc = 0;
+  double best = 0.0;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      if (std::abs(a.m[r][c]) > best) {
+        best = std::abs(a.m[r][c]);
+        br = r;
+        bc = c;
+      }
+    }
+  }
+  Complex phase{1.0, 0.0};
+  if (std::abs(b.m[br][bc]) > 1e-15 && best > 1e-15) {
+    phase = (a.m[br][bc] / std::abs(a.m[br][bc])) /
+            (b.m[br][bc] / std::abs(b.m[br][bc]));
+  }
+  double dist = 0.0;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      dist = std::max(dist, std::abs(a.m[r][c] - phase * b.m[r][c]));
+    }
+  }
+  return dist;
+}
+
+}  // namespace qaoaml::quantum::gates

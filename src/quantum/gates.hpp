@@ -1,0 +1,51 @@
+// Single-qubit gate matrices.
+//
+// Conventions: rotation gates are RX(t) = exp(-i t X / 2), RZ(t) =
+// exp(-i t Z / 2), etc., matching the standard circuit-model convention
+// (and QuTiP/Qiskit).  The QAOA mixing layer exp(-i beta X) is therefore
+// RX(2*beta).
+#ifndef QAOAML_QUANTUM_GATES_HPP
+#define QAOAML_QUANTUM_GATES_HPP
+
+#include <complex>
+
+namespace qaoaml::quantum {
+
+using Complex = std::complex<double>;
+
+/// Dense 2x2 single-qubit unitary, row-major: m[row][col].
+struct Gate1Q {
+  Complex m[2][2];
+};
+
+namespace gates {
+
+Gate1Q identity();
+Gate1Q hadamard();
+Gate1Q pauli_x();
+Gate1Q pauli_y();
+Gate1Q pauli_z();
+
+/// exp(-i theta X / 2)
+Gate1Q rx(double theta);
+/// exp(-i theta Y / 2)
+Gate1Q ry(double theta);
+/// exp(-i theta Z / 2)
+Gate1Q rz(double theta);
+/// diag(1, exp(i phi))
+Gate1Q phase(double phi);
+
+/// Product a * b (apply b first).
+Gate1Q multiply(const Gate1Q& a, const Gate1Q& b);
+
+/// True when g^dagger g == I within `tol`.
+bool is_unitary(const Gate1Q& g, double tol = 1e-12);
+
+/// Max |a_ij - b_ij| ignoring a global phase (aligns the largest entry).
+double distance_up_to_phase(const Gate1Q& a, const Gate1Q& b);
+
+}  // namespace gates
+
+}  // namespace qaoaml::quantum
+
+#endif  // QAOAML_QUANTUM_GATES_HPP

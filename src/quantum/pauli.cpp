@@ -1,0 +1,135 @@
+#include "quantum/pauli.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace qaoaml::quantum {
+
+PauliString::PauliString(int num_qubits) : num_qubits_(num_qubits) {
+  require(num_qubits >= 1 && num_qubits <= 63,
+          "PauliString: supports 1..63 qubits");
+}
+
+PauliString PauliString::from_label(const std::string& label) {
+  require(!label.empty(), "PauliString: empty label");
+  PauliString p(static_cast<int>(label.size()));
+  for (std::size_t i = 0; i < label.size(); ++i) {
+    // Leftmost label char acts on the highest qubit index.
+    p.set(static_cast<int>(label.size() - 1 - i), label[i]);
+  }
+  return p;
+}
+
+void PauliString::set(int qubit, char op) {
+  require(qubit >= 0 && qubit < num_qubits_, "PauliString: qubit range");
+  const std::uint64_t bit = 1ULL << qubit;
+  x_mask_ &= ~bit;
+  z_mask_ &= ~bit;
+  y_mask_ &= ~bit;
+  switch (op) {
+    case 'I': break;
+    case 'X': x_mask_ |= bit; break;
+    case 'Y':
+      x_mask_ |= bit;
+      z_mask_ |= bit;
+      y_mask_ |= bit;
+      break;
+    case 'Z': z_mask_ |= bit; break;
+    default:
+      throw InvalidArgument("PauliString: operator must be I/X/Y/Z");
+  }
+}
+
+std::string PauliString::label() const {
+  std::string out(static_cast<std::size_t>(num_qubits_), 'I');
+  for (int q = 0; q < num_qubits_; ++q) {
+    const std::uint64_t bit = 1ULL << q;
+    char op = 'I';
+    if (y_mask_ & bit) {
+      op = 'Y';
+    } else if (x_mask_ & bit) {
+      op = 'X';
+    } else if (z_mask_ & bit) {
+      op = 'Z';
+    }
+    out[static_cast<std::size_t>(num_qubits_ - 1 - q)] = op;
+  }
+  return out;
+}
+
+void PauliString::apply_to(Statevector& state) const {
+  require(state.num_qubits() == num_qubits_, "PauliString: qubit mismatch");
+  // P|z> = phase(z) |z ^ x_mask>:
+  //   Z contributes (-1)^{z & z_mask}; Y contributes an extra i (or -i)
+  //   depending on the flipped bit value.
+  std::vector<Complex> amps = state.amplitudes();
+  std::vector<Complex> out(amps.size());
+  const int y_count = std::popcount(y_mask_);
+  // Global factor from Y = i X Z: each Y contributes a factor i.
+  Complex y_factor{1.0, 0.0};
+  for (int k = 0; k < y_count; ++k) y_factor *= Complex{0.0, 1.0};
+  for (std::uint64_t z = 0; z < amps.size(); ++z) {
+    const std::uint64_t target = z ^ x_mask_;
+    // XZ acting on |z>: Z first (sign from z), then X flips.
+    const int sign_bits = std::popcount(z & z_mask_);
+    const Complex phase = (sign_bits % 2 == 0) ? Complex{1.0, 0.0}
+                                               : Complex{-1.0, 0.0};
+    out[target] += y_factor * phase * amps[z];
+  }
+  state = Statevector::from_amplitudes(std::move(out));
+}
+
+double PauliString::expectation(const Statevector& state) const {
+  require(state.num_qubits() == num_qubits_, "PauliString: qubit mismatch");
+  Statevector transformed = state;
+  apply_to(transformed);
+  return state.inner_product(transformed).real();
+}
+
+bool PauliString::commutes_with(const PauliString& other) const {
+  require(other.num_qubits_ == num_qubits_, "PauliString: qubit mismatch");
+  // Two Pauli strings commute iff the symplectic product is even.
+  const int anti = std::popcount(x_mask_ & other.z_mask_) +
+                   std::popcount(z_mask_ & other.x_mask_);
+  return anti % 2 == 0;
+}
+
+PauliSum::PauliSum(int num_qubits) : num_qubits_(num_qubits) {
+  require(num_qubits >= 1, "PauliSum: need at least one qubit");
+}
+
+void PauliSum::add(double coefficient, PauliString string) {
+  require(string.num_qubits() == num_qubits_, "PauliSum: qubit mismatch");
+  terms_.emplace_back(coefficient, std::move(string));
+}
+
+double PauliSum::expectation(const Statevector& state) const {
+  double acc = 0.0;
+  for (const auto& [coefficient, string] : terms_) {
+    acc += coefficient * string.expectation(state);
+  }
+  return acc;
+}
+
+bool PauliSum::is_diagonal() const {
+  for (const auto& [coefficient, string] : terms_) {
+    if (!string.is_diagonal()) return false;
+  }
+  return true;
+}
+
+std::vector<double> PauliSum::diagonal() const {
+  require(is_diagonal(), "PauliSum: not diagonal");
+  const std::uint64_t dim = 1ULL << num_qubits_;
+  std::vector<double> diag(dim, 0.0);
+  for (const auto& [coefficient, string] : terms_) {
+    for (std::uint64_t z = 0; z < dim; ++z) {
+      const int sign_bits = std::popcount(z & string.z_mask());
+      diag[z] += (sign_bits % 2 == 0) ? coefficient : -coefficient;
+    }
+  }
+  return diag;
+}
+
+}  // namespace qaoaml::quantum

@@ -1,0 +1,90 @@
+// Pauli-string observables.
+//
+// A PauliString is a tensor product of single-qubit I/X/Y/Z operators,
+// encoded by an X-mask and a Z-mask (Y = X and Z on the same qubit, with
+// the phase bookkeeping handled internally).  A PauliSum is a real
+// linear combination of strings — the general observable language on
+// top of the statevector simulator (the MaxCut cost operator is the
+// special case of a Z-only sum).
+#ifndef QAOAML_QUANTUM_PAULI_HPP
+#define QAOAML_QUANTUM_PAULI_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quantum/statevector.hpp"
+
+namespace qaoaml::quantum {
+
+/// Tensor product of Pauli operators over n qubits.
+class PauliString {
+ public:
+  /// Identity on `num_qubits`.
+  explicit PauliString(int num_qubits);
+
+  /// Parses a label like "XIZY" (leftmost character = highest qubit,
+  /// matching ket notation |q_{n-1} ... q_0>).
+  static PauliString from_label(const std::string& label);
+
+  int num_qubits() const { return num_qubits_; }
+  std::uint64_t x_mask() const { return x_mask_; }
+  std::uint64_t z_mask() const { return z_mask_; }
+
+  /// Sets the operator on one qubit (0='I', 1='X', 2='Y', 3='Z').
+  void set(int qubit, char op);
+
+  /// The label ("XIZY" style).
+  std::string label() const;
+
+  /// True when the string contains only I and Z (diagonal observable).
+  bool is_diagonal() const { return x_mask_ == 0; }
+
+  /// Applies the string to a state (in place).
+  void apply_to(Statevector& state) const;
+
+  /// <psi| P |psi>; real for Hermitian P (every Pauli string is).
+  double expectation(const Statevector& state) const;
+
+  /// True when the two strings commute.
+  bool commutes_with(const PauliString& other) const;
+
+ private:
+  int num_qubits_ = 0;
+  std::uint64_t x_mask_ = 0;
+  std::uint64_t z_mask_ = 0;
+  std::uint64_t y_mask_ = 0;  // qubits carrying Y (for the phase factor)
+};
+
+/// Real linear combination of Pauli strings.
+class PauliSum {
+ public:
+  explicit PauliSum(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  std::size_t size() const { return terms_.size(); }
+
+  /// Adds `coefficient * string`; string arity must match.
+  void add(double coefficient, PauliString string);
+
+  const std::vector<std::pair<double, PauliString>>& terms() const {
+    return terms_;
+  }
+
+  /// <psi| H |psi>.
+  double expectation(const Statevector& state) const;
+
+  /// True when every term is diagonal.
+  bool is_diagonal() const;
+
+  /// The diagonal of a purely-diagonal sum (throws otherwise).
+  std::vector<double> diagonal() const;
+
+ private:
+  int num_qubits_ = 0;
+  std::vector<std::pair<double, PauliString>> terms_;
+};
+
+}  // namespace qaoaml::quantum
+
+#endif  // QAOAML_QUANTUM_PAULI_HPP

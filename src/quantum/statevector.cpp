@@ -1,0 +1,228 @@
+#include "quantum/statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qaoaml::quantum {
+
+Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
+  require(num_qubits >= 1 && num_qubits <= 26,
+          "Statevector: supports 1..26 qubits");
+  amps_.assign(std::size_t{1} << num_qubits, Complex{0.0, 0.0});
+  amps_[0] = Complex{1.0, 0.0};
+}
+
+Statevector Statevector::from_amplitudes(std::vector<Complex> amplitudes) {
+  require(!amplitudes.empty(), "Statevector: empty amplitude vector");
+  int qubits = 0;
+  while ((std::size_t{1} << qubits) < amplitudes.size()) ++qubits;
+  require(std::size_t{1} << qubits == amplitudes.size(),
+          "Statevector: amplitude count must be a power of two");
+  require(qubits >= 1, "Statevector: need at least one qubit");
+  Statevector sv;
+  sv.num_qubits_ = qubits;
+  sv.amps_ = std::move(amplitudes);
+  return sv;
+}
+
+Statevector Statevector::uniform(int num_qubits) {
+  Statevector sv(num_qubits);
+  const double amp = 1.0 / std::sqrt(static_cast<double>(sv.dimension()));
+  std::fill(sv.amps_.begin(), sv.amps_.end(), Complex{amp, 0.0});
+  return sv;
+}
+
+void Statevector::check_qubit(int q) const {
+  require(q >= 0 && q < num_qubits_, "Statevector: qubit index out of range");
+}
+
+void Statevector::apply_gate(const Gate1Q& gate, int target) {
+  check_qubit(target);
+  const std::size_t stride = std::size_t{1} << target;
+  const std::size_t dim = amps_.size();
+  // Complex arithmetic expanded into real/imaginary parts: GCC otherwise
+  // routes std::complex products through __muldc3 (Annex G NaN handling),
+  // which dominates the simulator's run time.
+  const double g00r = gate.m[0][0].real(), g00i = gate.m[0][0].imag();
+  const double g01r = gate.m[0][1].real(), g01i = gate.m[0][1].imag();
+  const double g10r = gate.m[1][0].real(), g10i = gate.m[1][0].imag();
+  const double g11r = gate.m[1][1].real(), g11i = gate.m[1][1].imag();
+  // Iterate over pairs (z, z | stride) with bit `target` = 0 in z.
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      const std::size_t i0 = base + offset;
+      const std::size_t i1 = i0 + stride;
+      const double a0r = amps_[i0].real(), a0i = amps_[i0].imag();
+      const double a1r = amps_[i1].real(), a1i = amps_[i1].imag();
+      amps_[i0] = Complex{g00r * a0r - g00i * a0i + g01r * a1r - g01i * a1i,
+                          g00r * a0i + g00i * a0r + g01r * a1i + g01i * a1r};
+      amps_[i1] = Complex{g10r * a0r - g10i * a0i + g11r * a1r - g11i * a1i,
+                          g10r * a0i + g10i * a0r + g11r * a1i + g11i * a1r};
+    }
+  }
+}
+
+void Statevector::apply_controlled(const Gate1Q& gate, int control,
+                                   int target) {
+  check_qubit(control);
+  check_qubit(target);
+  require(control != target,
+          "Statevector: control and target must be distinct");
+  const std::size_t cmask = std::size_t{1} << control;
+  const std::size_t stride = std::size_t{1} << target;
+  const std::size_t dim = amps_.size();
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      const std::size_t i0 = base + offset;
+      if ((i0 & cmask) == 0) continue;
+      const std::size_t i1 = i0 + stride;
+      const Complex a0 = amps_[i0];
+      const Complex a1 = amps_[i1];
+      amps_[i0] = gate.m[0][0] * a0 + gate.m[0][1] * a1;
+      amps_[i1] = gate.m[1][0] * a0 + gate.m[1][1] * a1;
+    }
+  }
+}
+
+void Statevector::apply_cnot(int control, int target) {
+  check_qubit(control);
+  check_qubit(target);
+  require(control != target,
+          "Statevector: control and target must be distinct");
+  const std::size_t cmask = std::size_t{1} << control;
+  const std::size_t tmask = std::size_t{1} << target;
+  const std::size_t dim = amps_.size();
+  for (std::size_t z = 0; z < dim; ++z) {
+    // Swap each |c=1, t=0> amplitude with its |c=1, t=1> partner once.
+    if ((z & cmask) != 0 && (z & tmask) == 0) {
+      std::swap(amps_[z], amps_[z | tmask]);
+    }
+  }
+}
+
+void Statevector::apply_cz(int a, int b) {
+  check_qubit(a);
+  check_qubit(b);
+  require(a != b, "Statevector: CZ qubits must be distinct");
+  const std::size_t mask = (std::size_t{1} << a) | (std::size_t{1} << b);
+  const std::size_t dim = amps_.size();
+  for (std::size_t z = 0; z < dim; ++z) {
+    if ((z & mask) == mask) amps_[z] = -amps_[z];
+  }
+}
+
+namespace {
+/// amps[z] *= phase, with the product expanded to avoid __muldc3.
+inline void multiply_amp(Complex& amp, double pr, double pi) {
+  const double ar = amp.real();
+  const double ai = amp.imag();
+  amp = Complex{ar * pr - ai * pi, ar * pi + ai * pr};
+}
+}  // namespace
+
+void Statevector::apply_rz(int target, double theta) {
+  check_qubit(target);
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  const std::size_t mask = std::size_t{1} << target;
+  for (std::size_t z = 0; z < amps_.size(); ++z) {
+    // bit = 0 -> exp(-i theta/2); bit = 1 -> exp(+i theta/2)
+    multiply_amp(amps_[z], c, ((z & mask) == 0) ? -s : s);
+  }
+}
+
+void Statevector::apply_diagonal_evolution(const std::vector<double>& diag,
+                                           double angle) {
+  require(diag.size() == amps_.size(),
+          "Statevector: diagonal length must equal dimension");
+  for (std::size_t z = 0; z < amps_.size(); ++z) {
+    const double phi = -angle * diag[z];
+    multiply_amp(amps_[z], std::cos(phi), std::sin(phi));
+  }
+}
+
+void Statevector::apply_diagonal_evolution_integral(
+    const std::vector<int>& diag, double angle, int max_value) {
+  require(diag.size() == amps_.size(),
+          "Statevector: diagonal length must equal dimension");
+  require(max_value >= 0, "Statevector: max_value must be non-negative");
+  // phases[k] = exp(-i * k * angle): only max_value + 1 distinct phases.
+  std::vector<Complex> phases(static_cast<std::size_t>(max_value) + 1);
+  for (std::size_t k = 0; k < phases.size(); ++k) {
+    const double phi = -angle * static_cast<double>(k);
+    phases[k] = Complex{std::cos(phi), std::sin(phi)};
+  }
+  for (std::size_t z = 0; z < amps_.size(); ++z) {
+    const Complex& p = phases[static_cast<std::size_t>(diag[z])];
+    multiply_amp(amps_[z], p.real(), p.imag());
+  }
+}
+
+void Statevector::apply_hadamard_all() {
+  const Gate1Q h = gates::hadamard();
+  for (int q = 0; q < num_qubits_; ++q) apply_gate(h, q);
+}
+
+double Statevector::norm() const {
+  double acc = 0.0;
+  for (const Complex& a : amps_) acc += std::norm(a);
+  return std::sqrt(acc);
+}
+
+std::vector<double> Statevector::probabilities() const {
+  std::vector<double> probs(amps_.size());
+  for (std::size_t z = 0; z < amps_.size(); ++z) probs[z] = std::norm(amps_[z]);
+  return probs;
+}
+
+double Statevector::expectation_diagonal(const std::vector<double>& diag) const {
+  require(diag.size() == amps_.size(),
+          "Statevector: diagonal length must equal dimension");
+  double acc = 0.0;
+  for (std::size_t z = 0; z < amps_.size(); ++z) {
+    acc += std::norm(amps_[z]) * diag[z];
+  }
+  return acc;
+}
+
+double Statevector::expectation_z(int target) const {
+  check_qubit(target);
+  const std::size_t mask = std::size_t{1} << target;
+  double acc = 0.0;
+  for (std::size_t z = 0; z < amps_.size(); ++z) {
+    const double p = std::norm(amps_[z]);
+    acc += ((z & mask) == 0) ? p : -p;
+  }
+  return acc;
+}
+
+std::uint64_t Statevector::sample(Rng& rng) const {
+  double u = rng.uniform();
+  for (std::size_t z = 0; z < amps_.size(); ++z) {
+    u -= std::norm(amps_[z]);
+    if (u <= 0.0) return z;
+  }
+  return amps_.size() - 1;  // numerical slack: return the last state
+}
+
+std::vector<std::uint64_t> Statevector::sample(Rng& rng, int shots) const {
+  require(shots >= 0, "Statevector::sample: shots must be non-negative");
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(shots));
+  for (auto& z : out) z = sample(rng);
+  return out;
+}
+
+Complex Statevector::inner_product(const Statevector& other) const {
+  require(num_qubits_ == other.num_qubits_,
+          "Statevector::inner_product: qubit count mismatch");
+  Complex acc{0.0, 0.0};
+  for (std::size_t z = 0; z < amps_.size(); ++z) {
+    acc += std::conj(amps_[z]) * other.amps_[z];
+  }
+  return acc;
+}
+
+}  // namespace qaoaml::quantum

@@ -1,0 +1,98 @@
+// Dense statevector simulator.
+//
+// Stores all 2^n complex amplitudes and applies gates in place.  Qubit q
+// corresponds to bit q of the basis-state index (little-endian), so basis
+// state |z> has qubit 0 in the least-significant bit.
+//
+// This is the "quantum computer" of the QAOA optimization loop, standing
+// in for the paper's QuTiP backend: both produce the exact noiseless
+// state and exact expectation values.
+#ifndef QAOAML_QUANTUM_STATEVECTOR_HPP
+#define QAOAML_QUANTUM_STATEVECTOR_HPP
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "quantum/gates.hpp"
+
+namespace qaoaml::quantum {
+
+/// Dense n-qubit quantum state.
+class Statevector {
+ public:
+  /// |0...0> on `num_qubits` qubits.  Requires 1 <= num_qubits <= 26.
+  explicit Statevector(int num_qubits);
+
+  /// Builds a state from explicit amplitudes (length must be a power of
+  /// two); the vector is not renormalized — callers own normalization.
+  static Statevector from_amplitudes(std::vector<Complex> amplitudes);
+
+  /// The uniform superposition H^n |0...0> — the QAOA input layer —
+  /// constructed directly (every amplitude 2^(-n/2)).
+  static Statevector uniform(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  std::size_t dimension() const { return amps_.size(); }
+  const std::vector<Complex>& amplitudes() const { return amps_; }
+
+  /// Applies a single-qubit gate to `target`.
+  void apply_gate(const Gate1Q& gate, int target);
+
+  /// Applies `gate` to `target` controlled on `control` being |1>.
+  void apply_controlled(const Gate1Q& gate, int control, int target);
+
+  void apply_cnot(int control, int target);
+  void apply_cz(int a, int b);
+
+  /// Fast path for diagonal rotations: RZ(theta) on `target`.
+  void apply_rz(int target, double theta);
+
+  /// Multiplies amplitude z by exp(-i * angle * diag[z]).  This is the
+  /// exact action of exp(-i * angle * C) for a diagonal observable C —
+  /// the fused phase-separation layer of QAOA.
+  void apply_diagonal_evolution(const std::vector<double>& diag, double angle);
+
+  /// Same as apply_diagonal_evolution but for an integer-valued diagonal
+  /// with entries in [0, max_value]: only max_value + 1 distinct phases
+  /// occur, so they are precomputed once (a large win for unweighted
+  /// MaxCut where diag[z] is the cut size).
+  void apply_diagonal_evolution_integral(const std::vector<int>& diag,
+                                         double angle, int max_value);
+
+  /// Hadamard on every qubit (the QAOA state preparation layer).
+  void apply_hadamard_all();
+
+  /// L2 norm of the state (1 for any unitary evolution of |0...0>).
+  double norm() const;
+
+  /// |amplitude|^2 for every basis state.
+  std::vector<double> probabilities() const;
+
+  /// <psi| diag |psi> for a diagonal observable.
+  double expectation_diagonal(const std::vector<double>& diag) const;
+
+  /// Expectation of Z on `target`: P(bit=0) - P(bit=1).
+  double expectation_z(int target) const;
+
+  /// Draws one basis state according to the Born rule.
+  std::uint64_t sample(Rng& rng) const;
+
+  /// Draws `shots` basis states.
+  std::vector<std::uint64_t> sample(Rng& rng, int shots) const;
+
+  /// <this|other>; states must have equal qubit counts.
+  Complex inner_product(const Statevector& other) const;
+
+ private:
+  Statevector() = default;
+  void check_qubit(int q) const;
+
+  int num_qubits_ = 0;
+  std::vector<Complex> amps_;
+};
+
+}  // namespace qaoaml::quantum
+
+#endif  // QAOAML_QUANTUM_STATEVECTOR_HPP

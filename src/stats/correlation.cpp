@@ -1,0 +1,45 @@
+#include "stats/correlation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace qaoaml::stats {
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  require(xs.size() == ys.size(), "pearson: length mismatch");
+  require(xs.size() >= 2, "pearson: need at least two observations");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+linalg::Matrix correlation_matrix(const linalg::Matrix& data) {
+  const std::size_t vars = data.cols();
+  linalg::Matrix out(vars, vars);
+  std::vector<std::vector<double>> columns(vars);
+  for (std::size_t c = 0; c < vars; ++c) columns[c] = data.col(c);
+  for (std::size_t i = 0; i < vars; ++i) {
+    out(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < vars; ++j) {
+      const double r = pearson(columns[i], columns[j]);
+      out(i, j) = r;
+      out(j, i) = r;
+    }
+  }
+  return out;
+}
+
+}  // namespace qaoaml::stats

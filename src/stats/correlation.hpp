@@ -1,0 +1,24 @@
+// Correlation analysis.
+//
+// Reproduces the Fig. 5 study: Pearson R between the predictor features
+// (gamma1OPT(p=1), beta1OPT(p=1), target depth) and each response angle.
+#ifndef QAOAML_STATS_CORRELATION_HPP
+#define QAOAML_STATS_CORRELATION_HPP
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qaoaml::stats {
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 when either sample has zero variance.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Pairwise Pearson correlation matrix of the columns of `data`
+/// (rows = observations, cols = variables).
+linalg::Matrix correlation_matrix(const linalg::Matrix& data);
+
+}  // namespace qaoaml::stats
+
+#endif  // QAOAML_STATS_CORRELATION_HPP

@@ -1,0 +1,90 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qaoaml::stats {
+
+double mean(const std::vector<double>& xs) {
+  require(!xs.empty(), "mean: empty sample");
+  double acc = 0.0;
+  for (const double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double median(std::vector<double> xs) {
+  require(!xs.empty(), "median: empty sample");
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  const double upper = xs[mid];
+  if (xs.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lower + upper);
+}
+
+double percentile(std::vector<double> xs, double q) {
+  require(!xs.empty(), "percentile: empty sample");
+  require(q >= 0.0 && q <= 100.0, "percentile: q must lie in [0, 100]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double min(const std::vector<double>& xs) {
+  require(!xs.empty(), "min: empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(const std::vector<double>& xs) {
+  require(!xs.empty(), "max: empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = min(xs);
+  s.max = max(xs);
+  s.median = median(xs);
+  return s;
+}
+
+void Accumulator::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const {
+  require(count_ > 0, "Accumulator::mean: empty");
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace qaoaml::stats

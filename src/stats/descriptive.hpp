@@ -1,0 +1,62 @@
+// Descriptive statistics over samples of doubles.
+//
+// The experiment harness aggregates approximation ratios and function-call
+// counts with these helpers (Table I reports mean and standard deviation).
+#ifndef QAOAML_STATS_DESCRIPTIVE_HPP
+#define QAOAML_STATS_DESCRIPTIVE_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace qaoaml::stats {
+
+/// Arithmetic mean; requires a non-empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for samples of size < 2.
+double variance(const std::vector<double>& xs);
+
+/// Square root of variance().
+double stddev(const std::vector<double>& xs);
+
+/// Sample median (average of middle two for even sizes).
+double median(std::vector<double> xs);
+
+/// Linear-interpolated percentile, q in [0, 100].
+double percentile(std::vector<double> xs, double q);
+
+double min(const std::vector<double>& xs);
+double max(const std::vector<double>& xs);
+
+/// One-pass summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes all Summary fields; requires a non-empty sample.
+Summary summarize(const std::vector<double>& xs);
+
+/// Online mean/variance accumulator (Welford's algorithm); useful when the
+/// sample is too large or streaming to keep around.
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< unbiased (n-1); 0 when count < 2
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace qaoaml::stats
+
+#endif  // QAOAML_STATS_DESCRIPTIVE_HPP

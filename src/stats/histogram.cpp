@@ -1,0 +1,63 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace qaoaml::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  require(lo < hi, "Histogram: requires lo < hi");
+  require(bins >= 1, "Histogram: requires at least one bin");
+}
+
+Histogram Histogram::of(const std::vector<double>& xs, std::size_t bins) {
+  require(!xs.empty(), "Histogram::of: empty sample");
+  double lo = min(xs);
+  double hi = max(xs);
+  if (lo == hi) {  // degenerate sample: widen so every value lands mid-bin
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  Histogram h(lo, hi, bins);
+  h.add_all(xs);
+  return h;
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  const auto raw = static_cast<long long>(std::floor((x - lo_) / width));
+  const long long last = static_cast<long long>(counts_.size()) - 1;
+  const std::size_t bin = static_cast<std::size_t>(std::clamp(raw, 0LL, last));
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  require(bin < counts_.size(), "Histogram::bin_center: out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+void Histogram::print(std::ostream& os, std::size_t max_bar_width) const {
+  const std::size_t peak = *std::max_element(counts_.begin(), counts_.end());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double left = lo_ + static_cast<double>(b) * width;
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * max_bar_width / std::max<std::size_t>(peak, 1);
+    char label[64];
+    std::snprintf(label, sizeof(label), "[%8.4f, %8.4f)", left, left + width);
+    os << label << ' ' << std::string(bar, '#') << "  " << counts_[b] << '\n';
+  }
+}
+
+}  // namespace qaoaml::stats

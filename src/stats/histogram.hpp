@@ -1,0 +1,49 @@
+// Fixed-bin histogram with a plain-text renderer.
+//
+// The figure benches print distribution shapes (Fig. 1(c) AR / FC spreads,
+// Fig. 6 prediction-error distributions) with this.
+#ifndef QAOAML_STATS_HISTOGRAM_HPP
+#define QAOAML_STATS_HISTOGRAM_HPP
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qaoaml::stats {
+
+/// Equal-width histogram over [lo, hi] with `bins` buckets.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Builds a histogram spanning the sample's own min/max.
+  static Histogram of(const std::vector<double>& xs, std::size_t bins);
+
+  /// Adds one observation; values outside [lo, hi] clamp to the end bins.
+  void add(double x);
+
+  /// Adds every value in `xs`.
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+
+  /// Center of bin `bin`.
+  double bin_center(std::size_t bin) const;
+
+  /// Renders rows like "[0.10, 0.20) ########  12".
+  void print(std::ostream& os, std::size_t max_bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace qaoaml::stats
+
+#endif  // QAOAML_STATS_HISTOGRAM_HPP

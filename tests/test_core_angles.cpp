@@ -1,0 +1,121 @@
+// Tests for the QAOA angle layout, bounds, initialization strategies and
+// the symmetry canonicalization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/angles.hpp"
+#include "core/qaoa_objective.hpp"
+#include "graph/generators.hpp"
+
+namespace qaoaml::core {
+namespace {
+
+TEST(Angles, CountIsTwiceDepth) {
+  EXPECT_EQ(num_angles(1), 2u);
+  EXPECT_EQ(num_angles(5), 10u);
+  EXPECT_THROW(num_angles(0), InvalidArgument);
+}
+
+TEST(Angles, PackedLayoutAccessors) {
+  const std::vector<double> params{0.1, 0.2, 0.3, 1.1, 1.2, 1.3};
+  EXPECT_DOUBLE_EQ(gamma_of(params, 1), 0.1);
+  EXPECT_DOUBLE_EQ(gamma_of(params, 3), 0.3);
+  EXPECT_DOUBLE_EQ(beta_of(params, 1), 1.1);
+  EXPECT_DOUBLE_EQ(beta_of(params, 3), 1.3);
+  EXPECT_THROW(gamma_of(params, 4), InvalidArgument);
+  EXPECT_THROW(beta_of(params, 0), InvalidArgument);
+}
+
+TEST(Angles, SettersWriteCorrectSlots) {
+  std::vector<double> params(6, 0.0);
+  set_gamma(params, 2, 0.5);
+  set_beta(params, 3, 0.7);
+  EXPECT_DOUBLE_EQ(params[1], 0.5);
+  EXPECT_DOUBLE_EQ(params[5], 0.7);
+}
+
+TEST(Angles, PackRoundTrips) {
+  const std::vector<double> params = pack_angles({0.1, 0.2}, {0.3, 0.4});
+  EXPECT_EQ(params, (std::vector<double>{0.1, 0.2, 0.3, 0.4}));
+  EXPECT_THROW(pack_angles({0.1}, {0.3, 0.4}), InvalidArgument);
+}
+
+TEST(Angles, BoundsMatchPaperDomain) {
+  const optim::Bounds b = qaoa_bounds(3);
+  ASSERT_EQ(b.size(), 6u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(b.lower()[i], 0.0);
+    EXPECT_DOUBLE_EQ(b.upper()[i], 2.0 * M_PI);  // gamma
+  }
+  for (std::size_t i = 3; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(b.upper()[i], M_PI);  // beta
+  }
+}
+
+TEST(Angles, RandomAnglesRespectDomain) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<double> params = random_angles(4, rng);
+    EXPECT_TRUE(qaoa_bounds(4).contains(params));
+  }
+}
+
+TEST(Angles, LinearRampIsMonotonic) {
+  const std::vector<double> params = linear_ramp_angles(5);
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_GT(gamma_of(params, i + 1), gamma_of(params, i));
+    EXPECT_LT(beta_of(params, i + 1), beta_of(params, i));
+  }
+  EXPECT_TRUE(qaoa_bounds(5).contains(params));
+}
+
+TEST(Canonicalize, LeavesCanonicalInputAlone) {
+  const std::vector<double> params = pack_angles({1.0, 2.0}, {0.3, 1.0});
+  EXPECT_EQ(canonicalize_angles(params), params);
+}
+
+TEST(Canonicalize, MirrorsWhenBeta1ExceedsHalfPi) {
+  const std::vector<double> params = pack_angles({1.0, 2.0}, {2.0, 1.0});
+  const std::vector<double> canon = canonicalize_angles(params);
+  EXPECT_NEAR(gamma_of(canon, 1), 2.0 * M_PI - 1.0, 1e-12);
+  EXPECT_NEAR(gamma_of(canon, 2), 2.0 * M_PI - 2.0, 1e-12);
+  EXPECT_NEAR(beta_of(canon, 1), M_PI - 2.0, 1e-12);
+  EXPECT_NEAR(beta_of(canon, 2), M_PI - 1.0, 1e-12);
+}
+
+TEST(Canonicalize, IsIdempotent) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> params = random_angles(3, rng);
+    const std::vector<double> once = canonicalize_angles(params);
+    EXPECT_EQ(canonicalize_angles(once), once);
+    EXPECT_LE(beta_of(once, 1), M_PI / 2.0 + 1e-15);
+  }
+}
+
+TEST(Canonicalize, PreservesExpectationOnUnweightedGraphs) {
+  // The mirror map is an exact symmetry of the unweighted-MaxCut ansatz:
+  // the QAOA energy must be bit-for-bit comparable at both points.
+  Rng rng(7);
+  const graph::Graph g = graph::random_regular(8, 3, rng);
+  for (int p : {1, 2, 3}) {
+    const MaxCutQaoa instance(g, p);
+    for (int trial = 0; trial < 10; ++trial) {
+      const std::vector<double> params = random_angles(p, rng);
+      const std::vector<double> canon = canonicalize_angles(params);
+      EXPECT_NEAR(instance.expectation(params), instance.expectation(canon),
+                  1e-9);
+    }
+  }
+}
+
+TEST(Canonicalize, RejectsMalformedVectors) {
+  EXPECT_THROW(canonicalize_angles(std::vector<double>{1.0}), InvalidArgument);
+  EXPECT_THROW(canonicalize_angles(std::vector<double>{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qaoaml::core

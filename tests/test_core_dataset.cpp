@@ -1,0 +1,208 @@
+// Tests for the parameter dataset: generation, persistence, splits and
+// the parameter trends the paper builds its ML model on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/angles.hpp"
+#include "core/parameter_dataset.hpp"
+#include "stats/correlation.hpp"
+
+namespace qaoaml::core {
+namespace {
+
+/// Small-but-real dataset shared by the tests in this file.
+const ParameterDataset& small_dataset() {
+  static const ParameterDataset dataset = [] {
+    DatasetConfig config;
+    config.num_graphs = 8;
+    config.max_depth = 3;
+    config.restarts = 6;
+    config.seed = 99;
+    return ParameterDataset::generate(config);
+  }();
+  return dataset;
+}
+
+TEST(Dataset, GeneratesRequestedShape) {
+  const ParameterDataset& ds = small_dataset();
+  EXPECT_EQ(ds.size(), 8u);
+  EXPECT_EQ(ds.max_depth(), 3);
+  for (const InstanceRecord& r : ds.records()) {
+    EXPECT_EQ(r.optimal_params.size(), 3u);
+    EXPECT_EQ(r.expectation.size(), 3u);
+    EXPECT_EQ(r.approximation_ratio.size(), 3u);
+    EXPECT_GE(r.problem.num_edges(), 1u);
+    EXPECT_GT(r.max_cut, 0.0);
+    for (int p = 1; p <= 3; ++p) {
+      EXPECT_EQ(r.optimal_params[static_cast<std::size_t>(p - 1)].size(),
+                num_angles(p));
+    }
+  }
+}
+
+TEST(Dataset, ParameterCountMatchesPaperFormula) {
+  // Per graph: sum_{p=1..P} 2p. For P = 3: 12. (At the paper's full
+  // scale, 330 graphs x 42 = 13,860.)
+  EXPECT_EQ(small_dataset().total_parameter_count(), 8u * 12u);
+}
+
+TEST(Dataset, BestExpectationIsMonotoneInDepth) {
+  // Deeper QAOA can always represent the shallower circuit (extra stages
+  // near zero angles), so the best-of-k optimum should not get worse.
+  // Finite restarts leave a little slack.
+  for (const InstanceRecord& r : small_dataset().records()) {
+    for (std::size_t d = 1; d < r.expectation.size(); ++d) {
+      EXPECT_GE(r.expectation[d], r.expectation[d - 1] - 0.05);
+    }
+  }
+}
+
+TEST(Dataset, ApproximationRatiosAreValid) {
+  for (const InstanceRecord& r : small_dataset().records()) {
+    for (const double ar : r.approximation_ratio) {
+      EXPECT_GT(ar, 0.4);
+      EXPECT_LE(ar, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Dataset, GenerationIsDeterministic) {
+  DatasetConfig config;
+  config.num_graphs = 3;
+  config.max_depth = 2;
+  config.restarts = 3;
+  config.seed = 123;
+  const ParameterDataset a = ParameterDataset::generate(config);
+  const ParameterDataset b = ParameterDataset::generate(config);
+  for (std::size_t g = 0; g < a.size(); ++g) {
+    EXPECT_EQ(a.records()[g].problem.num_edges(),
+              b.records()[g].problem.num_edges());
+    EXPECT_DOUBLE_EQ(a.records()[g].expectation[1],
+                     b.records()[g].expectation[1]);
+  }
+}
+
+TEST(Dataset, AccessorsMatchRawStorage) {
+  const InstanceRecord& r = small_dataset().records()[0];
+  EXPECT_DOUBLE_EQ(r.gamma_opt(2, 1), r.optimal_params[1][0]);
+  EXPECT_DOUBLE_EQ(r.beta_opt(2, 2), r.optimal_params[1][3]);
+  EXPECT_THROW(r.gamma_opt(4, 1), InvalidArgument);
+}
+
+TEST(Dataset, SplitPartitionsRecords) {
+  Rng rng(5);
+  const auto [train, test] = small_dataset().split_indices(0.25, rng);
+  EXPECT_EQ(train.size(), 2u);
+  EXPECT_EQ(test.size(), 6u);
+  std::vector<bool> seen(8, false);
+  for (const std::size_t i : train) seen[i] = true;
+  for (const std::size_t i : test) {
+    EXPECT_FALSE(seen[i]);  // disjoint
+    seen[i] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);  // exhaustive
+}
+
+TEST(Dataset, SaveLoadRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/qaoaml_ds_roundtrip.txt";
+  const ParameterDataset& original = small_dataset();
+  original.save(path);
+  const ParameterDataset loaded = ParameterDataset::load(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(to_string(loaded.config()), to_string(original.config()));
+  for (std::size_t g = 0; g < original.size(); ++g) {
+    const InstanceRecord& a = original.records()[g];
+    const InstanceRecord& b = loaded.records()[g];
+    EXPECT_EQ(a.problem.num_edges(), b.problem.num_edges());
+    EXPECT_DOUBLE_EQ(a.max_cut, b.max_cut);
+    for (std::size_t d = 0; d < a.optimal_params.size(); ++d) {
+      EXPECT_DOUBLE_EQ(a.expectation[d], b.expectation[d]);
+      for (std::size_t k = 0; k < a.optimal_params[d].size(); ++k) {
+        EXPECT_DOUBLE_EQ(a.optimal_params[d][k], b.optimal_params[d][k]);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadRejectsCorruptedFiles) {
+  const std::string path = ::testing::TempDir() + "/qaoaml_ds_bad.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not-a-dataset\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(ParameterDataset::load(path), InvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadOrGenerateUsesCache) {
+  const std::string path = ::testing::TempDir() + "/qaoaml_ds_cache.txt";
+  std::remove(path.c_str());
+  DatasetConfig config;
+  config.num_graphs = 3;
+  config.max_depth = 2;
+  config.restarts = 2;
+  config.seed = 7;
+  const ParameterDataset first = ParameterDataset::load_or_generate(config, path);
+  // Second call must hit the cache and reproduce the data exactly.
+  const ParameterDataset second =
+      ParameterDataset::load_or_generate(config, path);
+  EXPECT_DOUBLE_EQ(first.records()[0].expectation[0],
+                   second.records()[0].expectation[0]);
+  // A different config must regenerate, not reuse.
+  config.seed = 8;
+  const ParameterDataset third = ParameterDataset::load_or_generate(config, path);
+  EXPECT_EQ(third.config().seed, 8u);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTrends, Gamma1DecreasesWithDepth) {
+  // Section II-C: gamma_1OPT decreases as the target depth grows.
+  // Checked in aggregate (correlation over the ensemble is negative).
+  std::vector<double> gammas;
+  std::vector<double> depths;
+  for (const InstanceRecord& r : small_dataset().records()) {
+    for (int p = 1; p <= 3; ++p) {
+      gammas.push_back(r.gamma_opt(p, 1));
+      depths.push_back(static_cast<double>(p));
+    }
+  }
+  EXPECT_LT(stats::pearson(gammas, depths), 0.1);
+}
+
+TEST(DatasetTrends, Beta1IncreasesWithDepth) {
+  std::vector<double> betas;
+  std::vector<double> depths;
+  for (const InstanceRecord& r : small_dataset().records()) {
+    for (int p = 1; p <= 3; ++p) {
+      betas.push_back(r.beta_opt(p, 1));
+      depths.push_back(static_cast<double>(p));
+    }
+  }
+  EXPECT_GT(stats::pearson(betas, depths), -0.1);
+}
+
+TEST(DatasetTrends, IntraDepthMonotonicity) {
+  // Section II-B: within a fixed depth, gamma_i grows between stages and
+  // beta_i shrinks.  Checked in aggregate across graphs at p = 3.
+  int gamma_up = 0;
+  int beta_down = 0;
+  int total = 0;
+  for (const InstanceRecord& r : small_dataset().records()) {
+    for (int i = 1; i < 3; ++i) {
+      gamma_up += (r.gamma_opt(3, i + 1) >= r.gamma_opt(3, i));
+      beta_down += (r.beta_opt(3, i + 1) <= r.beta_opt(3, i));
+      ++total;
+    }
+  }
+  EXPECT_GT(gamma_up, total / 2);
+  EXPECT_GT(beta_down, total / 2);
+}
+
+}  // namespace
+}  // namespace qaoaml::core

@@ -1,0 +1,254 @@
+// Tests for feature extraction, the predictor bank, and the two-level /
+// three-level accelerated solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/angles.hpp"
+#include "core/experiment.hpp"
+#include "core/feature_extraction.hpp"
+#include "core/parameter_predictor.hpp"
+#include "core/two_level_solver.hpp"
+
+namespace qaoaml::core {
+namespace {
+
+/// Shared dataset: 12 graphs, depths 1..4 (kept small for test speed).
+const ParameterDataset& dataset() {
+  static const ParameterDataset ds = [] {
+    DatasetConfig config;
+    config.num_graphs = 12;
+    config.max_depth = 4;
+    config.restarts = 6;
+    config.seed = 2024;
+    return ParameterDataset::generate(config);
+  }();
+  return ds;
+}
+
+std::vector<std::size_t> all_indices() {
+  std::vector<std::size_t> idx(dataset().size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  return idx;
+}
+
+TEST(Features, TwoLevelVectorLayout) {
+  const InstanceRecord& r = dataset().records()[0];
+  const std::vector<double> f = two_level_features(r, 3);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f[0], r.gamma_opt(1, 1));
+  EXPECT_DOUBLE_EQ(f[1], r.beta_opt(1, 1));
+  EXPECT_DOUBLE_EQ(f[2], 3.0);
+}
+
+TEST(Features, HierarchicalVectorLayout) {
+  const InstanceRecord& r = dataset().records()[0];
+  const std::vector<double> f = hierarchical_features(r, 2, 4);
+  // gamma1(1), beta1(1), then 4 angles of p=2, then target depth.
+  ASSERT_EQ(f.size(), 7u);
+  EXPECT_DOUBLE_EQ(f[2], r.gamma_opt(2, 1));
+  EXPECT_DOUBLE_EQ(f[5], r.beta_opt(2, 2));
+  EXPECT_DOUBLE_EQ(f[6], 4.0);
+  EXPECT_THROW(hierarchical_features(r, 9, 4), InvalidArgument);
+}
+
+TEST(Features, ResponseSelectsCorrectAngle) {
+  const InstanceRecord& r = dataset().records()[1];
+  EXPECT_DOUBLE_EQ(
+      response_of(r, {AngleId::Kind::kGamma, 2}, 3), r.gamma_opt(3, 2));
+  EXPECT_DOUBLE_EQ(
+      response_of(r, {AngleId::Kind::kBeta, 3}, 3), r.beta_opt(3, 3));
+}
+
+TEST(Features, AngleIdNames) {
+  EXPECT_EQ((AngleId{AngleId::Kind::kGamma, 3}).name(), "gamma3");
+  EXPECT_EQ((AngleId{AngleId::Kind::kBeta, 1}).name(), "beta1");
+}
+
+TEST(Features, TrainingSetRowCounts) {
+  // gamma_1 exists for every target depth 2..4 -> 3 rows per record.
+  const ml::Dataset g1 = build_angle_training_set(
+      dataset(), all_indices(), {AngleId::Kind::kGamma, 1});
+  EXPECT_EQ(g1.size(), dataset().size() * 3);
+  // gamma_4 only exists at depth 4 -> 1 row per record.
+  const ml::Dataset g4 = build_angle_training_set(
+      dataset(), all_indices(), {AngleId::Kind::kGamma, 4});
+  EXPECT_EQ(g4.size(), dataset().size() * 1);
+  // Hierarchical with pm = 2: targets 3..4 for gamma_1.
+  const ml::Dataset h1 = build_angle_training_set(
+      dataset(), all_indices(), {AngleId::Kind::kGamma, 1}, 2);
+  EXPECT_EQ(h1.size(), dataset().size() * 2);
+  EXPECT_EQ(h1.num_features(), 7u);
+}
+
+TEST(Predictor, TrainsAndPredictsWithinDomain) {
+  ParameterPredictor predictor;  // GPR two-level by default
+  predictor.train(dataset(), all_indices());
+  EXPECT_TRUE(predictor.trained());
+  const InstanceRecord& r = dataset().records()[0];
+  for (int pt = 2; pt <= 4; ++pt) {
+    const std::vector<double> init =
+        predictor.predict(r.gamma_opt(1, 1), r.beta_opt(1, 1), pt);
+    ASSERT_EQ(init.size(), num_angles(pt));
+    EXPECT_TRUE(qaoa_bounds(pt).contains(init));
+  }
+  EXPECT_THROW(predictor.predict(1.0, 0.5, 5), InvalidArgument);
+  EXPECT_THROW(predictor.predict(1.0, 0.5, 1), InvalidArgument);
+}
+
+TEST(Predictor, UntrainedPredictThrows) {
+  const ParameterPredictor predictor;
+  EXPECT_THROW(predictor.predict(1.0, 0.5, 2), InvalidArgument);
+}
+
+TEST(Predictor, PredictionsApproximateHeldOutOptima) {
+  // Train on 9 graphs, evaluate on the remaining 3: predictions must be
+  // meaningfully closer to the true optima than random initialization
+  // would be (uniform-random expected |error| is large on [0, 2pi]).
+  std::vector<std::size_t> train{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<std::size_t> test{9, 10, 11};
+  ParameterPredictor predictor;
+  predictor.train(dataset(), train);
+  double total_err = 0.0;
+  int count = 0;
+  for (const std::size_t t : test) {
+    const InstanceRecord& r = dataset().records()[t];
+    for (int pt = 2; pt <= 4; ++pt) {
+      const std::vector<double> pred =
+          predictor.predict(r.gamma_opt(1, 1), r.beta_opt(1, 1), pt);
+      const std::vector<double>& truth =
+          r.optimal_params[static_cast<std::size_t>(pt - 1)];
+      for (std::size_t k = 0; k < truth.size(); ++k) {
+        total_err += std::abs(pred[k] - truth[k]);
+        ++count;
+      }
+    }
+  }
+  const double mean_abs_err = total_err / count;
+  EXPECT_LT(mean_abs_err, 0.6);  // uniform-random would give ~1.5-2.5
+}
+
+TEST(Predictor, HierarchicalBankValidatesUsage) {
+  PredictorConfig config;
+  config.intermediate_depth = 2;
+  ParameterPredictor fine(config);
+  fine.train(dataset(), all_indices());
+  const InstanceRecord& r = dataset().records()[0];
+  const std::vector<double> init = fine.predict_hierarchical(
+      r.gamma_opt(1, 1), r.beta_opt(1, 1), r.optimal_params[1], 4);
+  EXPECT_EQ(init.size(), 8u);
+  EXPECT_TRUE(qaoa_bounds(4).contains(init));
+  // Two-level predict on a hierarchical bank is a usage error.
+  EXPECT_THROW(fine.predict(1.0, 0.5, 4), InvalidArgument);
+  // Target at or below the intermediate depth is a usage error.
+  EXPECT_THROW(fine.predict_hierarchical(1.0, 0.5, r.optimal_params[1], 2),
+               InvalidArgument);
+}
+
+TEST(Predictor, PerAngleQueriesWork) {
+  ParameterPredictor predictor;
+  predictor.train(dataset(), all_indices());
+  const InstanceRecord& r = dataset().records()[2];
+  const std::vector<double> features = two_level_features(r, 3);
+  const double g2 = predictor.predict_angle({AngleId::Kind::kGamma, 2}, features);
+  EXPECT_TRUE(std::isfinite(g2));
+}
+
+TEST(TwoLevel, AcceleratesConvergence) {
+  // The paper's core claim, in miniature: ML-initialized runs use fewer
+  // total function calls than naive random-init runs, on average.
+  std::vector<std::size_t> train{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<std::size_t> test{8, 9, 10, 11};
+  ParameterPredictor predictor;
+  predictor.train(dataset(), train);
+
+  TwoLevelConfig config;  // L-BFGS-B
+  Rng rng(5);
+  double naive_fc = 0.0;
+  double ml_fc = 0.0;
+  for (const std::size_t t : test) {
+    const InstanceRecord& r = dataset().records()[t];
+    const MaxCutQaoa instance(r.problem, 4);
+    for (int run = 0; run < 4; ++run) {
+      naive_fc += solve_random_init(instance, config.optimizer, rng,
+                                    config.options)
+                      .function_calls;
+    }
+    for (int run = 0; run < 2; ++run) {
+      ml_fc += solve_two_level(r.problem, 4, predictor, config, rng)
+                   .total_function_calls / 2.0;
+    }
+  }
+  naive_fc /= 4.0;
+  EXPECT_LT(ml_fc, naive_fc);
+}
+
+TEST(TwoLevel, AccountsFunctionCallsAcrossStages) {
+  std::vector<std::size_t> train{0, 1, 2, 3, 4, 5, 6, 7};
+  ParameterPredictor predictor;
+  predictor.train(dataset(), train);
+  TwoLevelConfig config;
+  Rng rng(7);
+  const AcceleratedRun run =
+      solve_two_level(dataset().records()[9].problem, 3, predictor, config, rng);
+  EXPECT_EQ(run.total_function_calls,
+            run.level1.function_calls + run.final.function_calls);
+  EXPECT_EQ(run.predicted_init.size(), 6u);
+  EXPECT_GT(run.final.approximation_ratio, 0.5);
+}
+
+TEST(ThreeLevel, RunsAndAccountsAllStages) {
+  std::vector<std::size_t> train{0, 1, 2, 3, 4, 5, 6, 7};
+  ParameterPredictor coarse;
+  coarse.train(dataset(), train);
+  PredictorConfig fine_config;
+  fine_config.intermediate_depth = 2;
+  ParameterPredictor fine(fine_config);
+  fine.train(dataset(), train);
+
+  TwoLevelConfig config;
+  Rng rng(11);
+  const AcceleratedRun run = solve_three_level(
+      dataset().records()[10].problem, 4, coarse, fine, config, rng);
+  EXPECT_EQ(run.total_function_calls,
+            run.level1.function_calls + run.intermediate.function_calls +
+                run.final.function_calls);
+  EXPECT_GT(run.intermediate.function_calls, 0);
+  EXPECT_GT(run.final.approximation_ratio, 0.5);
+}
+
+TEST(Experiment, ProducesTableRows) {
+  std::vector<std::size_t> train{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<std::size_t> test{8, 9, 10, 11};
+  ParameterPredictor predictor;
+  predictor.train(dataset(), train);
+
+  ExperimentConfig config;
+  config.optimizers = {optim::OptimizerKind::kLbfgsb};
+  config.target_depths = {2, 3};
+  config.naive_runs = 3;
+  config.ml_repeats = 2;
+  const std::vector<TableRow> rows =
+      run_table1(dataset(), test, predictor, config);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const TableRow& row : rows) {
+    EXPECT_GT(row.naive_fc_mean, 0.0);
+    EXPECT_GT(row.ml_fc_mean, 0.0);
+    EXPECT_GT(row.naive_ar_mean, 0.5);
+    EXPECT_LE(row.naive_ar_mean, 1.0);
+    EXPECT_GT(row.ml_ar_mean, 0.5);
+    EXPECT_LE(row.ml_ar_mean, 1.0);
+  }
+  EXPECT_NO_THROW(average_fc_reduction(rows));
+}
+
+TEST(Experiment, ValidatesInputs) {
+  ParameterPredictor untrained;
+  ExperimentConfig config;
+  EXPECT_THROW(run_table1(dataset(), {0}, untrained, config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qaoaml::core

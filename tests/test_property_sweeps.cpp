@@ -1,0 +1,190 @@
+// Cross-module property sweeps (parameterized): invariants that must
+// hold for every combination of optimizer, graph family, and depth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/angles.hpp"
+#include "core/qaoa_solver.hpp"
+#include "graph/generators.hpp"
+#include "graph/maxcut.hpp"
+#include "optim/optimizer.hpp"
+
+namespace qaoaml {
+namespace {
+
+// ---------------------------------------------------------------------
+// Sweep 1: every optimizer on every QAOA depth keeps core invariants.
+// ---------------------------------------------------------------------
+
+using OptDepthCase = std::tuple<optim::OptimizerKind, int>;
+
+class OptimizerDepthSweep : public ::testing::TestWithParam<OptDepthCase> {};
+
+TEST_P(OptimizerDepthSweep, QaoaRunSatisfiesInvariants) {
+  const auto [kind, depth] = GetParam();
+  Rng rng(0x1234 + static_cast<std::uint64_t>(depth));
+  const graph::Graph g = graph::erdos_renyi_gnp(7, 0.5, rng);
+  if (g.num_edges() == 0) GTEST_SKIP();
+  const core::MaxCutQaoa instance(g, depth);
+
+  const core::QaoaRun run = core::solve_random_init(instance, kind, rng);
+
+  // The optimizer reports the value of the point it returns.
+  EXPECT_NEAR(run.expectation, instance.expectation(run.params), 1e-9);
+  // Angles stay inside the paper's domain.
+  EXPECT_TRUE(instance.bounds().contains(run.params));
+  // AR is a physical ratio.
+  EXPECT_GT(run.approximation_ratio, 0.0);
+  EXPECT_LE(run.approximation_ratio, 1.0 + 1e-9);
+  // Work was accounted.
+  EXPECT_GT(run.function_calls, 0);
+  // An optimized point beats the uniform-state baseline <C> = m/2.
+  EXPECT_GE(run.expectation,
+            static_cast<double>(g.num_edges()) / 2.0 - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OptimizerDepthSweep,
+    ::testing::Combine(::testing::ValuesIn(optim::all_optimizers()),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<OptDepthCase>& info) {
+      std::string name = optim::to_string(std::get<0>(info.param)) + "_p" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------
+// Sweep 2: graph families — QAOA p=1 must respect known MaxCut facts.
+// ---------------------------------------------------------------------
+
+struct FamilyCase {
+  const char* name;
+  graph::Graph (*make)(int);
+  int nodes;
+};
+
+class GraphFamilySweep : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(GraphFamilySweep, ExpectationBoundedByExactOptimum) {
+  const FamilyCase c = GetParam();
+  const graph::Graph g = c.make(c.nodes);
+  const core::MaxCutQaoa instance(g, 2);
+  Rng rng(0x77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double e = instance.expectation(core::random_angles(2, rng));
+    EXPECT_LE(e, instance.max_cut_value() + 1e-9) << c.name;
+    EXPECT_GE(e, 0.0) << c.name;
+  }
+}
+
+TEST_P(GraphFamilySweep, OptimizedStateConcentratesOnGoodCuts) {
+  const FamilyCase c = GetParam();
+  const graph::Graph g = c.make(c.nodes);
+  const core::MaxCutQaoa instance(g, 2);
+  Rng rng(0x99);
+  const core::MultistartRuns runs = core::solve_multistart(
+      instance, optim::OptimizerKind::kLbfgsb, 6, rng);
+  // The optimized expectation must clearly beat the random-assignment
+  // average m/2.
+  EXPECT_GT(runs.best.expectation,
+            static_cast<double>(g.num_edges()) / 2.0 + 0.1)
+      << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, GraphFamilySweep,
+    ::testing::Values(FamilyCase{"cycle6", &graph::cycle_graph, 6},
+                      FamilyCase{"cycle7", &graph::cycle_graph, 7},
+                      FamilyCase{"complete5", &graph::complete_graph, 5},
+                      FamilyCase{"star6", &graph::star_graph, 6},
+                      FamilyCase{"path6", &graph::path_graph, 6}),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// ---------------------------------------------------------------------
+// Sweep 3: angle-transform invariances across depths.
+// ---------------------------------------------------------------------
+
+class DepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DepthSweep, InterpFromDepthPHasDepthPPlusOneLayout) {
+  const int p = GetParam();
+  Rng rng(42 + static_cast<std::uint64_t>(p));
+  const std::vector<double> params = core::random_angles(p, rng);
+  const std::vector<double> next = core::interp_angles(params);
+  ASSERT_EQ(next.size(), core::num_angles(p + 1));
+  // Endpoints: first stage keeps the old first stage's weight profile,
+  // and every interpolated angle lies within the old angle range.
+  for (int i = 1; i <= p + 1; ++i) {
+    double lo = 1e300;
+    double hi = -1e300;
+    for (int j = 1; j <= p; ++j) {
+      lo = std::min(lo, core::gamma_of(params, j));
+      hi = std::max(hi, core::gamma_of(params, j));
+    }
+    EXPECT_GE(core::gamma_of(next, i), std::min(0.0, lo) - 1e-12);
+    EXPECT_LE(core::gamma_of(next, i), hi + 1e-12);
+  }
+}
+
+TEST_P(DepthSweep, CanonicalizationIsAnInvolutionOnTheMirror) {
+  const int p = GetParam();
+  Rng rng(77 + static_cast<std::uint64_t>(p));
+  const std::vector<double> params = core::random_angles(p, rng);
+  const std::vector<double> canon = core::canonicalize_angles(params);
+  // Mirror of the canonical form is either itself (fixed point) or maps
+  // back to the canonical form when canonicalized again.
+  std::vector<double> mirrored(canon.size());
+  for (std::size_t i = 0; i < canon.size() / 2; ++i) {
+    mirrored[i] = 2.0 * M_PI - canon[i];
+    mirrored[canon.size() / 2 + i] = M_PI - canon[canon.size() / 2 + i];
+  }
+  const std::vector<double> back = core::canonicalize_angles(mirrored);
+  for (std::size_t i = 0; i < canon.size(); ++i) {
+    EXPECT_NEAR(back[i], canon[i], 1e-12);
+  }
+}
+
+TEST_P(DepthSweep, RampAnglesAreCanonical) {
+  const int p = GetParam();
+  const std::vector<double> ramp = core::linear_ramp_angles(p);
+  EXPECT_EQ(core::canonicalize_angles(ramp), ramp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthSweep, ::testing::Values(1, 2, 3, 4, 6));
+
+// ---------------------------------------------------------------------
+// Sweep 4: weighted graphs — scaling covariance of the objective.
+// ---------------------------------------------------------------------
+
+TEST(WeightScaling, ExpectationScalesWithUniformWeights) {
+  // Scaling all weights by c scales <C> by c when gamma is rescaled by
+  // 1/c (the phase separator sees w * gamma only as a product).
+  Rng rng(5);
+  graph::Graph g = graph::cycle_graph(6);
+  graph::Graph scaled(6);
+  const double c = 2.5;
+  for (const graph::Edge& e : g.edges()) scaled.add_edge(e.u, e.v, c);
+
+  const core::MaxCutQaoa base(g, 2);
+  const core::MaxCutQaoa big(scaled, 2);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<double> params = core::random_angles(2, rng);
+    std::vector<double> rescaled = params;
+    rescaled[0] = params[0] / c;  // gamma_1
+    rescaled[1] = params[1] / c;  // gamma_2
+    EXPECT_NEAR(c * base.expectation(params), big.expectation(rescaled),
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace qaoaml

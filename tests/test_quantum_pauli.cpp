@@ -1,0 +1,203 @@
+// Tests for Pauli-string observables and the general Ising QAOA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/angles.hpp"
+#include "core/ising_qaoa.hpp"
+#include "core/qaoa_objective.hpp"
+#include "graph/generators.hpp"
+#include "quantum/pauli.hpp"
+
+namespace qaoaml {
+namespace {
+
+using quantum::PauliString;
+using quantum::PauliSum;
+using quantum::Statevector;
+
+TEST(PauliString, LabelRoundTrips) {
+  const PauliString p = PauliString::from_label("XIZY");
+  EXPECT_EQ(p.label(), "XIZY");
+  EXPECT_EQ(p.num_qubits(), 4);
+  EXPECT_FALSE(p.is_diagonal());
+  EXPECT_TRUE(PauliString::from_label("IZZI").is_diagonal());
+}
+
+TEST(PauliString, RejectsBadLabels) {
+  EXPECT_THROW(PauliString::from_label("XQ"), InvalidArgument);
+  EXPECT_THROW(PauliString::from_label(""), InvalidArgument);
+}
+
+TEST(PauliString, ZExpectationOnBasisStates) {
+  Statevector sv(2);  // |00>
+  EXPECT_NEAR(PauliString::from_label("IZ").expectation(sv), 1.0, 1e-12);
+  sv.apply_gate(quantum::gates::pauli_x(), 0);  // |01>
+  EXPECT_NEAR(PauliString::from_label("IZ").expectation(sv), -1.0, 1e-12);
+  EXPECT_NEAR(PauliString::from_label("ZI").expectation(sv), 1.0, 1e-12);
+  EXPECT_NEAR(PauliString::from_label("ZZ").expectation(sv), -1.0, 1e-12);
+}
+
+TEST(PauliString, XExpectationOnPlusState) {
+  const Statevector plus = Statevector::uniform(2);
+  EXPECT_NEAR(PauliString::from_label("XI").expectation(plus), 1.0, 1e-12);
+  EXPECT_NEAR(PauliString::from_label("XX").expectation(plus), 1.0, 1e-12);
+  EXPECT_NEAR(PauliString::from_label("ZI").expectation(plus), 0.0, 1e-12);
+}
+
+TEST(PauliString, YExpectationOnEigenstate) {
+  // |+i> = (|0> + i|1>)/sqrt(2) is the +1 eigenstate of Y.
+  Statevector sv = Statevector::from_amplitudes(
+      {quantum::Complex{1.0 / std::sqrt(2.0), 0.0},
+       quantum::Complex{0.0, 1.0 / std::sqrt(2.0)}});
+  EXPECT_NEAR(PauliString::from_label("Y").expectation(sv), 1.0, 1e-12);
+}
+
+TEST(PauliString, SquaresToIdentity) {
+  Rng rng(3);
+  Statevector sv = Statevector::uniform(3);
+  sv.apply_gate(quantum::gates::ry(0.7), 1);
+  const PauliString p = PauliString::from_label("XYZ");
+  Statevector twice = sv;
+  p.apply_to(twice);
+  p.apply_to(twice);
+  EXPECT_NEAR(std::abs(sv.inner_product(twice)), 1.0, 1e-12);
+  // P^2 = +I exactly (not just up to phase).
+  EXPECT_NEAR(sv.inner_product(twice).real(), 1.0, 1e-12);
+}
+
+TEST(PauliString, ExpectationIsRealAndBounded) {
+  Rng rng(5);
+  Statevector sv = Statevector::uniform(4);
+  for (int step = 0; step < 12; ++step) {
+    sv.apply_gate(quantum::gates::rx(rng.uniform(0.0, 3.0)),
+                  static_cast<int>(rng.uniform_int(4)));
+    const int control = static_cast<int>(rng.uniform_int(4));
+    const int target = (control + 1 + static_cast<int>(rng.uniform_int(3))) % 4;
+    sv.apply_cnot(control, target);
+  }
+  for (const char* label : {"XYZI", "ZZXX", "IYIY", "ZIII"}) {
+    const double e = PauliString::from_label(label).expectation(sv);
+    EXPECT_LE(std::abs(e), 1.0 + 1e-9) << label;
+  }
+}
+
+TEST(PauliString, CommutationRules) {
+  const auto xi = PauliString::from_label("XI");
+  const auto zi = PauliString::from_label("ZI");
+  const auto xx = PauliString::from_label("XX");
+  const auto zz = PauliString::from_label("ZZ");
+  EXPECT_FALSE(xi.commutes_with(zi));  // X and Z anticommute on one qubit
+  EXPECT_TRUE(xx.commutes_with(zz));   // two anticommuting sites -> commute
+  EXPECT_TRUE(xi.commutes_with(xx));
+}
+
+TEST(PauliSum, DiagonalMatchesIsingModel) {
+  // h0 Z0 + J Z0 Z1 as a PauliSum must match IsingModel::diagonal().
+  ising::IsingModel model(2);
+  model.set_field(0, 0.7);
+  model.add_coupling(0, 1, -0.3);
+
+  PauliSum sum(2);
+  sum.add(0.7, PauliString::from_label("IZ"));   // Z on qubit 0
+  sum.add(-0.3, PauliString::from_label("ZZ"));
+  ASSERT_TRUE(sum.is_diagonal());
+
+  const std::vector<double> a = sum.diagonal();
+  const std::vector<double> b = model.diagonal();
+  for (std::size_t z = 0; z < 4; ++z) EXPECT_NEAR(a[z], b[z], 1e-12);
+}
+
+TEST(PauliSum, ExpectationMatchesDiagonalPath) {
+  Rng rng(7);
+  Statevector sv = Statevector::uniform(3);
+  sv.apply_gate(quantum::gates::ry(1.1), 2);
+  PauliSum sum(3);
+  sum.add(0.5, PauliString::from_label("IZZ"));
+  sum.add(-1.5, PauliString::from_label("ZIZ"));
+  EXPECT_NEAR(sum.expectation(sv),
+              sv.expectation_diagonal(sum.diagonal()), 1e-10);
+}
+
+TEST(PauliSum, NonDiagonalRejectsDiagonalQuery) {
+  PauliSum sum(2);
+  sum.add(1.0, PauliString::from_label("XI"));
+  EXPECT_FALSE(sum.is_diagonal());
+  EXPECT_THROW(sum.diagonal(), InvalidArgument);
+}
+
+TEST(IsingQaoa, MatchesMaxCutQaoaOnUnweightedGraphs) {
+  // The general Ising ansatz on the MaxCut model must produce the same
+  // expectations as the dedicated MaxCut ansatz.
+  Rng rng(11);
+  const graph::Graph g = graph::random_regular(8, 3, rng);
+  const core::MaxCutQaoa maxcut(g, 3);
+  const core::IsingQaoa ising(ising::IsingModel::from_maxcut(g), 3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::vector<double> params = core::random_angles(3, rng);
+    EXPECT_NEAR(maxcut.expectation(params), ising.expectation(params), 1e-9);
+  }
+}
+
+TEST(IsingQaoa, GateAndFastPathsAgree) {
+  Rng rng(13);
+  ising::IsingModel model(5);
+  model.set_constant(1.0);
+  for (int i = 0; i < 5; ++i) model.set_field(i, rng.normal(0.0, 0.4));
+  model.add_coupling(0, 1, 0.8);
+  model.add_coupling(1, 3, -0.5);
+  model.add_coupling(2, 4, 0.3);
+  const core::IsingQaoa instance(model, 2);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::vector<double> params = core::random_angles(2, rng);
+    EXPECT_NEAR(instance.expectation(params),
+                instance.expectation_gate_level(params), 1e-10);
+  }
+}
+
+TEST(IsingQaoa, FieldsBreakTheCutSymmetry) {
+  // With a strong field on one spin, the optimal assignment pins it;
+  // QAOA must prefer states aligned with the field.
+  ising::IsingModel model(3);
+  model.set_field(0, 2.0);  // rewards s_0 = +1 (bit 0 = 0)
+  model.add_coupling(1, 2, -1.0);
+  const core::IsingQaoa instance(model, 2);
+  Rng rng(17);
+  double best = -1e300;
+  std::vector<double> best_params;
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::vector<double> params = core::random_angles(2, rng);
+    const double e = instance.expectation(params);
+    if (e > best) {
+      best = e;
+      best_params = params;
+    }
+  }
+  const quantum::Statevector sv = instance.state(best_params);
+  EXPECT_GT(sv.expectation_z(0), 0.0);  // field-aligned on average
+}
+
+TEST(IsingQaoa, ZeroAnglesGiveUniformAverage) {
+  ising::IsingModel model(4);
+  model.add_coupling(0, 2, 0.9);
+  model.set_field(3, 0.2);
+  const core::IsingQaoa instance(model, 1);
+  // Uniform state: <Z> = 0 for every spin, so only the constant remains.
+  const std::vector<double> zeros(2, 0.0);
+  EXPECT_NEAR(instance.expectation(zeros), model.constant(), 1e-10);
+}
+
+TEST(IsingQaoa, AnsatzSkipsZeroFields) {
+  ising::IsingModel model(3);
+  model.add_coupling(0, 1, 1.0);
+  const quantum::Circuit with_zero_fields = core::build_ising_ansatz(model, 1);
+  model.set_field(2, 0.5);
+  const quantum::Circuit with_field = core::build_ising_ansatz(model, 1);
+  EXPECT_EQ(with_field.count(quantum::GateKind::kRz),
+            with_zero_fields.count(quantum::GateKind::kRz) + 1);
+}
+
+}  // namespace
+}  // namespace qaoaml

@@ -1,0 +1,184 @@
+// Tests for descriptive statistics, correlation and histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+
+namespace qaoaml::stats {
+namespace {
+
+TEST(Descriptive, MeanOfKnownSample) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Descriptive, MeanRejectsEmpty) {
+  EXPECT_THROW(mean({}), InvalidArgument);
+}
+
+TEST(Descriptive, VarianceIsUnbiased) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sum sq dev 32, n-1 = 7.
+  EXPECT_NEAR(variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, VarianceOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Descriptive, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Descriptive, PercentileInterpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+}
+
+TEST(Descriptive, PercentileValidatesRange) {
+  EXPECT_THROW(percentile({1.0}, -1.0), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, 101.0), InvalidArgument);
+}
+
+TEST(Descriptive, SummaryAggregatesEverything) {
+  const Summary s = summarize({1.0, 2.0, 3.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_NEAR(s.stddev, 1.0, 1e-12);
+}
+
+TEST(Descriptive, AccumulatorMatchesBatch) {
+  Rng rng(3);
+  std::vector<double> xs;
+  Accumulator acc;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-10);
+  EXPECT_NEAR(acc.variance(), variance(xs), 1e-8);
+  EXPECT_EQ(acc.count(), 1000u);
+}
+
+TEST(Correlation, PerfectLinearGivesUnitR) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectInverseGivesMinusOne) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Correlation, IndependentSamplesNearZero) {
+  Rng rng(7);
+  std::vector<double> xs(20000);
+  std::vector<double> ys(20000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.normal();
+    ys[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.03);
+}
+
+TEST(Correlation, ZeroVarianceGivesZero) {
+  EXPECT_DOUBLE_EQ(pearson({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(Correlation, IsSymmetricAndBounded) {
+  Rng rng(11);
+  std::vector<double> xs(500);
+  std::vector<double> ys(500);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.normal();
+    ys[i] = 0.5 * xs[i] + rng.normal();
+  }
+  const double r = pearson(xs, ys);
+  EXPECT_DOUBLE_EQ(r, pearson(ys, xs));
+  EXPECT_LE(std::abs(r), 1.0);
+  EXPECT_GT(r, 0.2);  // strong-ish positive by construction
+}
+
+TEST(Correlation, MatrixDiagonalIsOne) {
+  Rng rng(13);
+  linalg::Matrix data(100, 3);
+  for (std::size_t r = 0; r < 100; ++r) {
+    data(r, 0) = rng.normal();
+    data(r, 1) = data(r, 0) * 2.0;
+    data(r, 2) = rng.normal();
+  }
+  const linalg::Matrix corr = correlation_matrix(data);
+  EXPECT_DOUBLE_EQ(corr(0, 0), 1.0);
+  EXPECT_NEAR(corr(0, 1), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(corr(1, 2), corr(2, 1));
+}
+
+TEST(Histogram, CountsFallIntoCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRangeValues) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, OfSpansSample) {
+  const Histogram h = Histogram::of({1.0, 2.0, 3.0, 4.0}, 3);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(), 3u);
+}
+
+TEST(Histogram, DegenerateSampleIsWidened) {
+  const Histogram h = Histogram::of({2.0, 2.0, 2.0}, 5);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinCenterIsMidpoint) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+  EXPECT_THROW(h.bin_center(10), InvalidArgument);
+}
+
+TEST(Histogram, PrintProducesOneLinePerBin) {
+  Histogram h(0.0, 1.0, 4);
+  h.add_all({0.1, 0.2, 0.6, 0.9});
+  std::ostringstream os;
+  h.print(os);
+  int lines = 0;
+  for (const char c : os.str()) lines += (c == '\n');
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qaoaml::stats
