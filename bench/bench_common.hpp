@@ -14,7 +14,10 @@
 //   QAOAML_SEED         master seed (default 42)
 //   QAOAML_CACHE        dataset cache path
 //                       (default "qaoaml_dataset_cache.txt")
-//   QAOAML_THREADS      worker threads (default: hardware concurrency)
+//   QAOAML_THREADS      worker threads (default: hardware concurrency);
+//                       drives both instance-level fan-out and the
+//                       statevector amplitude kernels (see README
+//                       "Threading model")
 //
 // The generated corpus is cached on disk and shared by every bench
 // binary that needs it (Table I, Figs. 5/6, ablations).

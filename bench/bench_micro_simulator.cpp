@@ -1,9 +1,14 @@
 // M1 micro-benchmarks: statevector simulator throughput — gate
 // application scaling with qubit count, the fused vs gate-level QAOA
-// expectation paths, and the integral-spectrum fast path.
+// expectation paths, the integral-spectrum fast path, and the
+// multi-threaded kernels (the *Threads benchmarks sweep the worker
+// count on a fixed 22-qubit state; compare Arg(1) vs Arg(8) for the
+// intra-state scaling headline).
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.hpp"
 #include "core/angles.hpp"
+#include "core/batch_evaluator.hpp"
 #include "core/qaoa_objective.hpp"
 #include "graph/generators.hpp"
 #include "quantum/statevector.hpp"
@@ -88,6 +93,105 @@ void BM_QaoaExpectationGateLevel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QaoaExpectationGateLevel)->DenseRange(1, 6, 1);
+
+// ---- Threaded-kernel benchmarks -------------------------------------
+// 22 qubits = 4M amplitudes (64 MiB of state): large enough that the
+// blocked kernels dominate dispatch overhead.
+
+constexpr int kThreadedQubits = 22;
+
+void BM_SingleQubitGateThreads(benchmark::State& state) {
+  const ScopedThreadCount guard(static_cast<int>(state.range(0)));
+  quantum::Statevector sv = quantum::Statevector::uniform(kThreadedQubits);
+  const quantum::Gate1Q gate = quantum::gates::rx(0.3);
+  int target = 0;
+  for (auto _ : state) {
+    sv.apply_gate(gate, target);
+    target = (target + 1) % kThreadedQubits;
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << kThreadedQubits));
+}
+BENCHMARK(BM_SingleQubitGateThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DiagonalEvolutionThreads(benchmark::State& state) {
+  const ScopedThreadCount guard(static_cast<int>(state.range(0)));
+  quantum::Statevector sv = quantum::Statevector::uniform(kThreadedQubits);
+  std::vector<double> diag(sv.dimension());
+  for (std::size_t z = 0; z < diag.size(); ++z) {
+    diag[z] = static_cast<double>(__builtin_popcountll(z));
+  }
+  for (auto _ : state) {
+    sv.apply_diagonal_evolution(diag, 0.017);
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << kThreadedQubits));
+}
+BENCHMARK(BM_DiagonalEvolutionThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ExpectationDiagonalThreads(benchmark::State& state) {
+  const ScopedThreadCount guard(static_cast<int>(state.range(0)));
+  const quantum::Statevector sv =
+      quantum::Statevector::uniform(kThreadedQubits);
+  std::vector<double> diag(sv.dimension());
+  for (std::size_t z = 0; z < diag.size(); ++z) {
+    diag[z] = static_cast<double>(__builtin_popcountll(z));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sv.expectation_diagonal(diag));
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << kThreadedQubits));
+}
+BENCHMARK(BM_ExpectationDiagonalThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// One full p=3 statevector evolution per iteration at 20 qubits: the
+// end-to-end number behind the "2x with 8 threads" acceptance check.
+void BM_QaoaEvolutionThreads(benchmark::State& state) {
+  const ScopedThreadCount guard(static_cast<int>(state.range(0)));
+  Rng rng(19);
+  const graph::Graph g = graph::random_regular(20, 3, rng);
+  const core::MaxCutQaoa instance(g, 3);
+  core::BatchEvaluator evaluator(instance);
+  std::vector<double> params = core::random_angles(3, rng);
+  for (auto _ : state) {
+    params[0] += 1e-9;  // defeat value caching
+    benchmark::DoNotOptimize(evaluator.expectation(params));
+  }
+}
+BENCHMARK(BM_QaoaEvolutionThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Batch of angle vectors on a mid-size instance: instance-level
+// parallelism with reused workspaces (the data-generation shape).
+void BM_BatchEvaluatorThreads(benchmark::State& state) {
+  const ScopedThreadCount guard(static_cast<int>(state.range(0)));
+  Rng rng(23);
+  const graph::Graph g = graph::random_regular(16, 3, rng);
+  const core::MaxCutQaoa instance(g, 3);
+  const core::BatchEvaluator evaluator(instance);
+  std::vector<std::vector<double>> batch;
+  for (int i = 0; i < 32; ++i) batch.push_back(core::random_angles(3, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.expectations(batch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(batch.size()));
+}
+BENCHMARK(BM_BatchEvaluatorThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Buffered vs allocating expectation: the per-call 2^n allocation cost.
+void BM_QaoaExpectationBuffered(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  Rng rng(11);
+  const graph::Graph g = graph::random_regular(qubits, 3, rng);
+  const core::MaxCutQaoa instance(g, 3);
+  core::BatchEvaluator evaluator(instance);
+  std::vector<double> params = core::random_angles(3, rng);
+  for (auto _ : state) {
+    params[0] += 1e-9;
+    benchmark::DoNotOptimize(evaluator.expectation(params));
+  }
+}
+BENCHMARK(BM_QaoaExpectationBuffered)->DenseRange(4, 16, 4);
 
 void BM_QaoaExpectationQubits(benchmark::State& state) {
   const int qubits = static_cast<int>(state.range(0));

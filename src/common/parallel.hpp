@@ -1,66 +1,92 @@
-// Minimal data-parallel helper.
+// Data-parallel helpers backed by a persistent thread pool.
 //
-// The experiment sweeps are embarrassingly parallel across problem
-// instances; this runs a loop body on a small pool of std::threads.
-// Determinism: callers seed per-index RNGs from (seed, index), so the
-// result does not depend on thread scheduling.
+// Two layers of parallelism coexist in the library:
+//  - instance-level: experiment sweeps, dataset generation and batch
+//    evaluation fan out across problem instances (parallel_for);
+//  - amplitude-level: the statevector kernels split their 2^n-element
+//    loops into fixed-size blocks (parallel_for_range, parallel_reduce).
+// Nested calls never oversubscribe: a body running on a pool worker
+// executes nested parallel_* calls inline and serially.
+//
+// Determinism: callers seed per-index RNGs from (seed, index), so
+// element-wise results do not depend on thread scheduling.  Reductions
+// accumulate fixed-size block partials in block order, so their result
+// is bit-identical for every thread count (1 vs N) as well.
 #ifndef QAOAML_COMMON_PARALLEL_HPP
 #define QAOAML_COMMON_PARALLEL_HPP
 
-#include <atomic>
+#include <algorithm>
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <vector>
-
-#include "common/env.hpp"
 
 namespace qaoaml {
 
-/// Number of worker threads to use: QAOAML_THREADS when set, otherwise
-/// the hardware concurrency (at least 1).
-inline int default_thread_count() {
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  return env_int("QAOAML_THREADS", hw > 0 ? hw : 1);
-}
+/// Number of worker threads to use: the ScopedThreadCount override when
+/// active, else QAOAML_THREADS when set, else the hardware concurrency
+/// (always at least 1).
+int default_thread_count();
+
+/// True while the calling thread is executing a parallel_* body on a
+/// pool worker; nested parallel_* calls then run inline and serially.
+bool in_parallel_region();
+
+/// RAII override of default_thread_count() for the enclosing scope.
+/// Takes precedence over QAOAML_THREADS; intended for tests and
+/// benchmarks that compare thread counts within one process.
+class ScopedThreadCount {
+ public:
+  explicit ScopedThreadCount(int threads);
+  ~ScopedThreadCount();
+  ScopedThreadCount(const ScopedThreadCount&) = delete;
+  ScopedThreadCount& operator=(const ScopedThreadCount&) = delete;
+
+ private:
+  int previous_;
+};
+
+/// Amplitude-loop block size: ranges are split into fixed blocks of this
+/// many elements regardless of thread count, which is what makes the
+/// blocked reductions bit-deterministic.
+inline constexpr std::size_t kParallelGrain = std::size_t{1} << 14;
 
 /// Runs body(i) for every i in [0, count) across `threads` workers.
-/// Exceptions thrown by the body are rethrown (the first one observed)
-/// after all workers join.
-inline void parallel_for(std::size_t count,
-                         const std::function<void(std::size_t)>& body,
-                         int threads = default_thread_count()) {
-  if (count == 0) return;
-  if (threads <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
-    return;
-  }
+/// Indices are dispatched dynamically; bodies writing disjoint state
+/// need no synchronization.  Exceptions thrown by the body are rethrown
+/// (the first one observed) after all workers finish.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  int threads = default_thread_count());
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+/// Runs body(begin, end) over a blocked partition of [0, count): blocks
+/// are kParallelGrain elements (the last one ragged).  Small ranges that
+/// fit in one block run inline on the calling thread.
+void parallel_for_range(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    int threads = default_thread_count());
 
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= count) return;
-      try {
-        body(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  const int workers = std::min<int>(threads, static_cast<int>(count));
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+/// Blocked reduction: sums block_sum(begin, end) over the same fixed
+/// partition parallel_for_range uses, accumulating partials in block
+/// order.  The result is bit-identical for every thread count.
+template <typename T, typename BlockFn>
+T parallel_reduce(std::size_t count, T init, BlockFn&& block_sum,
+                  int threads = default_thread_count()) {
+  if (count == 0) return init;
+  const std::size_t blocks = (count + kParallelGrain - 1) / kParallelGrain;
+  if (blocks <= 1) return static_cast<T>(init + block_sum(std::size_t{0}, count));
+  std::vector<T> partial(blocks);
+  parallel_for(
+      blocks,
+      [&](std::size_t b) {
+        const std::size_t begin = b * kParallelGrain;
+        partial[b] = block_sum(begin, std::min(count, begin + kParallelGrain));
+      },
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(std::max(threads, 1)), blocks)));
+  T acc = init;
+  for (const T& p : partial) acc += p;
+  return acc;
 }
 
 }  // namespace qaoaml

@@ -1,0 +1,84 @@
+#include "core/batch_evaluator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace qaoaml::core {
+namespace {
+
+/// Splits [0, count) into `chunks` contiguous ranges and runs
+/// body(chunk_begin, chunk_end) for each in parallel.  One workspace per
+/// chunk is the allocation unit of every batch entry point.
+void for_each_chunk(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t chunks = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(default_thread_count(), 1)), count);
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+  parallel_for(chunks, [&](std::size_t c) {
+    // Chunks 0..extra-1 carry one extra entry.
+    const std::size_t begin = c * base + std::min(c, extra);
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    body(begin, end);
+  });
+}
+
+}  // namespace
+
+BatchEvaluator::BatchEvaluator(const MaxCutQaoa& instance)
+    : instance_(&instance),
+      workspace_(quantum::Statevector::uniform(instance.num_qubits())) {}
+
+double BatchEvaluator::expectation(std::span<const double> params) {
+  return instance_->expectation_using(workspace_, params);
+}
+
+double BatchEvaluator::objective(std::span<const double> params) {
+  return -expectation(params);
+}
+
+std::vector<double> BatchEvaluator::expectations(
+    std::span<const std::vector<double>> batch) const {
+  std::vector<double> values(batch.size());
+  for_each_chunk(batch.size(), [&](std::size_t begin, std::size_t end) {
+    quantum::Statevector workspace =
+        quantum::Statevector::uniform(instance_->num_qubits());
+    for (std::size_t i = begin; i < end; ++i) {
+      values[i] = instance_->expectation_using(workspace, batch[i]);
+    }
+  });
+  return values;
+}
+
+std::vector<double> BatchEvaluator::objectives(
+    std::span<const std::vector<double>> batch) const {
+  std::vector<double> values = expectations(batch);
+  for (double& v : values) v = -v;
+  return values;
+}
+
+std::vector<double> BatchEvaluator::expectations(
+    std::span<const BatchJob> jobs) {
+  for (const BatchJob& job : jobs) {
+    require(job.instance != nullptr,
+            "BatchEvaluator::expectations: null instance in batch");
+  }
+  std::vector<double> values(jobs.size());
+  for_each_chunk(jobs.size(), [&](std::size_t begin, std::size_t end) {
+    // reset_uniform only reallocates when the qubit count changes, so a
+    // chunk of same-size instances reuses one buffer throughout.
+    quantum::Statevector workspace =
+        quantum::Statevector::uniform(jobs[begin].instance->num_qubits());
+    for (std::size_t i = begin; i < end; ++i) {
+      values[i] =
+          jobs[i].instance->expectation_using(workspace, jobs[i].params);
+    }
+  });
+  return values;
+}
+
+}  // namespace qaoaml::core

@@ -1,0 +1,74 @@
+// Batch-oriented QAOA objective evaluation.
+//
+// The simulator is the cost center of every experiment: each objective
+// value costs O(p * 2^n) amplitude sweeps, and the sweeps, benches and
+// data-generation runs evaluate thousands of (instance, angles) pairs.
+// BatchEvaluator amortizes that work:
+//  - the DiagonalHamiltonian (and its integral fast-path table) is
+//    precomputed once per instance by MaxCutQaoa and shared by every
+//    evaluation;
+//  - statevector workspaces are reused across evaluations (one per
+//    worker chunk), so a batch makes O(threads) 2^n allocations instead
+//    of O(batch);
+//  - batch entries are scheduled instance-level with parallel_for while
+//    the per-entry amplitude kernels run serially inside the workers
+//    (nested parallel_* calls collapse to inline execution), which is
+//    the right grain for many small-to-medium states.
+//
+// Results are deterministic: entry i of the output depends only on
+// entry i of the batch, and the underlying reductions are thread-count
+// independent, so QAOAML_THREADS=1 and =8 produce identical bits.
+#ifndef QAOAML_CORE_BATCH_EVALUATOR_HPP
+#define QAOAML_CORE_BATCH_EVALUATOR_HPP
+
+#include <span>
+#include <vector>
+
+#include "core/qaoa_objective.hpp"
+#include "quantum/statevector.hpp"
+
+namespace qaoaml::core {
+
+/// One (instance, angles) evaluation request of a heterogeneous batch.
+struct BatchJob {
+  const MaxCutQaoa* instance = nullptr;
+  std::vector<double> params;
+};
+
+/// Evaluates the QAOA cost expectation for batches of angle vectors on
+/// one problem instance (or heterogeneous instance batches via the
+/// static overload).  The referenced MaxCutQaoa must outlive this.
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(const MaxCutQaoa& instance);
+
+  const MaxCutQaoa& instance() const { return *instance_; }
+
+  /// <C> for one angle vector, reusing the internal workspace (no
+  /// allocation).  Not thread-safe: one BatchEvaluator per thread.
+  double expectation(std::span<const double> params);
+
+  /// -<C>: the minimization objective the optimizers consume.
+  double objective(std::span<const double> params);
+
+  /// <C> for every angle vector in the batch, parallel across entries.
+  std::vector<double> expectations(
+      std::span<const std::vector<double>> batch) const;
+
+  /// -<C> for every angle vector in the batch.
+  std::vector<double> objectives(
+      std::span<const std::vector<double>> batch) const;
+
+  /// <C> for every (instance, angles) job; instances may differ in size
+  /// and depth.  Each worker chunk reuses one workspace, growing it only
+  /// when the qubit count changes.
+  static std::vector<double> expectations(std::span<const BatchJob> jobs);
+
+ private:
+  const MaxCutQaoa* instance_;
+  quantum::Statevector workspace_;
+};
+
+}  // namespace qaoaml::core
+
+#endif  // QAOAML_CORE_BATCH_EVALUATOR_HPP

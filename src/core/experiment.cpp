@@ -31,6 +31,9 @@ std::vector<TableRow> run_table1(const ParameterDataset& dataset,
     for (const int depth : config.target_depths) {
       std::vector<GraphStats> per_graph(test_records.size());
 
+      // Instance-level parallelism is the outer layer; the solvers below
+      // use buffered (workspace-reusing) objectives and nested parallel_*
+      // calls inside the workers collapse to serial execution.
       parallel_for(test_records.size(), [&](std::size_t t) {
         const InstanceRecord& record =
             dataset.records()[test_records[t]];

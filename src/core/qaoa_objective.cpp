@@ -1,6 +1,7 @@
 #include "core/qaoa_objective.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "common/error.hpp"
 #include "core/angles.hpp"
@@ -39,9 +40,16 @@ std::size_t MaxCutQaoa::num_parameters() const { return num_angles(depth_); }
 optim::Bounds MaxCutQaoa::bounds() const { return qaoa_bounds(depth_); }
 
 quantum::Statevector MaxCutQaoa::state(std::span<const double> params) const {
-  require(params.size() == num_parameters(),
-          "MaxCutQaoa::state: wrong parameter count");
   quantum::Statevector sv = quantum::Statevector::uniform(graph_.num_nodes());
+  state_into(sv, params);
+  return sv;
+}
+
+void MaxCutQaoa::state_into(quantum::Statevector& sv,
+                            std::span<const double> params) const {
+  require(params.size() == num_parameters(),
+          "MaxCutQaoa::state_into: wrong parameter count");
+  sv.reset_uniform(graph_.num_nodes());
 
   const std::vector<double>& diag = hamiltonian_.diagonal();
   for (int stage = 0; stage < depth_; ++stage) {
@@ -60,11 +68,16 @@ quantum::Statevector MaxCutQaoa::state(std::span<const double> params) const {
     const quantum::Gate1Q mixer = quantum::gates::rx(beta);
     for (int q = 0; q < graph_.num_nodes(); ++q) sv.apply_gate(mixer, q);
   }
-  return sv;
 }
 
 double MaxCutQaoa::expectation(std::span<const double> params) const {
   return state(params).expectation_diagonal(hamiltonian_.diagonal());
+}
+
+double MaxCutQaoa::expectation_using(quantum::Statevector& workspace,
+                                     std::span<const double> params) const {
+  state_into(workspace, params);
+  return workspace.expectation_diagonal(hamiltonian_.diagonal());
 }
 
 double MaxCutQaoa::expectation_gate_level(
@@ -93,6 +106,14 @@ double MaxCutQaoa::approximation_ratio(std::span<const double> params) const {
 optim::ObjectiveFn MaxCutQaoa::objective() const {
   return [this](std::span<const double> params) {
     return -expectation(params);
+  };
+}
+
+optim::ObjectiveFn MaxCutQaoa::buffered_objective() const {
+  auto workspace = std::make_shared<quantum::Statevector>(
+      quantum::Statevector::uniform(num_qubits()));
+  return [this, workspace](std::span<const double> params) {
+    return -expectation_using(*workspace, params);
   };
 }
 

@@ -51,8 +51,19 @@ class MaxCutQaoa {
   /// |psi(gamma, beta)> via the fast path.
   quantum::Statevector state(std::span<const double> params) const;
 
+  /// Fast-path |psi(gamma, beta)> written into `workspace`, reusing its
+  /// amplitude buffer (no allocation when the dimension matches).  This
+  /// is the batch-evaluation hot path.
+  void state_into(quantum::Statevector& workspace,
+                  std::span<const double> params) const;
+
   /// <C> via the fast path.
   double expectation(std::span<const double> params) const;
+
+  /// <C> evaluated in `workspace` — identical value to expectation(),
+  /// without the per-call 2^n allocation.
+  double expectation_using(quantum::Statevector& workspace,
+                           std::span<const double> params) const;
 
   /// <C> via explicit gate-by-gate simulation of the ansatz circuit.
   double expectation_gate_level(std::span<const double> params) const;
@@ -65,8 +76,15 @@ class MaxCutQaoa {
   double approximation_ratio(std::span<const double> params) const;
 
   /// Minimization objective: -<C>.  The returned callable references
-  /// this instance, which must outlive it.
+  /// this instance, which must outlive it.  Stateless, so one callable
+  /// may be shared across threads.
   optim::ObjectiveFn objective() const;
+
+  /// Minimization objective backed by a private reusable statevector
+  /// workspace: repeated calls make no 2^n allocations.  Copies of the
+  /// returned callable share one workspace — create one callable per
+  /// thread (optimizer run) instead of sharing across threads.
+  optim::ObjectiveFn buffered_objective() const;
 
   /// The explicit ansatz circuit (built once, shared).
   const quantum::Circuit& ansatz() const { return circuit_; }

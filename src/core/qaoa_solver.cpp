@@ -1,6 +1,7 @@
 #include "core/qaoa_solver.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "core/angles.hpp"
 
 namespace qaoaml::core {
@@ -25,7 +26,9 @@ QaoaRun solve_from(const MaxCutQaoa& instance, optim::OptimizerKind optimizer,
                    std::span<const double> x0, const optim::Options& options) {
   require(x0.size() == instance.num_parameters(),
           "solve_from: wrong parameter count");
-  const optim::ObjectiveFn objective = instance.objective();
+  // Buffered: the optimizer's many evaluations share one statevector
+  // workspace instead of allocating 2^n amplitudes per call.
+  const optim::ObjectiveFn objective = instance.buffered_objective();
   optim::OptimResult result =
       optim::minimize(optimizer, objective, x0, instance.bounds(), options);
   return to_run(instance, std::move(result));
@@ -42,9 +45,23 @@ MultistartRuns solve_multistart(const MaxCutQaoa& instance,
                                 optim::OptimizerKind optimizer, int restarts,
                                 Rng& rng, const optim::Options& options) {
   require(restarts >= 1, "solve_multistart: need at least one restart");
-  MultistartRuns out;
+  // Draw every starting point up front (the same rng sequence the old
+  // sequential loop consumed), then run the restarts in parallel: each
+  // optimization is deterministic in its x0 and owns a private buffered
+  // objective, so the result is identical for every thread count.
+  std::vector<std::vector<double>> starts;
+  starts.reserve(static_cast<std::size_t>(restarts));
   for (int r = 0; r < restarts; ++r) {
-    QaoaRun run = solve_random_init(instance, optimizer, rng, options);
+    starts.push_back(random_angles(instance.depth(), rng));
+  }
+
+  std::vector<QaoaRun> runs(static_cast<std::size_t>(restarts));
+  parallel_for(static_cast<std::size_t>(restarts), [&](std::size_t r) {
+    runs[r] = solve_from(instance, optimizer, starts[r], options);
+  });
+
+  MultistartRuns out;
+  for (QaoaRun& run : runs) {
     out.total_function_calls += run.function_calls;
     if (out.runs.empty() || run.expectation > out.best.expectation) {
       out.best = run;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/error.hpp"
 #include "optim/multistart.hpp"
@@ -94,11 +95,19 @@ void GPRegressor::fit(const Dataset& data) {
     options.max_iterations = config_.hyper_max_iterations;
     options.max_evaluations = 4000;
 
-    const optim::ObjectiveFn objective = [this](std::span<const double> p) {
-      return negative_log_marginal(std::vector<double>(p.begin(), p.end()));
+    // negative_log_marginal mutates the regressor (hyperparameters,
+    // Cholesky scratch), and multistart restarts run in parallel, so
+    // each restart probes on its own copy; only the winning
+    // hyperparameters touch *this, below.
+    const optim::ObjectiveFactory make_objective = [this]() -> optim::ObjectiveFn {
+      auto probe = std::make_shared<GPRegressor>(*this);
+      return [probe](std::span<const double> p) {
+        return probe->negative_log_marginal(
+            std::vector<double>(p.begin(), p.end()));
+      };
     };
-    const optim::MultistartResult search = optim::multistart_minimize(
-        optim::OptimizerKind::kNelderMead, objective, box,
+    const optim::MultistartResult search = optim::multistart_minimize_factory(
+        optim::OptimizerKind::kNelderMead, make_objective, box,
         config_.hyper_restarts, rng, options);
     // Re-factorize with the winning hyperparameters (the last probe is
     // not necessarily the best one).

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace qaoaml::optim {
 
@@ -18,14 +19,29 @@ std::vector<double> random_point(const Bounds& bounds, Rng& rng) {
   return x;
 }
 
-MultistartResult multistart_minimize(OptimizerKind kind, const ObjectiveFn& fn,
-                                     const Bounds& bounds, int restarts,
-                                     Rng& rng, const Options& options) {
+namespace {
+
+/// Shared driver: draws every starting point first (preserving the rng
+/// sequence of the original sequential loop), runs the restarts in
+/// parallel, then reduces in restart order so best/total are identical
+/// for every thread count.
+MultistartResult run_multistart(
+    OptimizerKind kind, const std::function<ObjectiveFn(std::size_t)>& fn_for,
+    const Bounds& bounds, int restarts, Rng& rng, const Options& options) {
   require(restarts >= 1, "multistart_minimize: need at least one restart");
-  MultistartResult out;
+  std::vector<std::vector<double>> starts;
+  starts.reserve(static_cast<std::size_t>(restarts));
   for (int run = 0; run < restarts; ++run) {
-    const std::vector<double> x0 = random_point(bounds, rng);
-    OptimResult result = minimize(kind, fn, x0, bounds, options);
+    starts.push_back(random_point(bounds, rng));
+  }
+
+  std::vector<OptimResult> results(static_cast<std::size_t>(restarts));
+  parallel_for(static_cast<std::size_t>(restarts), [&](std::size_t run) {
+    results[run] = minimize(kind, fn_for(run), starts[run], bounds, options);
+  });
+
+  MultistartResult out;
+  for (OptimResult& result : results) {
     out.total_nfev += result.nfev;
     if (out.runs.empty() || result.fun < out.best.fun) {
       out.best = result;
@@ -33,6 +49,26 @@ MultistartResult multistart_minimize(OptimizerKind kind, const ObjectiveFn& fn,
     out.runs.push_back(std::move(result));
   }
   return out;
+}
+
+}  // namespace
+
+MultistartResult multistart_minimize(OptimizerKind kind, const ObjectiveFn& fn,
+                                     const Bounds& bounds, int restarts,
+                                     Rng& rng, const Options& options) {
+  return run_multistart(
+      kind, [&fn](std::size_t) { return fn; }, bounds, restarts, rng, options);
+}
+
+MultistartResult multistart_minimize_factory(OptimizerKind kind,
+                                             const ObjectiveFactory& make_fn,
+                                             const Bounds& bounds, int restarts,
+                                             Rng& rng, const Options& options) {
+  require(static_cast<bool>(make_fn),
+          "multistart_minimize_factory: empty factory");
+  return run_multistart(
+      kind, [&make_fn](std::size_t) { return make_fn(); }, bounds, restarts,
+      rng, options);
 }
 
 }  // namespace qaoaml::optim

@@ -22,10 +22,26 @@ struct MultistartResult {
 };
 
 /// Runs `minimize` from `restarts` initial points sampled uniformly in
-/// `bounds` and returns all runs plus the best.
+/// `bounds` and returns all runs plus the best.  Restarts execute in
+/// parallel (QAOAML_THREADS workers) sharing `fn`, so the objective must
+/// be safe to call concurrently — true for any pure function of its
+/// input, e.g. MaxCutQaoa::objective().  For stateful objectives use the
+/// factory overload below.  Results are deterministic: the initial
+/// points are drawn from `rng` up front in restart order and each run
+/// depends only on its own starting point.
 MultistartResult multistart_minimize(OptimizerKind kind, const ObjectiveFn& fn,
                                      const Bounds& bounds, int restarts,
                                      Rng& rng, const Options& options = {});
+
+/// Creates one objective per restart; the factory itself is called
+/// concurrently but each produced objective is used by a single run.
+/// This is how buffered (workspace-reusing) objectives go parallel.
+using ObjectiveFactory = std::function<ObjectiveFn()>;
+MultistartResult multistart_minimize_factory(OptimizerKind kind,
+                                             const ObjectiveFactory& make_fn,
+                                             const Bounds& bounds, int restarts,
+                                             Rng& rng,
+                                             const Options& options = {});
 
 /// Samples one uniform point inside `bounds` (bounds must be finite).
 std::vector<double> random_point(const Bounds& bounds, Rng& rng);

@@ -5,8 +5,36 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace qaoaml::quantum {
+namespace {
+
+/// States below this dimension run every kernel serially: the loops are
+/// too short to amortize pool dispatch.  At or above it, element-wise
+/// kernels fan out over fixed kParallelGrain blocks and reductions use
+/// the blocked deterministic path, so results are bit-identical for
+/// every thread count.
+constexpr std::size_t kParallelDim = std::size_t{2} * kParallelGrain;
+
+inline int kernel_threads(std::size_t dim) {
+  return dim >= kParallelDim ? default_thread_count() : 1;
+}
+
+/// amps[z] *= phase, with the product expanded to avoid __muldc3.
+inline void multiply_amp(Complex& amp, double pr, double pi) {
+  const double ar = amp.real();
+  const double ai = amp.imag();
+  amp = Complex{ar * pr - ai * pi, ar * pi + ai * pr};
+}
+
+/// Index of the k-th basis state whose `target` bit is 0: the k low bits
+/// below `target` stay in place, the rest shift up one position.
+inline std::size_t pair_base(std::size_t k, int target, std::size_t stride) {
+  return ((k >> target) << (target + 1)) | (k & (stride - 1));
+}
+
+}  // namespace
 
 Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
   require(num_qubits >= 1 && num_qubits <= 26,
@@ -30,9 +58,25 @@ Statevector Statevector::from_amplitudes(std::vector<Complex> amplitudes) {
 
 Statevector Statevector::uniform(int num_qubits) {
   Statevector sv(num_qubits);
-  const double amp = 1.0 / std::sqrt(static_cast<double>(sv.dimension()));
-  std::fill(sv.amps_.begin(), sv.amps_.end(), Complex{amp, 0.0});
+  sv.reset_uniform(num_qubits);
   return sv;
+}
+
+void Statevector::reset_uniform(int num_qubits) {
+  require(num_qubits >= 1 && num_qubits <= 26,
+          "Statevector: supports 1..26 qubits");
+  num_qubits_ = num_qubits;
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  if (amps_.size() != dim) amps_.resize(dim);
+  const double amp = 1.0 / std::sqrt(static_cast<double>(dim));
+  parallel_for_range(
+      dim,
+      [&](std::size_t begin, std::size_t end) {
+        std::fill(amps_.begin() + static_cast<std::ptrdiff_t>(begin),
+                  amps_.begin() + static_cast<std::ptrdiff_t>(end),
+                  Complex{amp, 0.0});
+      },
+      kernel_threads(dim));
 }
 
 void Statevector::check_qubit(int q) const {
@@ -50,19 +94,25 @@ void Statevector::apply_gate(const Gate1Q& gate, int target) {
   const double g01r = gate.m[0][1].real(), g01i = gate.m[0][1].imag();
   const double g10r = gate.m[1][0].real(), g10i = gate.m[1][0].imag();
   const double g11r = gate.m[1][1].real(), g11i = gate.m[1][1].imag();
-  // Iterate over pairs (z, z | stride) with bit `target` = 0 in z.
-  for (std::size_t base = 0; base < dim; base += 2 * stride) {
-    for (std::size_t offset = 0; offset < stride; ++offset) {
-      const std::size_t i0 = base + offset;
-      const std::size_t i1 = i0 + stride;
-      const double a0r = amps_[i0].real(), a0i = amps_[i0].imag();
-      const double a1r = amps_[i1].real(), a1i = amps_[i1].imag();
-      amps_[i0] = Complex{g00r * a0r - g00i * a0i + g01r * a1r - g01i * a1i,
-                          g00r * a0i + g00i * a0r + g01r * a1i + g01i * a1r};
-      amps_[i1] = Complex{g10r * a0r - g10i * a0i + g11r * a1r - g11i * a1i,
-                          g10r * a0i + g10i * a0r + g11r * a1i + g11i * a1r};
-    }
-  }
+  // Each pair (i0, i0 | stride) is touched by exactly one index k, so
+  // blocks write disjoint amplitude sets.
+  parallel_for_range(
+      dim / 2,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::size_t i0 = pair_base(k, target, stride);
+          const std::size_t i1 = i0 + stride;
+          const double a0r = amps_[i0].real(), a0i = amps_[i0].imag();
+          const double a1r = amps_[i1].real(), a1i = amps_[i1].imag();
+          amps_[i0] =
+              Complex{g00r * a0r - g00i * a0i + g01r * a1r - g01i * a1i,
+                      g00r * a0i + g00i * a0r + g01r * a1i + g01i * a1r};
+          amps_[i1] =
+              Complex{g10r * a0r - g10i * a0i + g11r * a1r - g11i * a1i,
+                      g10r * a0i + g10i * a0r + g11r * a1i + g11i * a1r};
+        }
+      },
+      kernel_threads(dim));
 }
 
 void Statevector::apply_controlled(const Gate1Q& gate, int control,
@@ -74,17 +124,20 @@ void Statevector::apply_controlled(const Gate1Q& gate, int control,
   const std::size_t cmask = std::size_t{1} << control;
   const std::size_t stride = std::size_t{1} << target;
   const std::size_t dim = amps_.size();
-  for (std::size_t base = 0; base < dim; base += 2 * stride) {
-    for (std::size_t offset = 0; offset < stride; ++offset) {
-      const std::size_t i0 = base + offset;
-      if ((i0 & cmask) == 0) continue;
-      const std::size_t i1 = i0 + stride;
-      const Complex a0 = amps_[i0];
-      const Complex a1 = amps_[i1];
-      amps_[i0] = gate.m[0][0] * a0 + gate.m[0][1] * a1;
-      amps_[i1] = gate.m[1][0] * a0 + gate.m[1][1] * a1;
-    }
-  }
+  parallel_for_range(
+      dim / 2,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::size_t i0 = pair_base(k, target, stride);
+          if ((i0 & cmask) == 0) continue;
+          const std::size_t i1 = i0 + stride;
+          const Complex a0 = amps_[i0];
+          const Complex a1 = amps_[i1];
+          amps_[i0] = gate.m[0][0] * a0 + gate.m[0][1] * a1;
+          amps_[i1] = gate.m[1][0] * a0 + gate.m[1][1] * a1;
+        }
+      },
+      kernel_threads(dim));
 }
 
 void Statevector::apply_cnot(int control, int target) {
@@ -95,12 +148,16 @@ void Statevector::apply_cnot(int control, int target) {
   const std::size_t cmask = std::size_t{1} << control;
   const std::size_t tmask = std::size_t{1} << target;
   const std::size_t dim = amps_.size();
-  for (std::size_t z = 0; z < dim; ++z) {
-    // Swap each |c=1, t=0> amplitude with its |c=1, t=1> partner once.
-    if ((z & cmask) != 0 && (z & tmask) == 0) {
-      std::swap(amps_[z], amps_[z | tmask]);
-    }
-  }
+  // Swap each |c=1, t=0> amplitude with its |c=1, t=1> partner once.
+  parallel_for_range(
+      dim / 2,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::size_t i0 = pair_base(k, target, tmask);
+          if ((i0 & cmask) != 0) std::swap(amps_[i0], amps_[i0 | tmask]);
+        }
+      },
+      kernel_threads(dim));
 }
 
 void Statevector::apply_cz(int a, int b) {
@@ -109,39 +166,47 @@ void Statevector::apply_cz(int a, int b) {
   require(a != b, "Statevector: CZ qubits must be distinct");
   const std::size_t mask = (std::size_t{1} << a) | (std::size_t{1} << b);
   const std::size_t dim = amps_.size();
-  for (std::size_t z = 0; z < dim; ++z) {
-    if ((z & mask) == mask) amps_[z] = -amps_[z];
-  }
+  parallel_for_range(
+      dim,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t z = begin; z < end; ++z) {
+          if ((z & mask) == mask) amps_[z] = -amps_[z];
+        }
+      },
+      kernel_threads(dim));
 }
-
-namespace {
-/// amps[z] *= phase, with the product expanded to avoid __muldc3.
-inline void multiply_amp(Complex& amp, double pr, double pi) {
-  const double ar = amp.real();
-  const double ai = amp.imag();
-  amp = Complex{ar * pr - ai * pi, ar * pi + ai * pr};
-}
-}  // namespace
 
 void Statevector::apply_rz(int target, double theta) {
   check_qubit(target);
   const double c = std::cos(theta / 2.0);
   const double s = std::sin(theta / 2.0);
   const std::size_t mask = std::size_t{1} << target;
-  for (std::size_t z = 0; z < amps_.size(); ++z) {
-    // bit = 0 -> exp(-i theta/2); bit = 1 -> exp(+i theta/2)
-    multiply_amp(amps_[z], c, ((z & mask) == 0) ? -s : s);
-  }
+  const std::size_t dim = amps_.size();
+  parallel_for_range(
+      dim,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t z = begin; z < end; ++z) {
+          // bit = 0 -> exp(-i theta/2); bit = 1 -> exp(+i theta/2)
+          multiply_amp(amps_[z], c, ((z & mask) == 0) ? -s : s);
+        }
+      },
+      kernel_threads(dim));
 }
 
 void Statevector::apply_diagonal_evolution(const std::vector<double>& diag,
                                            double angle) {
   require(diag.size() == amps_.size(),
           "Statevector: diagonal length must equal dimension");
-  for (std::size_t z = 0; z < amps_.size(); ++z) {
-    const double phi = -angle * diag[z];
-    multiply_amp(amps_[z], std::cos(phi), std::sin(phi));
-  }
+  const std::size_t dim = amps_.size();
+  parallel_for_range(
+      dim,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t z = begin; z < end; ++z) {
+          const double phi = -angle * diag[z];
+          multiply_amp(amps_[z], std::cos(phi), std::sin(phi));
+        }
+      },
+      kernel_threads(dim));
 }
 
 void Statevector::apply_diagonal_evolution_integral(
@@ -155,10 +220,16 @@ void Statevector::apply_diagonal_evolution_integral(
     const double phi = -angle * static_cast<double>(k);
     phases[k] = Complex{std::cos(phi), std::sin(phi)};
   }
-  for (std::size_t z = 0; z < amps_.size(); ++z) {
-    const Complex& p = phases[static_cast<std::size_t>(diag[z])];
-    multiply_amp(amps_[z], p.real(), p.imag());
-  }
+  const std::size_t dim = amps_.size();
+  parallel_for_range(
+      dim,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t z = begin; z < end; ++z) {
+          const Complex& p = phases[static_cast<std::size_t>(diag[z])];
+          multiply_amp(amps_[z], p.real(), p.imag());
+        }
+      },
+      kernel_threads(dim));
 }
 
 void Statevector::apply_hadamard_all() {
@@ -167,36 +238,61 @@ void Statevector::apply_hadamard_all() {
 }
 
 double Statevector::norm() const {
-  double acc = 0.0;
-  for (const Complex& a : amps_) acc += std::norm(a);
+  const std::size_t dim = amps_.size();
+  const double acc = parallel_reduce(
+      dim, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double partial = 0.0;
+        for (std::size_t z = begin; z < end; ++z) partial += std::norm(amps_[z]);
+        return partial;
+      },
+      kernel_threads(dim));
   return std::sqrt(acc);
 }
 
 std::vector<double> Statevector::probabilities() const {
-  std::vector<double> probs(amps_.size());
-  for (std::size_t z = 0; z < amps_.size(); ++z) probs[z] = std::norm(amps_[z]);
+  const std::size_t dim = amps_.size();
+  std::vector<double> probs(dim);
+  parallel_for_range(
+      dim,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t z = begin; z < end; ++z) probs[z] = std::norm(amps_[z]);
+      },
+      kernel_threads(dim));
   return probs;
 }
 
 double Statevector::expectation_diagonal(const std::vector<double>& diag) const {
   require(diag.size() == amps_.size(),
           "Statevector: diagonal length must equal dimension");
-  double acc = 0.0;
-  for (std::size_t z = 0; z < amps_.size(); ++z) {
-    acc += std::norm(amps_[z]) * diag[z];
-  }
-  return acc;
+  const std::size_t dim = amps_.size();
+  return parallel_reduce(
+      dim, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double partial = 0.0;
+        for (std::size_t z = begin; z < end; ++z) {
+          partial += std::norm(amps_[z]) * diag[z];
+        }
+        return partial;
+      },
+      kernel_threads(dim));
 }
 
 double Statevector::expectation_z(int target) const {
   check_qubit(target);
   const std::size_t mask = std::size_t{1} << target;
-  double acc = 0.0;
-  for (std::size_t z = 0; z < amps_.size(); ++z) {
-    const double p = std::norm(amps_[z]);
-    acc += ((z & mask) == 0) ? p : -p;
-  }
-  return acc;
+  const std::size_t dim = amps_.size();
+  return parallel_reduce(
+      dim, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double partial = 0.0;
+        for (std::size_t z = begin; z < end; ++z) {
+          const double p = std::norm(amps_[z]);
+          partial += ((z & mask) == 0) ? p : -p;
+        }
+        return partial;
+      },
+      kernel_threads(dim));
 }
 
 std::uint64_t Statevector::sample(Rng& rng) const {
@@ -218,11 +314,17 @@ std::vector<std::uint64_t> Statevector::sample(Rng& rng, int shots) const {
 Complex Statevector::inner_product(const Statevector& other) const {
   require(num_qubits_ == other.num_qubits_,
           "Statevector::inner_product: qubit count mismatch");
-  Complex acc{0.0, 0.0};
-  for (std::size_t z = 0; z < amps_.size(); ++z) {
-    acc += std::conj(amps_[z]) * other.amps_[z];
-  }
-  return acc;
+  const std::size_t dim = amps_.size();
+  return parallel_reduce(
+      dim, Complex{0.0, 0.0},
+      [&](std::size_t begin, std::size_t end) {
+        Complex partial{0.0, 0.0};
+        for (std::size_t z = begin; z < end; ++z) {
+          partial += std::conj(amps_[z]) * other.amps_[z];
+        }
+        return partial;
+      },
+      kernel_threads(dim));
 }
 
 }  // namespace qaoaml::quantum

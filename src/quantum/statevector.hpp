@@ -7,6 +7,14 @@
 // This is the "quantum computer" of the QAOA optimization loop, standing
 // in for the paper's QuTiP backend: both produce the exact noiseless
 // state and exact expectation values.
+//
+// Threading: every amplitude-sweep kernel (gate application, fused
+// diagonal multiply, expectation/probability reductions) fans out over
+// blocked amplitude ranges once the state is large enough to amortize
+// dispatch; small states stay serial.  Reductions sum fixed-size block
+// partials in block order, so all results are bit-identical for every
+// QAOAML_THREADS setting.  Individual Statevector objects are not
+// internally synchronized: share them read-only or use one per thread.
 #ifndef QAOAML_QUANTUM_STATEVECTOR_HPP
 #define QAOAML_QUANTUM_STATEVECTOR_HPP
 
@@ -32,6 +40,11 @@ class Statevector {
   /// The uniform superposition H^n |0...0> — the QAOA input layer —
   /// constructed directly (every amplitude 2^(-n/2)).
   static Statevector uniform(int num_qubits);
+
+  /// Reinitializes this state to uniform(num_qubits) in place, reusing
+  /// the amplitude buffer when the dimension already matches.  This is
+  /// the allocation-free reset used by the batch-evaluation engine.
+  void reset_uniform(int num_qubits);
 
   int num_qubits() const { return num_qubits_; }
   std::size_t dimension() const { return amps_.size(); }

@@ -1,0 +1,258 @@
+// Batched simulation engine tests: gate-path vs fused-path vs
+// batched-path parity, buffer-reuse correctness, norm preservation of
+// the parallel kernels under long random gate sequences, and
+// thread-count determinism of BatchEvaluator results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/angles.hpp"
+#include "core/batch_evaluator.hpp"
+#include "core/qaoa_objective.hpp"
+#include "core/qaoa_solver.hpp"
+#include "graph/generators.hpp"
+#include "quantum/statevector.hpp"
+
+using namespace qaoaml;
+using core::BatchEvaluator;
+using core::BatchJob;
+using core::MaxCutQaoa;
+
+namespace {
+
+std::vector<std::vector<double>> random_batch(int depth, int size, Rng& rng) {
+  std::vector<std::vector<double>> batch;
+  batch.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) batch.push_back(core::random_angles(depth, rng));
+  return batch;
+}
+
+graph::Graph random_weighted_graph(int nodes, Rng& rng) {
+  graph::Graph g = graph::erdos_renyi_gnp(nodes, 0.5, rng);
+  while (g.num_edges() < 1) g = graph::erdos_renyi_gnp(nodes, 0.5, rng);
+  graph::Graph weighted(g.num_nodes());
+  for (const auto& e : g.edges()) {
+    weighted.add_edge(e.u, e.v, rng.uniform(0.1, 2.5));
+  }
+  return weighted;
+}
+
+TEST(BatchEvaluator, MatchesGateAndFusedPathsUnweighted) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 3; ++trial) {
+    graph::Graph g = graph::random_regular(8, 3, rng);
+    const int depth = 1 + trial;
+    const MaxCutQaoa instance(g, depth);
+    ASSERT_TRUE(instance.has_integer_spectrum());
+
+    const auto batch = random_batch(depth, 12, rng);
+    const BatchEvaluator evaluator(instance);
+    const std::vector<double> batched = evaluator.expectations(batch);
+    ASSERT_EQ(batched.size(), batch.size());
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const double fused = instance.expectation(batch[i]);
+      const double gate = instance.expectation_gate_level(batch[i]);
+      EXPECT_NEAR(batched[i], fused, 1e-12);
+      EXPECT_NEAR(batched[i], gate, 1e-12);
+    }
+  }
+}
+
+TEST(BatchEvaluator, MatchesGateAndFusedPathsWeighted) {
+  Rng rng(77);
+  for (int trial = 0; trial < 3; ++trial) {
+    const graph::Graph g = random_weighted_graph(7, rng);
+    const int depth = 2;
+    const MaxCutQaoa instance(g, depth);
+    ASSERT_FALSE(instance.has_integer_spectrum());
+
+    const auto batch = random_batch(depth, 10, rng);
+    const BatchEvaluator evaluator(instance);
+    const std::vector<double> batched = evaluator.expectations(batch);
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_NEAR(batched[i], instance.expectation(batch[i]), 1e-12);
+      EXPECT_NEAR(batched[i], instance.expectation_gate_level(batch[i]),
+                  1e-12);
+    }
+  }
+}
+
+TEST(BatchEvaluator, SingleCallReusesWorkspaceAndMatches) {
+  Rng rng(5);
+  const graph::Graph g = graph::random_regular(10, 3, rng);
+  const MaxCutQaoa instance(g, 3);
+  BatchEvaluator evaluator(instance);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> params = core::random_angles(3, rng);
+    EXPECT_NEAR(evaluator.expectation(params), instance.expectation(params),
+                1e-12);
+    EXPECT_DOUBLE_EQ(evaluator.objective(params),
+                     -evaluator.expectation(params));
+  }
+}
+
+TEST(BatchEvaluator, BufferedObjectiveMatchesPlainObjective) {
+  Rng rng(9);
+  const graph::Graph g = graph::random_regular(8, 3, rng);
+  const MaxCutQaoa instance(g, 2);
+  const optim::ObjectiveFn plain = instance.objective();
+  const optim::ObjectiveFn buffered = instance.buffered_objective();
+  for (int i = 0; i < 25; ++i) {
+    const std::vector<double> params = core::random_angles(2, rng);
+    EXPECT_DOUBLE_EQ(buffered(params), plain(params));
+  }
+}
+
+TEST(BatchEvaluator, HeterogeneousInstanceBatch) {
+  Rng rng(31);
+  const graph::Graph g1 = graph::random_regular(6, 3, rng);
+  const graph::Graph g2 = random_weighted_graph(8, rng);
+  const MaxCutQaoa small(g1, 1);
+  const MaxCutQaoa large(g2, 3);
+
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back({&small, core::random_angles(1, rng)});
+    jobs.push_back({&large, core::random_angles(3, rng)});
+  }
+  const std::vector<double> values = BatchEvaluator::expectations(jobs);
+  ASSERT_EQ(values.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_NEAR(values[i], jobs[i].instance->expectation(jobs[i].params),
+                1e-12);
+  }
+}
+
+TEST(BatchEvaluator, DeterministicAcrossThreadCounts) {
+  Rng rng(404);
+  // 16 qubits: large enough that the amplitude kernels take their
+  // blocked parallel paths, so this exercises real scheduling variance.
+  const graph::Graph g = graph::random_regular(16, 3, rng);
+  const MaxCutQaoa instance(g, 3);
+  const auto batch = random_batch(3, 8, rng);
+  const BatchEvaluator evaluator(instance);
+
+  std::vector<double> one;
+  std::vector<double> eight;
+  {
+    ScopedThreadCount guard(1);
+    one = evaluator.expectations(batch);
+  }
+  {
+    ScopedThreadCount guard(8);
+    eight = evaluator.expectations(batch);
+  }
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i], eight[i]);  // bitwise, not approximate
+  }
+}
+
+TEST(BatchEvaluator, MultistartDeterministicAcrossThreadCounts) {
+  Rng rng_a(55);
+  Rng rng_b(55);
+  Rng graph_rng(1);
+  const graph::Graph g = graph::random_regular(8, 3, graph_rng);
+  const MaxCutQaoa instance(g, 2);
+
+  core::MultistartRuns one;
+  core::MultistartRuns four;
+  {
+    ScopedThreadCount guard(1);
+    one = core::solve_multistart(instance, optim::OptimizerKind::kNelderMead,
+                                 6, rng_a);
+  }
+  {
+    ScopedThreadCount guard(4);
+    four = core::solve_multistart(instance, optim::OptimizerKind::kNelderMead,
+                                  6, rng_b);
+  }
+  EXPECT_EQ(one.best.expectation, four.best.expectation);
+  EXPECT_EQ(one.total_function_calls, four.total_function_calls);
+  ASSERT_EQ(one.runs.size(), four.runs.size());
+  for (std::size_t r = 0; r < one.runs.size(); ++r) {
+    EXPECT_EQ(one.runs[r].expectation, four.runs[r].expectation);
+    EXPECT_EQ(one.runs[r].function_calls, four.runs[r].function_calls);
+  }
+}
+
+TEST(ParallelKernels, NormPreservedUnderLongRandomGateSequence) {
+  // 16 qubits crosses the parallel threshold; drive every kernel kind.
+  Rng rng(666);
+  quantum::Statevector sv = quantum::Statevector::uniform(16);
+  const int n = sv.num_qubits();
+  for (int step = 0; step < 300; ++step) {
+    const int q = static_cast<int>(rng.uniform_int(n));
+    int other = static_cast<int>(rng.uniform_int(n - 1));
+    if (other >= q) ++other;
+    switch (rng.uniform_int(7)) {
+      case 0: sv.apply_gate(quantum::gates::hadamard(), q); break;
+      case 1: sv.apply_gate(quantum::gates::rx(rng.uniform(-3.0, 3.0)), q); break;
+      case 2: sv.apply_gate(quantum::gates::ry(rng.uniform(-3.0, 3.0)), q); break;
+      case 3: sv.apply_rz(q, rng.uniform(-3.0, 3.0)); break;
+      case 4: sv.apply_cnot(q, other); break;
+      case 5: sv.apply_cz(q, other); break;
+      default:
+        sv.apply_controlled(quantum::gates::rx(rng.uniform(-3.0, 3.0)), q,
+                            other);
+        break;
+    }
+  }
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+}
+
+TEST(ParallelKernels, StateBitIdenticalAcrossThreadCounts) {
+  // Element-wise kernels write disjoint amplitudes and reductions are
+  // blocked, so the full state must match bit-for-bit.
+  const auto evolve = [](quantum::Statevector& sv) {
+    Rng rng(13);
+    for (int step = 0; step < 40; ++step) {
+      const int q = static_cast<int>(rng.uniform_int(sv.num_qubits()));
+      sv.apply_gate(quantum::gates::rx(rng.uniform(-3.0, 3.0)), q);
+      sv.apply_rz((q + 1) % sv.num_qubits(), rng.uniform(-3.0, 3.0));
+      sv.apply_cnot(q, (q + 3) % sv.num_qubits());
+    }
+  };
+  quantum::Statevector one = quantum::Statevector::uniform(16);
+  quantum::Statevector eight = quantum::Statevector::uniform(16);
+  {
+    ScopedThreadCount guard(1);
+    evolve(one);
+  }
+  {
+    ScopedThreadCount guard(8);
+    evolve(eight);
+  }
+  const auto& a = one.amplitudes();
+  const auto& b = eight.amplitudes();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t z = 0; z < a.size(); ++z) {
+    EXPECT_EQ(a[z].real(), b[z].real());
+    EXPECT_EQ(a[z].imag(), b[z].imag());
+  }
+  EXPECT_EQ(one.norm(), eight.norm());
+}
+
+TEST(ParallelKernels, ResetUniformReusesBufferAndRestoresState) {
+  quantum::Statevector sv = quantum::Statevector::uniform(10);
+  sv.apply_gate(quantum::gates::rx(0.7), 3);
+  sv.apply_cnot(1, 6);
+  sv.reset_uniform(10);
+  const double amp = 1.0 / std::sqrt(1024.0);
+  for (const auto& a : sv.amplitudes()) {
+    EXPECT_DOUBLE_EQ(a.real(), amp);
+    EXPECT_DOUBLE_EQ(a.imag(), 0.0);
+  }
+  // Resizing resets the qubit count too.
+  sv.reset_uniform(4);
+  EXPECT_EQ(sv.num_qubits(), 4);
+  EXPECT_EQ(sv.dimension(), 16u);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+}  // namespace

@@ -187,7 +187,8 @@ TEST(Table, NumFormatsDigits) {
 TEST(Timer, MeasuresElapsedTime) {
   Timer t;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  // compound assignment on volatile is deprecated in C++20
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.seconds(), 0.0);
   EXPECT_GE(t.milliseconds(), t.seconds());  // ms value >= s value
 }

@@ -1,0 +1,199 @@
+// Threading-layer tests: pool scheduling, blocked ranges, deterministic
+// reductions, exception propagation, and thread-count resolution
+// (QAOAML_THREADS / ScopedThreadCount).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+using namespace qaoaml;
+
+namespace {
+
+/// Restores QAOAML_THREADS on scope exit so tests stay independent.
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(const char* name) : name_(name) {
+    const char* current = std::getenv(name);
+    if (current != nullptr) saved_ = current;
+    had_value_ = current != nullptr;
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(10000);
+  for (auto& h : hits) h.store(0);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountNeverInvokesBody) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; }, 8);
+}
+
+TEST(ParallelFor, OneElementRunsInline) {
+  int calls = 0;
+  parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  }, 8);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesWorkerExceptions) {
+  EXPECT_THROW(
+      parallel_for(64, [](std::size_t i) {
+        if (i == 17) throw InvalidArgument("boom");
+      }, 8),
+      InvalidArgument);
+}
+
+TEST(ParallelFor, PropagatesExceptionFromSubmittingThreadToo) {
+  // Index 0 is typically claimed by the submitting thread itself.
+  EXPECT_THROW(
+      parallel_for(64, [](std::size_t i) {
+        if (i == 0) throw InvalidArgument("first");
+      }, 8),
+      InvalidArgument);
+}
+
+TEST(ParallelFor, PoolIsReusableAfterException) {
+  EXPECT_THROW(
+      parallel_for(32, [](std::size_t) { throw InvalidArgument("x"); }, 4),
+      InvalidArgument);
+  std::atomic<int> sum{0};
+  parallel_for(32, [&](std::size_t i) { sum += static_cast<int>(i); }, 4);
+  EXPECT_EQ(sum.load(), 496);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  std::atomic<int> inner_total{0};
+  parallel_for(4, [&](std::size_t) {
+    EXPECT_TRUE(in_parallel_region());
+    parallel_for(100, [&](std::size_t) { inner_total.fetch_add(1); }, 8);
+  }, 4);
+  EXPECT_EQ(inner_total.load(), 400);
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(ParallelForRange, CoversRangeExactlyOnce) {
+  const std::size_t count = 3 * kParallelGrain + 1234;  // ragged tail
+  std::vector<std::atomic<int>> hits(count);
+  for (auto& h : hits) h.store(0);
+  parallel_for_range(count, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LE(begin, end);
+    ASSERT_LE(end, count);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForRange, SmallRangeIsOneInlineBlock) {
+  int calls = 0;
+  parallel_for_range(100, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 100u);
+    ++calls;
+  }, 8);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelReduce, MatchesSerialSum) {
+  const std::size_t count = 2 * kParallelGrain + 77;
+  std::vector<double> values(count);
+  std::iota(values.begin(), values.end(), 1.0);
+  const double total = parallel_reduce(
+      count, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double acc = 0.0;
+        for (std::size_t i = begin; i < end; ++i) acc += values[i];
+        return acc;
+      },
+      8);
+  const double n = static_cast<double>(count);
+  EXPECT_DOUBLE_EQ(total, n * (n + 1.0) / 2.0);
+}
+
+TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
+  // Pseudo-random magnitudes make the sum order-sensitive in the last
+  // bits; the blocked reduction must hide that entirely.
+  const std::size_t count = (std::size_t{1} << 17) + 31;
+  std::vector<double> values(count);
+  Rng rng(123);
+  for (double& v : values) v = rng.uniform(-1.0, 1.0) * rng.uniform(0.0, 1e6);
+
+  const auto block_sum = [&](std::size_t begin, std::size_t end) {
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += values[i];
+    return acc;
+  };
+  double one_thread = 0.0;
+  double eight_threads = 0.0;
+  {
+    ScopedThreadCount guard(1);
+    one_thread = parallel_reduce(count, 0.0, block_sum);
+  }
+  {
+    ScopedThreadCount guard(8);
+    eight_threads = parallel_reduce(count, 0.0, block_sum);
+  }
+  EXPECT_EQ(one_thread, eight_threads);  // bitwise, not approximate
+}
+
+TEST(ThreadCount, EnvOverrideIsHonored) {
+  ScopedEnv guard("QAOAML_THREADS");
+  ::setenv("QAOAML_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count(), 3);
+  ::setenv("QAOAML_THREADS", "12", 1);
+  EXPECT_EQ(default_thread_count(), 12);
+}
+
+TEST(ThreadCount, InvalidEnvFallsBackToAtLeastOne) {
+  ScopedEnv guard("QAOAML_THREADS");
+  ::setenv("QAOAML_THREADS", "0", 1);
+  EXPECT_GE(default_thread_count(), 1);
+  ::setenv("QAOAML_THREADS", "not-a-number", 1);
+  EXPECT_GE(default_thread_count(), 1);
+  ::unsetenv("QAOAML_THREADS");
+  EXPECT_GE(default_thread_count(), 1);
+}
+
+TEST(ThreadCount, ScopedOverrideBeatsEnvAndRestores) {
+  ScopedEnv guard("QAOAML_THREADS");
+  ::setenv("QAOAML_THREADS", "2", 1);
+  EXPECT_EQ(default_thread_count(), 2);
+  {
+    ScopedThreadCount scoped(7);
+    EXPECT_EQ(default_thread_count(), 7);
+    {
+      ScopedThreadCount nested(1);
+      EXPECT_EQ(default_thread_count(), 1);
+    }
+    EXPECT_EQ(default_thread_count(), 7);
+  }
+  EXPECT_EQ(default_thread_count(), 2);
+}
+
+TEST(ThreadCount, ScopedOverrideRejectsNonPositive) {
+  EXPECT_THROW(ScopedThreadCount scoped(0), InvalidArgument);
+}
+
+}  // namespace
