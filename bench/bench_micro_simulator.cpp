@@ -1,9 +1,10 @@
 // M1 micro-benchmarks: statevector simulator throughput — gate
-// application scaling with qubit count, the fused vs gate-level QAOA
-// expectation paths, the integral-spectrum fast path, and the
+// application scaling with qubit count, the fused vs unfused vs
+// gate-level QAOA paths, the integral-spectrum fast path, and the
 // multi-threaded kernels (the *Threads benchmarks sweep the worker
 // count on a fixed 22-qubit state; compare Arg(1) vs Arg(8) for the
-// intra-state scaling headline).
+// intra-state scaling headline; BM_QaoaObjectiveP2Q16 Arg(0) vs Arg(1)
+// for the fused-kernel headline).
 #include <benchmark/benchmark.h>
 
 #include "common/parallel.hpp"
@@ -11,6 +12,7 @@
 #include "core/batch_evaluator.hpp"
 #include "core/qaoa_objective.hpp"
 #include "graph/generators.hpp"
+#include "quantum/sim_config.hpp"
 #include "quantum/statevector.hpp"
 
 using namespace qaoaml;
@@ -62,7 +64,10 @@ void BM_DiagonalEvolutionIntegral(benchmark::State& state) {
     diag[z] = __builtin_popcountll(z);
   }
   for (auto _ : state) {
-    sv.apply_diagonal_evolution_integral(diag, 0.017, qubits);
+    // The popcount diagonal is valid by construction: time the kernel,
+    // not the entry-range scan the production hot path also skips.
+    sv.apply_diagonal_evolution_integral(diag, 0.017, qubits,
+                                         /*entries_prevalidated=*/true);
   }
   state.SetItemsProcessed(state.iterations() * (1LL << qubits));
 }
@@ -93,6 +98,61 @@ void BM_QaoaExpectationGateLevel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QaoaExpectationGateLevel)->DenseRange(1, 6, 1);
+
+// ---- Fused-layer benchmarks -----------------------------------------
+// One full QAOA layer (integral phase separator + mixer on every
+// qubit), fused vs the unfused gate sequence it replaces.
+
+void BM_QaoaLayerUnfused(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  quantum::Statevector sv = quantum::Statevector::uniform(qubits);
+  std::vector<int> diag(sv.dimension());
+  for (std::size_t z = 0; z < diag.size(); ++z) {
+    diag[z] = __builtin_popcountll(z);
+  }
+  const quantum::Gate1Q mixer = quantum::gates::rx(0.41);
+  for (auto _ : state) {
+    sv.apply_diagonal_evolution_integral(diag, 0.017, qubits,
+                                         /*entries_prevalidated=*/true);
+    for (int q = 0; q < qubits; ++q) sv.apply_gate(mixer, q);
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << qubits));
+}
+BENCHMARK(BM_QaoaLayerUnfused)->DenseRange(8, 20, 4);
+
+void BM_QaoaLayerFused(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  quantum::Statevector sv = quantum::Statevector::uniform(qubits);
+  std::vector<int> diag(sv.dimension());
+  for (std::size_t z = 0; z < diag.size(); ++z) {
+    diag[z] = __builtin_popcountll(z);
+  }
+  for (auto _ : state) {
+    sv.apply_qaoa_layer_integral(diag, 0.017, qubits, 0.41,
+                                 /*entries_prevalidated=*/true);
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << qubits));
+}
+BENCHMARK(BM_QaoaLayerFused)->DenseRange(8, 20, 4);
+
+// The acceptance headline: a p=2, 16-qubit QAOA objective evaluation
+// through BatchEvaluator, with Arg(0) = unfused, Arg(1) = fused.
+void BM_QaoaObjectiveP2Q16(benchmark::State& state) {
+  const quantum::ScopedLayerKernel guard(state.range(0) != 0
+                                             ? quantum::LayerKernel::kFused
+                                             : quantum::LayerKernel::kUnfused);
+  Rng rng(7);
+  const graph::Graph g = graph::random_regular(16, 3, rng);
+  const core::MaxCutQaoa instance(g, 2);
+  core::BatchEvaluator evaluator(instance);
+  std::vector<double> params = core::random_angles(2, rng);
+  for (auto _ : state) {
+    params[0] += 1e-9;  // defeat value caching
+    benchmark::DoNotOptimize(evaluator.expectation(params));
+  }
+}
+BENCHMARK(BM_QaoaObjectiveP2Q16)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
 
 // ---- Threaded-kernel benchmarks -------------------------------------
 // 22 qubits = 4M amplitudes (64 MiB of state): large enough that the
@@ -141,6 +201,23 @@ void BM_ExpectationDiagonalThreads(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (1LL << kThreadedQubits));
 }
 BENCHMARK(BM_ExpectationDiagonalThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// One fused layer per iteration at 22 qubits, across worker counts:
+// the per-thread-count profile of the fused sweeps.
+void BM_QaoaLayerFusedThreads(benchmark::State& state) {
+  const ScopedThreadCount guard(static_cast<int>(state.range(0)));
+  quantum::Statevector sv = quantum::Statevector::uniform(kThreadedQubits);
+  std::vector<int> diag(sv.dimension());
+  for (std::size_t z = 0; z < diag.size(); ++z) {
+    diag[z] = __builtin_popcountll(z);
+  }
+  for (auto _ : state) {
+    sv.apply_qaoa_layer_integral(diag, 0.017, kThreadedQubits, 0.41,
+                                 /*entries_prevalidated=*/true);
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << kThreadedQubits));
+}
+BENCHMARK(BM_QaoaLayerFusedThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 // One full p=3 statevector evolution per iteration at 20 qubits: the
 // end-to-end number behind the "2x with 8 threads" acceptance check.

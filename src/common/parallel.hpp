@@ -47,8 +47,11 @@ class ScopedThreadCount {
 
 /// Amplitude-loop block size: ranges are split into fixed blocks of this
 /// many elements regardless of thread count, which is what makes the
-/// blocked reductions bit-deterministic.
-inline constexpr std::size_t kParallelGrain = std::size_t{1} << 14;
+/// blocked reductions bit-deterministic.  Exposed as a log2 so kernels
+/// that tile power-of-two state vectors (e.g. the fused QAOA layer) can
+/// statically guarantee their tiles divide a grain block evenly.
+inline constexpr int kParallelGrainLog2 = 14;
+inline constexpr std::size_t kParallelGrain = std::size_t{1} << kParallelGrainLog2;
 
 /// Runs body(i) for every i in [0, count) across `threads` workers.
 /// Indices are dispatched dynamically; bodies writing disjoint state

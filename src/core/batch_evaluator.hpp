@@ -13,7 +13,11 @@
 //  - batch entries are scheduled instance-level with parallel_for while
 //    the per-entry amplitude kernels run serially inside the workers
 //    (nested parallel_* calls collapse to inline execution), which is
-//    the right grain for many small-to-medium states.
+//    the right grain for many small-to-medium states;
+//  - every evaluation runs through MaxCutQaoa::state_into and therefore
+//    honors the fused/unfused layer-kernel switch
+//    (quantum::default_layer_kernel()); the fused default collapses each
+//    QAOA layer into a few blocked sweeps instead of n + 1 gate passes.
 //
 // Results are deterministic: entry i of the output depends only on
 // entry i of the batch, and the underlying reductions are thread-count

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "core/angles.hpp"
 #include "core/qaoa_circuit.hpp"
+#include "quantum/sim_config.hpp"
 
 namespace qaoaml::core {
 
@@ -40,6 +41,10 @@ std::size_t MaxCutQaoa::num_parameters() const { return num_angles(depth_); }
 optim::Bounds MaxCutQaoa::bounds() const { return qaoa_bounds(depth_); }
 
 quantum::Statevector MaxCutQaoa::state(std::span<const double> params) const {
+  // Validate before allocating the 2^n workspace (up to 1 GiB at the
+  // 26-qubit cap), and with this function's own name in the message.
+  require(params.size() == num_parameters(),
+          "MaxCutQaoa::state: wrong parameter count");
   quantum::Statevector sv = quantum::Statevector::uniform(graph_.num_nodes());
   state_into(sv, params);
   return sv;
@@ -51,16 +56,33 @@ void MaxCutQaoa::state_into(quantum::Statevector& sv,
           "MaxCutQaoa::state_into: wrong parameter count");
   sv.reset_uniform(graph_.num_nodes());
 
+  const bool fused = quantum::fused_kernels_enabled();
   const std::vector<double>& diag = hamiltonian_.diagonal();
   for (int stage = 0; stage < depth_; ++stage) {
     const double gamma = params[static_cast<std::size_t>(stage)];
     const double beta = params[static_cast<std::size_t>(depth_ + stage)];
 
+    // int_diagonal_ entries are in [0, max_int_value_] by construction,
+    // so both integral branches skip the per-call entry-range scan.
+    if (fused) {
+      // Whole layer (phase separator + mixer) in a few blocked sweeps;
+      // the integral variant uses the same power-table phase separator
+      // as the unfused branch below.
+      if (integral_) {
+        sv.apply_qaoa_layer_integral(int_diagonal_, gamma, max_int_value_,
+                                     beta, /*entries_prevalidated=*/true);
+      } else {
+        sv.apply_qaoa_layer(diag, gamma, beta);
+      }
+      continue;
+    }
+
     if (integral_) {
       // exp(-i gamma C) via powers of exp(-i gamma): the cut spectrum is
       // integral so only max_int_value_+1 distinct phases occur.
       sv.apply_diagonal_evolution_integral(int_diagonal_, gamma,
-                                           max_int_value_);
+                                           max_int_value_,
+                                           /*entries_prevalidated=*/true);
     } else {
       sv.apply_diagonal_evolution(diag, gamma);
     }

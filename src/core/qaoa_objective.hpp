@@ -5,12 +5,17 @@
 // the diagonal MaxCut cost operator; the classical loop *maximizes* this
 // expectation, so objective() exposes its negative for the minimizers.
 //
-// Two evaluation paths produce identical values (tested to 1e-12):
+// Three evaluation paths produce identical values (tested to 1e-12):
 //  - gate path: simulates the explicit CNOT/RZ/RX ansatz circuit;
-//  - fast path: applies the phase separator as a fused diagonal
-//    multiply and the mixer as RX gates.  For unweighted graphs the cut
-//    spectrum is integral, so the diagonal multiply collapses to a
-//    precomputed power table (exp(-i gamma)^C(z)).
+//  - unfused fast path: applies the phase separator as a diagonal
+//    multiply and the mixer as one RX gate pass per qubit;
+//  - fused fast path (default): applies the whole layer — phase
+//    separator + mixer — in a few blocked sweeps via
+//    Statevector::apply_qaoa_layer* (see quantum/fused_kernels.hpp).
+// The fast paths are selected by quantum::default_layer_kernel()
+// (QAOAML_FUSED / ScopedLayerKernel); for unweighted graphs the cut
+// spectrum is integral, so the phase separator collapses to a
+// precomputed power table (exp(-i gamma)^C(z)) on either fast path.
 #ifndef QAOAML_CORE_QAOA_OBJECTIVE_HPP
 #define QAOAML_CORE_QAOA_OBJECTIVE_HPP
 

@@ -1,0 +1,41 @@
+#include "quantum/sim_config.hpp"
+
+#include <atomic>
+
+#include "common/env.hpp"
+
+namespace qaoaml::quantum {
+namespace {
+
+// 0 = no override, 1 = fused, 2 = unfused (atomic so overrides made on
+// the main thread are visible to pool workers).
+std::atomic<int> kernel_override{0};
+
+}  // namespace
+
+LayerKernel default_layer_kernel() {
+  switch (kernel_override.load(std::memory_order_relaxed)) {
+    case 1:
+      return LayerKernel::kFused;
+    case 2:
+      return LayerKernel::kUnfused;
+    default:
+      break;
+  }
+  return env_int("QAOAML_FUSED", 1) != 0 ? LayerKernel::kFused
+                                         : LayerKernel::kUnfused;
+}
+
+bool fused_kernels_enabled() {
+  return default_layer_kernel() == LayerKernel::kFused;
+}
+
+ScopedLayerKernel::ScopedLayerKernel(LayerKernel kernel)
+    : previous_(kernel_override.exchange(
+          kernel == LayerKernel::kFused ? 1 : 2, std::memory_order_relaxed)) {}
+
+ScopedLayerKernel::~ScopedLayerKernel() {
+  kernel_override.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace qaoaml::quantum

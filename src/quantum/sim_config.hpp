@@ -1,0 +1,48 @@
+// Simulator configuration: which amplitude-kernel path the QAOA
+// evolution hot paths take.
+//
+// The fused path (quantum/fused_kernels.hpp) collapses each QAOA layer
+// into a few blocked sweeps; the unfused path applies the diagonal
+// phase and then one RX gate pass per qubit.  Both produce the same
+// state to ~1e-15 per amplitude (tested to 1e-12 in
+// tests/test_fused_kernels.cpp), so the unfused path is kept as the
+// verification reference and as a fallback switchable at runtime.
+//
+// Selection precedence, mirroring the threading knobs in
+// common/parallel.hpp: ScopedLayerKernel override > QAOAML_FUSED
+// environment variable (0 disables fusion) > fused by default.
+#ifndef QAOAML_QUANTUM_SIM_CONFIG_HPP
+#define QAOAML_QUANTUM_SIM_CONFIG_HPP
+
+namespace qaoaml::quantum {
+
+/// The two QAOA-layer evaluation paths.
+enum class LayerKernel {
+  kFused,    ///< blocked fused sweeps (Statevector::apply_qaoa_layer*)
+  kUnfused,  ///< diagonal evolution + one RX gate pass per qubit
+};
+
+/// Active path: the ScopedLayerKernel override when set, else
+/// QAOAML_FUSED=0 selects kUnfused, else kFused.
+LayerKernel default_layer_kernel();
+
+/// Convenience: default_layer_kernel() == LayerKernel::kFused.
+bool fused_kernels_enabled();
+
+/// RAII override of default_layer_kernel() for the enclosing scope.
+/// Takes precedence over QAOAML_FUSED; intended for tests and
+/// benchmarks that compare the two paths within one process.
+class ScopedLayerKernel {
+ public:
+  explicit ScopedLayerKernel(LayerKernel kernel);
+  ~ScopedLayerKernel();
+  ScopedLayerKernel(const ScopedLayerKernel&) = delete;
+  ScopedLayerKernel& operator=(const ScopedLayerKernel&) = delete;
+
+ private:
+  int previous_;
+};
+
+}  // namespace qaoaml::quantum
+
+#endif  // QAOAML_QUANTUM_SIM_CONFIG_HPP

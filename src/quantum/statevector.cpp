@@ -6,9 +6,14 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "quantum/fused_kernels.hpp"
+#include "quantum/kernel_util.hpp"
 
 namespace qaoaml::quantum {
 namespace {
+
+using detail::multiply_amp;
+using detail::pair_base;
 
 /// States below this dimension run every kernel serially: the loops are
 /// too short to amortize pool dispatch.  At or above it, element-wise
@@ -19,19 +24,6 @@ constexpr std::size_t kParallelDim = std::size_t{2} * kParallelGrain;
 
 inline int kernel_threads(std::size_t dim) {
   return dim >= kParallelDim ? default_thread_count() : 1;
-}
-
-/// amps[z] *= phase, with the product expanded to avoid __muldc3.
-inline void multiply_amp(Complex& amp, double pr, double pi) {
-  const double ar = amp.real();
-  const double ai = amp.imag();
-  amp = Complex{ar * pr - ai * pi, ar * pi + ai * pr};
-}
-
-/// Index of the k-th basis state whose `target` bit is 0: the k low bits
-/// below `target` stay in place, the rest shift up one position.
-inline std::size_t pair_base(std::size_t k, int target, std::size_t stride) {
-  return ((k >> target) << (target + 1)) | (k & (stride - 1));
 }
 
 }  // namespace
@@ -209,17 +201,48 @@ void Statevector::apply_diagonal_evolution(const std::vector<double>& diag,
       kernel_threads(dim));
 }
 
-void Statevector::apply_diagonal_evolution_integral(
-    const std::vector<int>& diag, double angle, int max_value) {
+/// Validates an integer diagonal before any amplitude is touched: the
+/// length must equal the state dimension and every entry must index the
+/// [0, max_value] phase table (an out-of-range entry would read past the
+/// table — silent corruption in a fast path, so it is rejected loudly).
+/// The entry scan is O(2^n); hot paths reusing one precomputed diagonal
+/// skip it via scan_entries = false.
+void Statevector::check_integral_diagonal(const std::vector<int>& diag,
+                                          int max_value,
+                                          bool scan_entries) const {
   require(diag.size() == amps_.size(),
           "Statevector: diagonal length must equal dimension");
   require(max_value >= 0, "Statevector: max_value must be non-negative");
-  // phases[k] = exp(-i * k * angle): only max_value + 1 distinct phases.
+  if (!scan_entries) return;
+  const std::size_t bad = parallel_reduce(
+      diag.size(), std::size_t{0},
+      [&](std::size_t begin, std::size_t end) {
+        std::size_t count = 0;
+        for (std::size_t z = begin; z < end; ++z) {
+          if (diag[z] < 0 || diag[z] > max_value) ++count;
+        }
+        return count;
+      },
+      kernel_threads(diag.size()));
+  require(bad == 0,
+          "Statevector: integral diagonal entry outside [0, max_value]");
+}
+
+/// phases[k] = exp(-i * k * angle): only max_value + 1 distinct phases.
+static std::vector<Complex> integral_phase_table(double angle, int max_value) {
   std::vector<Complex> phases(static_cast<std::size_t>(max_value) + 1);
   for (std::size_t k = 0; k < phases.size(); ++k) {
     const double phi = -angle * static_cast<double>(k);
     phases[k] = Complex{std::cos(phi), std::sin(phi)};
   }
+  return phases;
+}
+
+void Statevector::apply_diagonal_evolution_integral(
+    const std::vector<int>& diag, double angle, int max_value,
+    bool entries_prevalidated) {
+  check_integral_diagonal(diag, max_value, !entries_prevalidated);
+  const std::vector<Complex> phases = integral_phase_table(angle, max_value);
   const std::size_t dim = amps_.size();
   parallel_for_range(
       dim,
@@ -230,6 +253,25 @@ void Statevector::apply_diagonal_evolution_integral(
         }
       },
       kernel_threads(dim));
+}
+
+void Statevector::apply_qaoa_layer(const std::vector<double>& diag,
+                                   double gamma, double beta) {
+  require(diag.size() == amps_.size(),
+          "Statevector: diagonal length must equal dimension");
+  fused::apply_layer(amps_.data(), num_qubits_, diag.data(), gamma, beta,
+                     kernel_threads(amps_.size()));
+}
+
+void Statevector::apply_qaoa_layer_integral(const std::vector<int>& diag,
+                                            double gamma, int max_value,
+                                            double beta,
+                                            bool entries_prevalidated) {
+  check_integral_diagonal(diag, max_value, !entries_prevalidated);
+  const std::vector<Complex> phases = integral_phase_table(gamma, max_value);
+  fused::apply_layer_integral(amps_.data(), num_qubits_, diag.data(),
+                              phases.data(), beta,
+                              kernel_threads(amps_.size()));
 }
 
 void Statevector::apply_hadamard_all() {

@@ -70,9 +70,31 @@ class Statevector {
   /// Same as apply_diagonal_evolution but for an integer-valued diagonal
   /// with entries in [0, max_value]: only max_value + 1 distinct phases
   /// occur, so they are precomputed once (a large win for unweighted
-  /// MaxCut where diag[z] is the cut size).
+  /// MaxCut where diag[z] is the cut size).  The diagonal length and the
+  /// entry range are validated before any amplitude is touched; callers
+  /// that apply one precomputed diagonal many times (e.g. once per QAOA
+  /// layer per objective evaluation) may pass entries_prevalidated =
+  /// true to skip the O(2^n) entry-range scan — length and max_value
+  /// are still checked.
   void apply_diagonal_evolution_integral(const std::vector<int>& diag,
-                                         double angle, int max_value);
+                                         double angle, int max_value,
+                                         bool entries_prevalidated = false);
+
+  /// One fused QAOA layer: exp(-i * angle * C) for the diagonal cost C
+  /// followed by the mixer RX(beta) on every qubit, in a few blocked
+  /// sweeps instead of num_qubits + 1 gate passes (see
+  /// quantum/fused_kernels.hpp).  Matches apply_diagonal_evolution +
+  /// per-qubit RX to ~1e-15 per amplitude.
+  void apply_qaoa_layer(const std::vector<double>& diag, double gamma,
+                        double beta);
+
+  /// Fused layer for an integer-valued diagonal with entries in
+  /// [0, max_value]: the phase table and the validation contract
+  /// (including entries_prevalidated) are exactly those of
+  /// apply_diagonal_evolution_integral.
+  void apply_qaoa_layer_integral(const std::vector<int>& diag, double gamma,
+                                 int max_value, double beta,
+                                 bool entries_prevalidated = false);
 
   /// Hadamard on every qubit (the QAOA state preparation layer).
   void apply_hadamard_all();
@@ -101,6 +123,8 @@ class Statevector {
  private:
   Statevector() = default;
   void check_qubit(int q) const;
+  void check_integral_diagonal(const std::vector<int>& diag, int max_value,
+                               bool scan_entries) const;
 
   int num_qubits_ = 0;
   std::vector<Complex> amps_;

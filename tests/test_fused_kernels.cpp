@@ -1,0 +1,298 @@
+// Differential tests for the fused QAOA layer kernels.
+//
+// The fused path (Statevector::apply_qaoa_layer*) restructures each
+// QAOA layer into a few blocked sweeps; these tests pin it against the
+// unfused reference (diagonal evolution + one RX gate pass per qubit)
+// and the gate-by-gate ansatz simulation on randomized graphs, angles,
+// depths and qubit counts, and check norm preservation, thread-count
+// determinism, the runtime kernel switch, and argument validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/angles.hpp"
+#include "core/qaoa_objective.hpp"
+#include "graph/generators.hpp"
+#include "quantum/sim_config.hpp"
+#include "quantum/statevector.hpp"
+
+namespace qaoaml {
+namespace {
+
+using quantum::Complex;
+using quantum::LayerKernel;
+using quantum::ScopedLayerKernel;
+using quantum::Statevector;
+
+/// Fused vs unfused must agree far below this on every amplitude (the
+/// arithmetic per amplitude is identical, so the observed difference is
+/// exactly zero; 1e-12 is the contract).
+constexpr double kAmpTol = 1e-12;
+
+/// A Haar-ish random normalized state: iid complex Gaussians-by-pairs
+/// would do, uniform boxes are enough for differential coverage.
+Statevector random_state(int num_qubits, Rng& rng) {
+  std::vector<Complex> amps(std::size_t{1} << num_qubits);
+  double norm_sq = 0.0;
+  for (Complex& a : amps) {
+    a = Complex{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    norm_sq += std::norm(a);
+  }
+  const double scale = 1.0 / std::sqrt(norm_sq);
+  for (Complex& a : amps) a *= scale;
+  return Statevector::from_amplitudes(std::move(amps));
+}
+
+/// The unfused reference for one QAOA layer.
+void reference_layer(Statevector& sv, const std::vector<double>& diag,
+                     double gamma, double beta) {
+  sv.apply_diagonal_evolution(diag, gamma);
+  const quantum::Gate1Q mixer = quantum::gates::rx(beta);
+  for (int q = 0; q < sv.num_qubits(); ++q) sv.apply_gate(mixer, q);
+}
+
+double max_amp_diff(const Statevector& a, const Statevector& b) {
+  double max_diff = 0.0;
+  for (std::size_t z = 0; z < a.dimension(); ++z) {
+    max_diff =
+        std::max(max_diff, std::abs(a.amplitudes()[z] - b.amplitudes()[z]));
+  }
+  return max_diff;
+}
+
+/// An Erdos-Renyi graph guaranteed to have at least one edge.
+graph::Graph nonempty_er(int nodes, Rng& rng) {
+  for (;;) {
+    graph::Graph g = graph::erdos_renyi_gnp(nodes, 0.5, rng);
+    if (g.num_edges() > 0) return g;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Kernel level: fused layer vs the unfused gate sequence on random
+// states and random diagonals.  Qubit counts up to 14 cover every
+// sweep shape: all-local (n <= 11), one leftover high level (n = 12),
+// one high pair (n = 13), and a pair plus a leftover (n = 14).
+// ---------------------------------------------------------------------
+
+TEST(FusedLayer, MatchesUnfusedOnRandomStatesAndDiagonals) {
+  Rng rng(0xF00D);
+  for (int n = 1; n <= 14; ++n) {
+    Statevector fused = random_state(n, rng);
+    Statevector reference = fused;  // same amplitudes
+    std::vector<double> diag(fused.dimension());
+    for (double& d : diag) d = rng.uniform(-3.0, 3.0);
+    const double gamma = rng.uniform(-2.0 * M_PI, 2.0 * M_PI);
+    const double beta = rng.uniform(-M_PI, M_PI);
+
+    fused.apply_qaoa_layer(diag, gamma, beta);
+    reference_layer(reference, diag, gamma, beta);
+
+    EXPECT_LE(max_amp_diff(fused, reference), kAmpTol) << "n=" << n;
+  }
+}
+
+TEST(FusedLayer, IntegralVariantMatchesGenericKernels) {
+  Rng rng(0xBEA7);
+  for (int n = 2; n <= 14; ++n) {
+    const int max_value = n;  // popcount-like spectrum
+    Statevector fused = random_state(n, rng);
+    Statevector reference = fused;
+    std::vector<int> diag(fused.dimension());
+    for (std::size_t z = 0; z < diag.size(); ++z) {
+      diag[z] = static_cast<int>(rng.uniform_int(
+          static_cast<std::uint64_t>(max_value) + 1));
+    }
+    const double gamma = rng.uniform(-M_PI, M_PI);
+    const double beta = rng.uniform(-M_PI, M_PI);
+
+    fused.apply_qaoa_layer_integral(diag, gamma, max_value, beta);
+    reference.apply_diagonal_evolution_integral(diag, gamma, max_value);
+    const quantum::Gate1Q mixer = quantum::gates::rx(beta);
+    for (int q = 0; q < n; ++q) reference.apply_gate(mixer, q);
+
+    EXPECT_LE(max_amp_diff(fused, reference), kAmpTol) << "n=" << n;
+  }
+}
+
+TEST(FusedLayer, PreservesNormOverManyLayers) {
+  Rng rng(0x9072);
+  for (int n : {3, 8, 13}) {
+    Statevector sv = Statevector::uniform(n);
+    std::vector<double> diag(sv.dimension());
+    for (double& d : diag) d = rng.uniform(0.0, 5.0);
+    for (int layer = 0; layer < 8; ++layer) {
+      sv.apply_qaoa_layer(diag, rng.uniform(-M_PI, M_PI),
+                          rng.uniform(-M_PI, M_PI));
+    }
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-12) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------
+// QAOA level: the routed hot path (MaxCutQaoa::state_into) across
+// randomized graphs, depths p = 1..4, and qubit counts 2..12, on both
+// unweighted (integral spectrum) and weighted (general) instances.
+// ---------------------------------------------------------------------
+
+TEST(FusedQaoa, StateMatchesUnfusedPathOnRandomGraphs) {
+  Rng rng(0x51AB);
+  for (int n = 2; n <= 12; ++n) {
+    const graph::Graph g = nonempty_er(n, rng);
+    for (int p = 1; p <= 4; ++p) {
+      const core::MaxCutQaoa instance(g, p);
+      const std::vector<double> params = core::random_angles(p, rng);
+      Statevector fused = Statevector::uniform(n);
+      Statevector unfused = Statevector::uniform(n);
+      {
+        const ScopedLayerKernel guard(LayerKernel::kFused);
+        instance.state_into(fused, params);
+      }
+      {
+        const ScopedLayerKernel guard(LayerKernel::kUnfused);
+        instance.state_into(unfused, params);
+      }
+      EXPECT_LE(max_amp_diff(fused, unfused), kAmpTol)
+          << "n=" << n << " p=" << p;
+      EXPECT_NEAR(fused.norm(), 1.0, 1e-12) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(FusedQaoa, StateMatchesUnfusedPathOnWeightedGraphs) {
+  // Random weights break the integral-spectrum detection, forcing the
+  // general (cos/sin per amplitude) phase branch on both paths.
+  Rng rng(0x3EED);
+  for (int n : {4, 7, 10}) {
+    graph::Graph g(n);
+    for (int u = 0; u < n; ++u) {
+      g.add_edge(u, (u + 1) % n, rng.uniform(0.1, 2.0));
+    }
+    const core::MaxCutQaoa instance(g, 3);
+    ASSERT_FALSE(instance.has_integer_spectrum());
+    const std::vector<double> params = core::random_angles(3, rng);
+    Statevector fused = Statevector::uniform(n);
+    Statevector unfused = Statevector::uniform(n);
+    {
+      const ScopedLayerKernel guard(LayerKernel::kFused);
+      instance.state_into(fused, params);
+    }
+    {
+      const ScopedLayerKernel guard(LayerKernel::kUnfused);
+      instance.state_into(unfused, params);
+    }
+    EXPECT_LE(max_amp_diff(fused, unfused), kAmpTol) << "n=" << n;
+  }
+}
+
+TEST(FusedQaoa, ExpectationMatchesGateLevelSimulation) {
+  // The gate path builds the state through hundreds of CNOT/RZ/RX
+  // applications, so it accumulates more rounding than the fast paths;
+  // the observed gap stays below ~3e-13 for these sizes.
+  Rng rng(0xC0DE);
+  for (int n : {3, 6, 9, 12}) {
+    const graph::Graph g = nonempty_er(n, rng);
+    for (int p = 1; p <= 4; ++p) {
+      const core::MaxCutQaoa instance(g, p);
+      const std::vector<double> params = core::random_angles(p, rng);
+      const ScopedLayerKernel guard(LayerKernel::kFused);
+      EXPECT_NEAR(instance.expectation(params),
+                  instance.expectation_gate_level(params), 1e-12)
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Thread-count determinism: the fused sweeps are element-wise
+// independent, so amplitudes must be bit-identical for every worker
+// count once the state is large enough to fan out (n >= 15).
+// ---------------------------------------------------------------------
+
+TEST(FusedQaoa, AmplitudesBitIdenticalAcrossThreadCounts) {
+  Rng rng(0x7EAD);
+  const graph::Graph g = graph::random_regular(16, 3, rng);
+  const core::MaxCutQaoa instance(g, 2);
+  const std::vector<double> params = core::random_angles(2, rng);
+  const ScopedLayerKernel guard(LayerKernel::kFused);
+
+  std::vector<Complex> baseline;
+  {
+    const ScopedThreadCount threads(1);
+    baseline = instance.state(params).amplitudes();
+  }
+  for (int threads : {2, 3, 8}) {
+    const ScopedThreadCount scoped(threads);
+    const std::vector<Complex> amps = instance.state(params).amplitudes();
+    ASSERT_EQ(amps.size(), baseline.size());
+    std::size_t mismatches = 0;
+    for (std::size_t z = 0; z < amps.size(); ++z) {
+      // Bitwise comparison: == on doubles, not a tolerance.
+      if (amps[z] != baseline[z]) ++mismatches;
+    }
+    EXPECT_EQ(mismatches, 0u) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------
+// The runtime kernel switch.
+// ---------------------------------------------------------------------
+
+TEST(LayerKernelConfig, ScopedOverrideWinsAndRestores) {
+  const LayerKernel ambient = quantum::default_layer_kernel();
+  {
+    const ScopedLayerKernel outer(LayerKernel::kUnfused);
+    EXPECT_EQ(quantum::default_layer_kernel(), LayerKernel::kUnfused);
+    EXPECT_FALSE(quantum::fused_kernels_enabled());
+    {
+      const ScopedLayerKernel inner(LayerKernel::kFused);
+      EXPECT_EQ(quantum::default_layer_kernel(), LayerKernel::kFused);
+      EXPECT_TRUE(quantum::fused_kernels_enabled());
+    }
+    EXPECT_EQ(quantum::default_layer_kernel(), LayerKernel::kUnfused);
+  }
+  EXPECT_EQ(quantum::default_layer_kernel(), ambient);
+}
+
+TEST(LayerKernelConfig, DefaultsToFusedWithoutEnvOverride) {
+  if (std::getenv("QAOAML_FUSED") != nullptr) {
+    GTEST_SKIP() << "QAOAML_FUSED set in the environment";
+  }
+  EXPECT_TRUE(quantum::fused_kernels_enabled());
+}
+
+// ---------------------------------------------------------------------
+// Argument validation (see also Statevector error tests in
+// test_quantum.cpp): the fused entry points must reject malformed
+// diagonals before touching any amplitude.
+// ---------------------------------------------------------------------
+
+TEST(FusedLayer, RejectsMalformedDiagonals) {
+  Statevector sv = Statevector::uniform(4);
+  EXPECT_THROW(sv.apply_qaoa_layer(std::vector<double>(8, 0.0), 0.3, 0.4),
+               InvalidArgument);
+  EXPECT_THROW(
+      sv.apply_qaoa_layer_integral(std::vector<int>(8, 0), 0.3, 1, 0.4),
+      InvalidArgument);
+  EXPECT_THROW(
+      sv.apply_qaoa_layer_integral(std::vector<int>(16, 0), 0.3, -1, 0.4),
+      InvalidArgument);
+  // Entries outside [0, max_value] would index past the phase table.
+  std::vector<int> too_big(16, 0);
+  too_big[5] = 3;
+  EXPECT_THROW(sv.apply_qaoa_layer_integral(too_big, 0.3, 2, 0.4),
+               InvalidArgument);
+  std::vector<int> negative(16, 0);
+  negative[9] = -1;
+  EXPECT_THROW(sv.apply_qaoa_layer_integral(negative, 0.3, 2, 0.4),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qaoaml

@@ -1,0 +1,120 @@
+// Golden regression fixtures for the QAOA energy.
+//
+// Each case pins <psi(gamma, beta)| C |psi(gamma, beta)> for a fixed
+// (graph, depth, angles) triple to a reference value computed at the
+// time the fused kernels landed (PR 2), when the fused, unfused, and
+// gate-by-gate paths were cross-validated against each other.  Any
+// kernel change that shifts an expectation beyond kGoldenTol breaks
+// these tests with a message naming the case and the drift, which is
+// the point: silent numerical regressions in fast paths must be loud.
+//
+// If a change legitimately alters these values (it should not — they
+// are exact physical quantities, not implementation artifacts), the
+// fixtures must be regenerated and the change justified in review.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/qaoa_objective.hpp"
+#include "graph/generators.hpp"
+#include "quantum/sim_config.hpp"
+
+namespace qaoaml {
+namespace {
+
+/// Well above accumulated rounding (observed cross-path drift is 0 and
+/// cross-compiler drift is ~1e-13), far below any real kernel bug.
+constexpr double kGoldenTol = 1e-9;
+
+struct GoldenCase {
+  const char* name;
+  graph::Graph (*make)();
+  int depth;
+  std::vector<double> params;  // [gammas..., betas...]
+  double expected;
+};
+
+graph::Graph weighted_cycle6() {
+  graph::Graph g(6);
+  const graph::Graph cycle = graph::cycle_graph(6);
+  for (const graph::Edge& e : cycle.edges()) g.add_edge(e.u, e.v, 2.5);
+  return g;
+}
+
+graph::Graph er8_beef() {
+  Rng rng(0xBEEF);
+  return graph::erdos_renyi_gnp(8, 0.5, rng);
+}
+
+graph::Graph reg10d3_cafe() {
+  Rng rng(0xCAFE);
+  return graph::random_regular(10, 3, rng);
+}
+
+// Reference values generated with the PR 2 cross-validated simulator
+// (QAOAML_THREADS-independent by construction of the blocked kernels).
+const GoldenCase kGoldenCases[] = {
+    {"cycle6_p1", [] { return graph::cycle_graph(6); }, 1,
+     {0.4, 0.7}, 4.060377549123769},
+    {"cycle7_p2", [] { return graph::cycle_graph(7); }, 2,
+     {0.35, 0.6, 0.45, 0.8}, 5.233482237420579},
+    {"complete5_p2", [] { return graph::complete_graph(5); }, 2,
+     {0.3, 0.9, 0.5, 0.2}, 5.920976255081808},
+    {"star6_p1", [] { return graph::star_graph(6); }, 1,
+     {0.55, 0.25}, 2.978699890527710},
+    {"path7_p3", [] { return graph::path_graph(7); }, 3,
+     {0.2, 0.4, 0.6, 0.3, 0.5, 0.7}, 4.599230801449126},
+    {"er8_seed0xBEEF_p2", &er8_beef, 2,
+     {0.42, 0.17, 0.33, 0.71}, 8.888489160692925},
+    {"reg10d3_seed0xCAFE_p2", &reg10d3_cafe, 2,
+     {0.37, 0.58, 0.29, 0.64}, 9.908040427040676},
+    {"cycle6_weight2.5_p1", &weighted_cycle6, 1,
+     {0.16, 0.7}, 10.150943872809416},
+};
+
+class GoldenRegression : public ::testing::TestWithParam<quantum::LayerKernel> {
+};
+
+TEST_P(GoldenRegression, ExpectationsMatchCommittedFixtures) {
+  const quantum::ScopedLayerKernel guard(GetParam());
+  for (const GoldenCase& c : kGoldenCases) {
+    const core::MaxCutQaoa instance(c.make(), c.depth);
+    const double actual = instance.expectation(c.params);
+    const double drift = actual - c.expected;
+    EXPECT_NEAR(actual, c.expected, kGoldenTol)
+        << "Golden fixture '" << c.name << "' drifted: expected <C> = "
+        << ::testing::PrintToString(c.expected) << ", got "
+        << ::testing::PrintToString(actual) << " (drift " << drift
+        << "). A kernel change moved a committed reference expectation; "
+           "fix the kernel or regenerate the fixtures with justification.";
+  }
+}
+
+// The gate-by-gate ansatz simulation must reproduce the same fixtures:
+// this catches regressions that corrupt the fast paths and the circuit
+// path in the same way only if both break identically, and otherwise
+// localizes which layer drifted.
+TEST(GoldenRegression, GateLevelPathMatchesFixtures) {
+  for (const GoldenCase& c : kGoldenCases) {
+    const core::MaxCutQaoa instance(c.make(), c.depth);
+    const double actual = instance.expectation_gate_level(c.params);
+    EXPECT_NEAR(actual, c.expected, kGoldenTol)
+        << "Golden fixture '" << c.name
+        << "' drifted on the gate-level path: expected <C> = "
+        << ::testing::PrintToString(c.expected) << ", got "
+        << ::testing::PrintToString(actual) << ".";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, GoldenRegression,
+    ::testing::Values(quantum::LayerKernel::kFused,
+                      quantum::LayerKernel::kUnfused),
+    [](const ::testing::TestParamInfo<quantum::LayerKernel>& info) {
+      return info.param == quantum::LayerKernel::kFused ? "fused" : "unfused";
+    });
+
+}  // namespace
+}  // namespace qaoaml

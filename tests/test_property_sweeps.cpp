@@ -12,6 +12,7 @@
 #include "graph/generators.hpp"
 #include "graph/maxcut.hpp"
 #include "optim/optimizer.hpp"
+#include "quantum/sim_config.hpp"
 
 namespace qaoaml {
 namespace {
@@ -185,6 +186,114 @@ TEST(WeightScaling, ExpectationScalesWithUniformWeights) {
                 1e-9);
   }
 }
+
+// ---------------------------------------------------------------------
+// Sweep 5: simulator-path invariances — physical symmetries of the QAOA
+// energy, each checked on both the fused and the unfused layer kernels.
+// ---------------------------------------------------------------------
+
+class SimulatorPathSweep
+    : public ::testing::TestWithParam<quantum::LayerKernel> {};
+
+TEST_P(SimulatorPathSweep, EnergyInvariantUnderQubitRelabeling) {
+  // Relabeling the graph nodes permutes the qubits; the cost spectrum
+  // and the (qubit-symmetric) mixer are unchanged, so <C> must be too.
+  const quantum::ScopedLayerKernel guard(GetParam());
+  Rng rng(0xAB12);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int n = 8;
+    const graph::Graph g = graph::erdos_renyi_gnp(n, 0.5, rng);
+    if (g.num_edges() == 0) continue;
+    std::vector<int> perm(n);
+    for (int v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+    for (int v = n - 1; v > 0; --v) {
+      const auto other = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(v) + 1));
+      std::swap(perm[static_cast<std::size_t>(v)], perm[other]);
+    }
+    graph::Graph relabeled(n);
+    for (const graph::Edge& e : g.edges()) {
+      relabeled.add_edge(perm[static_cast<std::size_t>(e.u)],
+                         perm[static_cast<std::size_t>(e.v)], e.weight);
+    }
+    for (int p : {1, 2}) {
+      const core::MaxCutQaoa base(g, p);
+      const core::MaxCutQaoa shuffled(relabeled, p);
+      const std::vector<double> params = core::random_angles(p, rng);
+      EXPECT_NEAR(base.expectation(params), shuffled.expectation(params),
+                  1e-10)
+          << "trial=" << trial << " p=" << p;
+    }
+  }
+}
+
+TEST_P(SimulatorPathSweep, EnergyInvariantUnderAngleSymmetryShifts) {
+  // For an integral cut spectrum, gamma -> gamma + 2*pi leaves every
+  // phase exp(-i*gamma*C(z)) unchanged.  beta -> beta + pi appends
+  // RX(pi) = -iX on every qubit; X^(x)n propagates through the later
+  // layers because C is invariant under flipping every bit (a cut and
+  // its complement cut the same edges), so <C> is unchanged as well.
+  const quantum::ScopedLayerKernel guard(GetParam());
+  Rng rng(0xCD34);
+  const graph::Graph graphs[] = {graph::cycle_graph(7),
+                                 graph::complete_graph(5),
+                                 graph::erdos_renyi_gnp(7, 0.6, rng)};
+  for (const graph::Graph& g : graphs) {
+    if (g.num_edges() == 0) continue;
+    for (int p : {1, 2}) {
+      const core::MaxCutQaoa instance(g, p);
+      ASSERT_TRUE(instance.has_integer_spectrum());
+      const std::vector<double> params = core::random_angles(p, rng);
+      const double base = instance.expectation(params);
+
+      // Shift every gamma by 2*pi and every beta by pi.
+      std::vector<double> shifted = params;
+      for (int i = 0; i < p; ++i) {
+        shifted[static_cast<std::size_t>(i)] += 2.0 * M_PI;
+        shifted[static_cast<std::size_t>(p + i)] += M_PI;
+      }
+      EXPECT_NEAR(instance.expectation(shifted), base, 1e-9) << "p=" << p;
+
+      // A single mid-circuit beta shift must also be invariant (the
+      // X^(x)n commutes through every later layer independently).
+      std::vector<double> one_beta = params;
+      one_beta[static_cast<std::size_t>(p)] += M_PI;
+      EXPECT_NEAR(instance.expectation(one_beta), base, 1e-9) << "p=" << p;
+    }
+  }
+}
+
+TEST_P(SimulatorPathSweep, ScaledWeightsShrinkTheGammaPeriod) {
+  // With every weight scaled by c, the spectrum is c * integers, so the
+  // gamma period contracts from 2*pi to 2*pi/c (the "2*pi/scale"
+  // symmetry); the beta period stays pi as above.
+  const quantum::ScopedLayerKernel guard(GetParam());
+  Rng rng(0xEF56);
+  const double scale = 2.5;
+  graph::Graph g(6);
+  const graph::Graph cycle = graph::cycle_graph(6);
+  for (const graph::Edge& e : cycle.edges()) g.add_edge(e.u, e.v, scale);
+  for (int p : {1, 2}) {
+    const core::MaxCutQaoa instance(g, p);
+    const std::vector<double> params = core::random_angles(p, rng);
+    std::vector<double> shifted = params;
+    for (int i = 0; i < p; ++i) {
+      shifted[static_cast<std::size_t>(i)] += 2.0 * M_PI / scale;
+      shifted[static_cast<std::size_t>(p + i)] += M_PI;
+    }
+    EXPECT_NEAR(instance.expectation(shifted), instance.expectation(params),
+                1e-9)
+        << "p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, SimulatorPathSweep,
+    ::testing::Values(quantum::LayerKernel::kFused,
+                      quantum::LayerKernel::kUnfused),
+    [](const ::testing::TestParamInfo<quantum::LayerKernel>& info) {
+      return info.param == quantum::LayerKernel::kFused ? "fused" : "unfused";
+    });
 
 }  // namespace
 }  // namespace qaoaml

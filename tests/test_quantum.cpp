@@ -169,6 +169,39 @@ TEST(Statevector, IntegralDiagonalEvolutionMatchesGeneric) {
   }
 }
 
+TEST(Statevector, DiagonalEvolutionRejectsWrongLength) {
+  Statevector sv = Statevector::uniform(4);
+  EXPECT_THROW(sv.apply_diagonal_evolution(std::vector<double>(8, 0.0), 0.5),
+               InvalidArgument);
+  EXPECT_THROW(sv.apply_diagonal_evolution(std::vector<double>(32, 0.0), 0.5),
+               InvalidArgument);
+}
+
+TEST(Statevector, IntegralDiagonalEvolutionValidatesArguments) {
+  Statevector sv = Statevector::uniform(4);
+  // Length mismatch against the state dimension (16).
+  EXPECT_THROW(
+      sv.apply_diagonal_evolution_integral(std::vector<int>(8, 0), 0.5, 1),
+      InvalidArgument);
+  // Negative phase-table size.
+  EXPECT_THROW(
+      sv.apply_diagonal_evolution_integral(std::vector<int>(16, 0), 0.5, -1),
+      InvalidArgument);
+  // Entries outside [0, max_value] would read past the phase table, so
+  // they must be rejected before any amplitude is modified.
+  std::vector<int> too_big(16, 1);
+  too_big[7] = 4;
+  EXPECT_THROW(sv.apply_diagonal_evolution_integral(too_big, 0.5, 3),
+               InvalidArgument);
+  std::vector<int> negative(16, 1);
+  negative[3] = -2;
+  EXPECT_THROW(sv.apply_diagonal_evolution_integral(negative, 0.5, 3),
+               InvalidArgument);
+  // The rejected calls above must not have corrupted the state.
+  EXPECT_NEAR(sv.norm(), 1.0, kTol);
+  EXPECT_NEAR(sv.amplitudes()[0].real(), 0.25, kTol);
+}
+
 TEST(Statevector, ProbabilitiesSumToOne) {
   Rng rng(7);
   Statevector sv = Statevector::uniform(4);
