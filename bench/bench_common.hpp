@@ -20,7 +20,8 @@
 //                       "Threading model")
 //
 // The generated corpus is cached on disk and shared by every bench
-// binary that needs it (Table I, Figs. 5/6, ablations).
+// binary that needs it (Table I, Figs. 5/6, ablations).  The
+// consolidated knob reference lives in docs/CONFIGURATION.md.
 #ifndef QAOAML_BENCH_COMMON_HPP
 #define QAOAML_BENCH_COMMON_HPP
 

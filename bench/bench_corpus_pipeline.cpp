@@ -1,0 +1,102 @@
+// Shard/thread scaling of the corpus-generation pipeline.
+//
+// Two sweeps over the same (small, env-scalable) corpus:
+//  1. thread scaling: in-memory generation under QAOAML worker counts
+//     1, 2, 4, ... up to the hardware concurrency;
+//  2. shard scaling: the full run-shards-then-merge flow at 1, 2 and 4
+//     shards (sequential in one process, so the interesting number is
+//     the sharding + serialization overhead, not speedup), with the
+//     merged bytes checked identical to the single-shard output.
+//
+//   ./build/bench/bench_corpus_pipeline
+//   QAOAML_GRAPHS=64 QAOAML_MAX_DEPTH=4 ./build/bench/bench_corpus_pipeline
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "core/corpus_pipeline.hpp"
+
+using namespace qaoaml;
+
+namespace {
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  core::DatasetConfig config;
+  config.num_graphs = env_int("QAOAML_GRAPHS", 24);
+  config.num_nodes = env_int("QAOAML_NODES", 8);
+  config.max_depth = env_int("QAOAML_MAX_DEPTH", 3);
+  config.restarts = env_int("QAOAML_RESTARTS", 5);
+  config.seed = static_cast<std::uint64_t>(env_int("QAOAML_SEED", 42));
+
+  std::printf("corpus pipeline scaling: %d graphs x depths 1..%d, "
+              "%d restarts\n\n",
+              config.num_graphs, config.max_depth, config.restarts);
+
+  // -- thread scaling (in-memory generation) -----------------------------
+  const int hw = std::max(static_cast<int>(std::thread::hardware_concurrency()), 1);
+  // Powers of two plus the actual hardware concurrency, so the default
+  // QAOAML_THREADS configuration is always measured (also on e.g.
+  // 6- or 12-core machines).
+  std::vector<int> sweep;
+  for (int t = 1; t < hw; t *= 2) sweep.push_back(t);
+  sweep.push_back(hw);
+  std::printf("threads    seconds    instances/sec    speedup\n");
+  double t1_seconds = 0.0;
+  for (const int threads : sweep) {
+    ScopedThreadCount scoped(threads);
+    Timer timer;
+    const auto records = core::CorpusPipeline::generate_records(config);
+    const double seconds = timer.seconds();
+    if (threads == 1) t1_seconds = seconds;
+    std::printf("%7d %10.2f %16.2f %10.2fx\n", threads, seconds,
+                static_cast<double>(records.size()) / seconds,
+                t1_seconds / seconds);
+  }
+
+  // -- shard scaling (run all shards + merge, bytes verified) ------------
+  const std::filesystem::path base =
+      std::filesystem::temp_directory_path() / "qaoaml_bench_corpus";
+  std::filesystem::remove_all(base);
+  std::printf("\n shards    seconds    instances/sec    merged bytes\n");
+  std::string reference;
+  bool mismatch = false;
+  for (const int shards : {1, 2, 4}) {
+    const std::string dir = (base / std::to_string(shards)).string();
+    const std::string out = dir + "/corpus.txt";
+    Timer timer;
+    for (int s = 0; s < shards; ++s) {
+      core::CorpusShardConfig shard_config;
+      shard_config.dataset = config;
+      shard_config.shard = core::ShardSpec{s, shards};
+      shard_config.directory = dir;
+      core::CorpusPipeline::run_shard(shard_config);
+    }
+    core::CorpusPipeline::merge_shards(config, shards, dir, out);
+    const double seconds = timer.seconds();
+    const std::string bytes = file_bytes(out);
+    if (shards == 1) reference = bytes;
+    if (bytes != reference) mismatch = true;
+    std::printf("%7d %10.2f %16.2f %10zu  %s\n", shards, seconds,
+                static_cast<double>(config.num_graphs) / seconds,
+                bytes.size(),
+                bytes == reference ? "(identical)" : "(MISMATCH!)");
+  }
+  std::filesystem::remove_all(base);
+  return mismatch ? 1 : 0;
+}

@@ -19,9 +19,18 @@
 //    (quantum::default_layer_kernel()); the fused default collapses each
 //    QAOA layer into a few blocked sweeps instead of n + 1 gate passes.
 //
-// Results are deterministic: entry i of the output depends only on
-// entry i of the batch, and the underlying reductions are thread-count
-// independent, so QAOAML_THREADS=1 and =8 produce identical bits.
+// Contracts:
+//  - **Determinism.**  Entry i of the output depends only on entry i of
+//    the batch, and the underlying reductions are thread-count
+//    independent, so QAOAML_THREADS=1 and =8 produce identical bits.
+//  - **Thread-safety.**  The batch entry points (expectations /
+//    objectives) parallelize internally and may be called from one
+//    thread at a time; the single-shot expectation()/objective() reuse
+//    the member workspace and are NOT thread-safe — use one
+//    BatchEvaluator per thread.  The referenced MaxCutQaoa is only
+//    read.
+//  - **Angle units.**  `params` follows core/angles.hpp: 2p radians
+//    packed as [gamma_1..gamma_p, beta_1..beta_p].
 #ifndef QAOAML_CORE_BATCH_EVALUATOR_HPP
 #define QAOAML_CORE_BATCH_EVALUATOR_HPP
 

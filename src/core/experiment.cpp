@@ -1,7 +1,9 @@
 #include "core/experiment.hpp"
 
+#include <numeric>
+
 #include "common/error.hpp"
-#include "common/parallel.hpp"
+#include "core/corpus_pipeline.hpp"
 #include "stats/descriptive.hpp"
 
 namespace qaoaml::core {
@@ -15,6 +17,12 @@ struct GraphStats {
   double ml_fc = 0.0;
 };
 
+/// One (optimizer, depth) cell of the sweep.
+struct Cell {
+  optim::OptimizerKind optimizer;
+  int target_depth;
+};
+
 }  // namespace
 
 std::vector<TableRow> run_table1(const ParameterDataset& dataset,
@@ -26,78 +34,92 @@ std::vector<TableRow> run_table1(const ParameterDataset& dataset,
   require(config.naive_runs >= 1 && config.ml_repeats >= 1,
           "run_table1: run counts must be >= 1");
 
-  std::vector<TableRow> rows;
+  // Flatten the sweep into (cell, graph) work units and dispatch them
+  // through the corpus pipeline's scheduler as ONE asynchronous wave:
+  // no barrier between table cells, so a slow straggler in one cell no
+  // longer idles the pool while the next cell waits to start.  Each
+  // unit's RNG stream depends only on (seed, graph id, depth,
+  // optimizer), exactly as before, so the flattening changes scheduling
+  // but not a single reported number.
+  std::vector<Cell> cells;
   for (const optim::OptimizerKind optimizer : config.optimizers) {
     for (const int depth : config.target_depths) {
-      std::vector<GraphStats> per_graph(test_records.size());
-
-      // Instance-level parallelism is the outer layer; the solvers below
-      // use buffered (workspace-reusing) objectives and nested parallel_*
-      // calls inside the workers collapse to serial execution.
-      parallel_for(test_records.size(), [&](std::size_t t) {
-        const InstanceRecord& record =
-            dataset.records()[test_records[t]];
-        // Deterministic per-(cell, graph) stream.
-        Rng rng(config.seed ^
-                (static_cast<std::uint64_t>(record.id) << 32) ^
-                (static_cast<std::uint64_t>(depth) << 8) ^
-                static_cast<std::uint64_t>(optimizer));
-
-        const MaxCutQaoa instance(record.problem, depth);
-
-        // Naive arm: per-run statistics over random initializations.
-        std::vector<double> naive_ar;
-        std::vector<double> naive_fc;
-        for (int run = 0; run < config.naive_runs; ++run) {
-          const QaoaRun r =
-              solve_random_init(instance, optimizer, rng, config.options);
-          naive_ar.push_back(r.approximation_ratio);
-          naive_fc.push_back(static_cast<double>(r.function_calls));
-        }
-
-        // ML arm: the two-level flow (level-1 randomness repeats).
-        TwoLevelConfig two_level;
-        two_level.optimizer = optimizer;
-        two_level.options = config.options;
-        std::vector<double> ml_ar;
-        std::vector<double> ml_fc;
-        for (int run = 0; run < config.ml_repeats; ++run) {
-          const AcceleratedRun r = solve_two_level(record.problem, depth,
-                                                   predictor, two_level, rng);
-          ml_ar.push_back(r.final.approximation_ratio);
-          ml_fc.push_back(static_cast<double>(r.total_function_calls));
-        }
-
-        per_graph[t] = GraphStats{stats::mean(naive_ar), stats::mean(naive_fc),
-                                  stats::mean(ml_ar), stats::mean(ml_fc)};
-      });
-
-      std::vector<double> nar;
-      std::vector<double> nfc;
-      std::vector<double> mar;
-      std::vector<double> mfc;
-      for (const GraphStats& g : per_graph) {
-        nar.push_back(g.naive_ar);
-        nfc.push_back(g.naive_fc);
-        mar.push_back(g.ml_ar);
-        mfc.push_back(g.ml_fc);
-      }
-
-      TableRow row;
-      row.optimizer = optimizer;
-      row.target_depth = depth;
-      row.naive_ar_mean = stats::mean(nar);
-      row.naive_ar_sd = stats::stddev(nar);
-      row.naive_fc_mean = stats::mean(nfc);
-      row.naive_fc_sd = stats::stddev(nfc);
-      row.ml_ar_mean = stats::mean(mar);
-      row.ml_ar_sd = stats::stddev(mar);
-      row.ml_fc_mean = stats::mean(mfc);
-      row.ml_fc_sd = stats::stddev(mfc);
-      row.fc_reduction_percent =
-          100.0 * (row.naive_fc_mean - row.ml_fc_mean) / row.naive_fc_mean;
-      rows.push_back(row);
+      cells.push_back(Cell{optimizer, depth});
     }
+  }
+  const std::size_t graphs = test_records.size();
+  std::vector<GraphStats> per_unit(cells.size() * graphs);
+
+  std::vector<std::size_t> units(per_unit.size());
+  std::iota(units.begin(), units.end(), std::size_t{0});
+  run_units_in_order(units, [&](std::size_t unit, std::size_t) {
+    const Cell& cell = cells[unit / graphs];
+    const std::size_t t = unit % graphs;
+    const InstanceRecord& record = dataset.records()[test_records[t]];
+    // Deterministic per-(cell, graph) stream.
+    Rng rng(config.seed ^
+            (static_cast<std::uint64_t>(record.id) << 32) ^
+            (static_cast<std::uint64_t>(cell.target_depth) << 8) ^
+            static_cast<std::uint64_t>(cell.optimizer));
+
+    const MaxCutQaoa instance(record.problem, cell.target_depth);
+
+    // Naive arm: per-run statistics over random initializations.
+    std::vector<double> naive_ar;
+    std::vector<double> naive_fc;
+    for (int run = 0; run < config.naive_runs; ++run) {
+      const QaoaRun r =
+          solve_random_init(instance, cell.optimizer, rng, config.options);
+      naive_ar.push_back(r.approximation_ratio);
+      naive_fc.push_back(static_cast<double>(r.function_calls));
+    }
+
+    // ML arm: the two-level flow (level-1 randomness repeats).
+    TwoLevelConfig two_level;
+    two_level.optimizer = cell.optimizer;
+    two_level.options = config.options;
+    std::vector<double> ml_ar;
+    std::vector<double> ml_fc;
+    for (int run = 0; run < config.ml_repeats; ++run) {
+      const AcceleratedRun r =
+          solve_two_level(record.problem, cell.target_depth, predictor,
+                          two_level, rng);
+      ml_ar.push_back(r.final.approximation_ratio);
+      ml_fc.push_back(static_cast<double>(r.total_function_calls));
+    }
+
+    per_unit[unit] = GraphStats{stats::mean(naive_ar), stats::mean(naive_fc),
+                                stats::mean(ml_ar), stats::mean(ml_fc)};
+  });
+
+  std::vector<TableRow> rows;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    std::vector<double> nar;
+    std::vector<double> nfc;
+    std::vector<double> mar;
+    std::vector<double> mfc;
+    for (std::size_t t = 0; t < graphs; ++t) {
+      const GraphStats& g = per_unit[c * graphs + t];
+      nar.push_back(g.naive_ar);
+      nfc.push_back(g.naive_fc);
+      mar.push_back(g.ml_ar);
+      mfc.push_back(g.ml_fc);
+    }
+
+    TableRow row;
+    row.optimizer = cells[c].optimizer;
+    row.target_depth = cells[c].target_depth;
+    row.naive_ar_mean = stats::mean(nar);
+    row.naive_ar_sd = stats::stddev(nar);
+    row.naive_fc_mean = stats::mean(nfc);
+    row.naive_fc_sd = stats::stddev(nfc);
+    row.ml_ar_mean = stats::mean(mar);
+    row.ml_ar_sd = stats::stddev(mar);
+    row.ml_fc_mean = stats::mean(mfc);
+    row.ml_fc_sd = stats::stddev(mfc);
+    row.fc_reduction_percent =
+        100.0 * (row.naive_fc_mean - row.ml_fc_mean) / row.naive_fc_mean;
+    rows.push_back(row);
   }
   return rows;
 }

@@ -1,6 +1,22 @@
 // The Table I experiment harness: naive random initialization vs the
 // two-level ML flow, swept over optimizers and target depths on the
 // held-out test graphs.
+//
+// Contracts:
+//  - **Determinism.**  run_table1 is deterministic in
+//    ExperimentConfig::seed: each (optimizer, depth, graph) unit draws
+//    from its own RNG stream keyed by (seed, graph id, depth,
+//    optimizer), so results are bit-identical for every thread count
+//    and scheduling order.
+//  - **Scheduling.**  The whole sweep is flattened into one
+//    asynchronous wave of (cell, graph) units on the persistent thread
+//    pool (core/corpus_pipeline.hpp's run_units_in_order) — there is no
+//    barrier between table cells.  run_table1 must not be called from
+//    inside a parallel_* body.
+//  - **Units.**  FC counts are raw objective-function calls (the
+//    paper's run-time metric); AR is expectation / exact MaxCut, and
+//    all angles handled internally follow core/angles.hpp (radians,
+//    [gamma..., beta...] packing).
 #ifndef QAOAML_CORE_EXPERIMENT_HPP
 #define QAOAML_CORE_EXPERIMENT_HPP
 

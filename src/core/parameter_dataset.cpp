@@ -1,13 +1,14 @@
 #include <cmath>
 #include "core/parameter_dataset.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <numeric>
 #include <sstream>
 
 #include "common/error.hpp"
-#include "common/parallel.hpp"
 #include "core/angles.hpp"
+#include "core/corpus_pipeline.hpp"
 #include "graph/generators.hpp"
 #include "graph/maxcut.hpp"
 
@@ -29,68 +30,94 @@ ParameterDataset::ParameterDataset(DatasetConfig config,
                                    std::vector<InstanceRecord> records)
     : config_(std::move(config)), records_(std::move(records)) {}
 
+void validate(const DatasetConfig& config) {
+  // A typo'd CLI flag must error instantly — not spin the resample loop
+  // (--edge-prob 0), grind through a billion edge draws (--nodes
+  // 46342), or clobber a completed shard file before the first unit
+  // throws.  The 30-node ceiling is the exact-MaxCut brute force's own
+  // limit (O(2^n)), which every record needs for its approximation
+  // ratios; 64-bit arithmetic so the complete-graph bound can't
+  // overflow int (UB) before firing.
+  require(config.num_graphs >= 1, "DatasetConfig: need >= 1 graph");
+  require(config.max_depth >= 1, "DatasetConfig: max_depth must be >= 1");
+  require(config.num_nodes >= 1 && config.num_nodes <= 30,
+          "DatasetConfig: num_nodes out of range [1, 30]");
+  const std::int64_t n = config.num_nodes;
+  require(config.min_edges <= n * (n - 1) / 2,
+          "DatasetConfig: min_edges exceeds the complete graph");
+  require(config.min_edges <= 0 || config.edge_probability > 0.0,
+          "DatasetConfig: min_edges unreachable with edge_probability <= 0");
+}
+
+InstanceRecord generate_instance_record(const DatasetConfig& config,
+                                        std::size_t index) {
+  validate(config);
+
+  // Per-graph deterministic stream: independent of thread scheduling.
+  Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + index);
+  graph::Graph problem = graph::erdos_renyi_gnp(
+      config.num_nodes, config.edge_probability, rng);
+  int attempts = 0;
+  while (static_cast<int>(problem.num_edges()) < config.min_edges) {
+    // Terminates with probability 1 for any edge_probability > 0.  The
+    // cap only exists to turn effectively-unreachable configs (e.g.
+    // p = 1e-300) into an error instead of a silent hang: it is set so
+    // high that any config with a practically generatable expected
+    // attempt count (even millions) passes, and hitting it means the
+    // config could not have produced a corpus in any usable time.
+    require(++attempts < 10'000'000,
+            "generate_instance_record: cannot reach min_edges");
+    problem = graph::erdos_renyi_gnp(config.num_nodes,
+                                     config.edge_probability, rng);
+  }
+
+  InstanceRecord record;
+  record.id = static_cast<int>(index);
+  record.problem = problem;
+  record.max_cut = graph::max_cut_brute_force(problem).value;
+
+  for (int p = 1; p <= config.max_depth; ++p) {
+    const MaxCutQaoa instance(problem, p);
+    MultistartRuns runs = solve_multistart(
+        instance, config.optimizer, config.restarts, rng, config.options);
+    // Heuristic seeds on top of the random restarts: the linear ramp
+    // and the INTERP bootstrap from the depth-(p-1) optimum (Zhou et
+    // al., the paper's ref. [5]).  Pure random multistart frequently
+    // stalls in shallow local basins at p >= 3, which would corrupt
+    // the parameter *trends* the ML model learns from; taking the best
+    // of {random..., ramp, interp} keeps the corpus at the true optima
+    // without touching the naive Table-I baseline (still pure random).
+    std::vector<std::vector<double>> seeds;
+    seeds.push_back(linear_ramp_angles(p));
+    if (p >= 2) {
+      seeds.push_back(
+          interp_angles(record.optimal_params[static_cast<std::size_t>(p - 2)]));
+    }
+    for (const std::vector<double>& seed : seeds) {
+      QaoaRun run = solve_from(instance, config.optimizer, seed,
+                               config.options);
+      runs.total_function_calls += run.function_calls;
+      // ">= - eps": when a random restart found an exact symmetry copy
+      // of the seeded optimum (equal energy up to the optimizer's own
+      // ftol resolution), prefer the seeded one — it lives in the
+      // canonical pattern basin the ML model learns.
+      const double tie_eps =
+          1e-4 * std::max(1.0, std::abs(runs.best.expectation));
+      if (run.expectation >= runs.best.expectation - tie_eps) {
+        runs.best = std::move(run);
+      }
+    }
+    record.optimal_params.push_back(runs.best.params);
+    record.expectation.push_back(runs.best.expectation);
+    record.approximation_ratio.push_back(runs.best.approximation_ratio);
+    record.generation_fc.push_back(runs.total_function_calls);
+  }
+  return record;
+}
+
 ParameterDataset ParameterDataset::generate(const DatasetConfig& config) {
-  require(config.num_graphs >= 1, "ParameterDataset: need >= 1 graph");
-  require(config.max_depth >= 1, "ParameterDataset: max_depth must be >= 1");
-
-  std::vector<InstanceRecord> records(
-      static_cast<std::size_t>(config.num_graphs));
-
-  parallel_for(static_cast<std::size_t>(config.num_graphs), [&](std::size_t g) {
-    // Per-graph deterministic stream: independent of thread scheduling.
-    Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + g);
-    graph::Graph problem = graph::erdos_renyi_gnp(
-        config.num_nodes, config.edge_probability, rng);
-    while (static_cast<int>(problem.num_edges()) < config.min_edges) {
-      problem = graph::erdos_renyi_gnp(config.num_nodes,
-                                       config.edge_probability, rng);
-    }
-
-    InstanceRecord record;
-    record.id = static_cast<int>(g);
-    record.problem = problem;
-    record.max_cut = graph::max_cut_brute_force(problem).value;
-
-    for (int p = 1; p <= config.max_depth; ++p) {
-      const MaxCutQaoa instance(problem, p);
-      MultistartRuns runs = solve_multistart(
-          instance, config.optimizer, config.restarts, rng, config.options);
-      // Heuristic seeds on top of the random restarts: the linear ramp
-      // and the INTERP bootstrap from the depth-(p-1) optimum (Zhou et
-      // al., the paper's ref. [5]).  Pure random multistart frequently
-      // stalls in shallow local basins at p >= 3, which would corrupt
-      // the parameter *trends* the ML model learns from; taking the best
-      // of {random..., ramp, interp} keeps the corpus at the true optima
-      // without touching the naive Table-I baseline (still pure random).
-      std::vector<std::vector<double>> seeds;
-      seeds.push_back(linear_ramp_angles(p));
-      if (p >= 2) {
-        seeds.push_back(
-            interp_angles(record.optimal_params[static_cast<std::size_t>(p - 2)]));
-      }
-      for (const std::vector<double>& seed : seeds) {
-        QaoaRun run = solve_from(instance, config.optimizer, seed,
-                                 config.options);
-        runs.total_function_calls += run.function_calls;
-        // ">= - eps": when a random restart found an exact symmetry copy
-        // of the seeded optimum (equal energy up to the optimizer's own
-        // ftol resolution), prefer the seeded one — it lives in the
-        // canonical pattern basin the ML model learns.
-        const double tie_eps =
-            1e-4 * std::max(1.0, std::abs(runs.best.expectation));
-        if (run.expectation >= runs.best.expectation - tie_eps) {
-          runs.best = std::move(run);
-        }
-      }
-      record.optimal_params.push_back(runs.best.params);
-      record.expectation.push_back(runs.best.expectation);
-      record.approximation_ratio.push_back(runs.best.approximation_ratio);
-      record.generation_fc.push_back(runs.total_function_calls);
-    }
-    records[g] = std::move(record);
-  });
-
-  return ParameterDataset(config, std::move(records));
+  validate(config);
+  return ParameterDataset(config, CorpusPipeline::generate_records(config));
 }
 
 std::size_t ParameterDataset::total_parameter_count() const {
@@ -122,37 +149,119 @@ ParameterDataset::split_indices(double train_fraction, Rng& rng) const {
 std::string to_string(const DatasetConfig& config) {
   std::ostringstream os;
   os.precision(17);
-  // "gen=3" versions the generation recipe itself (seeding, tie
-  // breaking); bumping it invalidates stale disk caches.
-  os << "gen=3 graphs=" << config.num_graphs << " nodes=" << config.num_nodes
+  // "gen=4" versions the generation recipe itself (seeding, tie
+  // breaking); bumping it invalidates stale disk caches.  Every
+  // optimizer option that can change the optima must appear here —
+  // this string gates both the benches' corpus cache and the corpus
+  // pipeline's shard resume, so an omitted knob would silently resume
+  // shards generated under a different recipe.
+  os << "gen=4 graphs=" << config.num_graphs << " nodes=" << config.num_nodes
      << " edge_prob=" << config.edge_probability
      << " min_edges=" << config.min_edges << " max_depth=" << config.max_depth
      << " restarts=" << config.restarts
      << " optimizer=" << optim::to_string(config.optimizer)
-     << " ftol=" << config.options.ftol << " seed=" << config.seed;
+     << " ftol=" << config.options.ftol << " xtol=" << config.options.xtol
+     << " gtol=" << config.options.gtol
+     << " fd_step=" << config.options.fd_step
+     << " rho_begin=" << config.options.rho_begin
+     << " rho_end=" << config.options.rho_end
+     << " max_evals=" << config.options.max_evaluations
+     << " max_iters=" << config.options.max_iterations
+     << " seed=" << config.seed;
   return os.str();
 }
+
+namespace detail {
+
+void write_record(std::ostream& os, const InstanceRecord& record) {
+  os.precision(17);
+  os << "graph " << record.id << ' ' << record.problem.num_nodes() << ' '
+     << record.problem.num_edges();
+  for (const graph::Edge& e : record.problem.edges()) {
+    os << ' ' << e.u << ' ' << e.v << ' ' << e.weight;
+  }
+  os << '\n';
+  for (std::size_t d = 0; d < record.optimal_params.size(); ++d) {
+    os << "params " << record.id << ' ' << d + 1 << ' '
+       << record.generation_fc[d] << ' ' << record.expectation[d] << ' '
+       << record.approximation_ratio[d];
+    for (const double v : record.optimal_params[d]) os << ' ' << v;
+    os << '\n';
+  }
+}
+
+bool consume_record_line(const std::string& line,
+                         std::vector<InstanceRecord>& records,
+                         bool compute_max_cut) {
+  std::istringstream ls(line);
+  std::string tag;
+  ls >> tag;
+  if (tag == "graph") {
+    InstanceRecord record;
+    int nodes = 0;
+    std::size_t edges = 0;
+    ls >> record.id >> nodes >> edges;
+    // Bound counts before allocating: a corrupt byte in a cache/shard
+    // file must surface as a malformed-line Error (discard and
+    // regenerate), not a multi-GB Graph allocation or a confusing
+    // failure deep inside max_cut_brute_force.  30 nodes is the exact
+    // MaxCut limit generate_instance_record enforces, so no valid file
+    // can exceed it.
+    require(!ls.fail() && nodes >= 1 && nodes <= 30,
+            "ParameterDataset: implausible node count");
+    require(edges <= static_cast<std::size_t>(nodes) *
+                         static_cast<std::size_t>(nodes - 1) / 2,
+            "ParameterDataset: implausible edge count");
+    graph::Graph problem(nodes);
+    for (std::size_t e = 0; e < edges && !ls.fail(); ++e) {
+      int u = 0;
+      int v = 0;
+      double w = 0.0;
+      ls >> u >> v >> w;
+      if (ls.fail()) break;  // corrupt edge count: don't spin to `edges`
+      problem.add_edge(u, v, w);
+    }
+    require(!ls.fail(), "ParameterDataset: malformed graph line");
+    record.problem = problem;
+    if (compute_max_cut) {
+      record.max_cut = graph::max_cut_brute_force(problem).value;
+    }
+    records.push_back(std::move(record));
+    return true;
+  }
+  if (tag == "params") {
+    require(!records.empty(), "ParameterDataset: params before graph");
+    InstanceRecord& record = records.back();
+    int id = 0;
+    int p = 0;
+    int fc = 0;
+    double expectation = 0.0;
+    double ar = 0.0;
+    ls >> id >> p >> fc >> expectation >> ar;
+    require(id == record.id, "ParameterDataset: params id mismatch");
+    require(p == static_cast<int>(record.optimal_params.size()) + 1,
+            "ParameterDataset: depths out of order");
+    std::vector<double> params(num_angles(p));
+    for (double& v : params) ls >> v;
+    require(!ls.fail(), "ParameterDataset: malformed params line");
+    record.optimal_params.push_back(std::move(params));
+    record.expectation.push_back(expectation);
+    record.approximation_ratio.push_back(ar);
+    record.generation_fc.push_back(fc);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace detail
 
 void ParameterDataset::save(const std::string& path) const {
   std::ofstream os(path);
   require(os.good(), "ParameterDataset::save: cannot open " + path);
-  os.precision(17);
   os << "qaoaml-dataset-v1\n";
   os << "config " << to_string(config_) << '\n';
   for (const InstanceRecord& record : records_) {
-    os << "graph " << record.id << ' ' << record.problem.num_nodes() << ' '
-       << record.problem.num_edges();
-    for (const graph::Edge& e : record.problem.edges()) {
-      os << ' ' << e.u << ' ' << e.v << ' ' << e.weight;
-    }
-    os << '\n';
-    for (std::size_t d = 0; d < record.optimal_params.size(); ++d) {
-      os << "params " << record.id << ' ' << d + 1 << ' '
-         << record.generation_fc[d] << ' ' << record.expectation[d] << ' '
-         << record.approximation_ratio[d];
-      for (const double v : record.optimal_params[d]) os << ' ' << v;
-      os << '\n';
-    }
+    detail::write_record(os, record);
   }
   require(os.good(), "ParameterDataset::save: write failed");
 }
@@ -172,8 +281,11 @@ ParameterDataset ParameterDataset::load(const std::string& path) {
   std::vector<InstanceRecord> records;
   const std::string config_line = line.substr(7);
 
-  // Parse key=value tokens we understand (enough to recreate the config).
-  {
+  // Parse key=value tokens we understand (enough to recreate the
+  // config).  std::sto* throw std::invalid_argument on torn values (a
+  // cache killed mid-write); convert to our Error so callers like
+  // load_or_generate treat the file as corrupt instead of crashing.
+  try {
     std::istringstream cs(config_line);
     std::string token;
     while (cs >> token) {
@@ -189,56 +301,29 @@ ParameterDataset ParameterDataset::load(const std::string& path) {
       else if (key == "restarts") config.restarts = std::stoi(value);
       else if (key == "optimizer") config.optimizer = optim::optimizer_from_string(value);
       else if (key == "ftol") config.options.ftol = std::stod(value);
+      else if (key == "xtol") config.options.xtol = std::stod(value);
+      else if (key == "gtol") config.options.gtol = std::stod(value);
+      else if (key == "fd_step") config.options.fd_step = std::stod(value);
+      else if (key == "rho_begin") config.options.rho_begin = std::stod(value);
+      else if (key == "rho_end") config.options.rho_end = std::stod(value);
+      else if (key == "max_evals") config.options.max_evaluations = std::stoi(value);
+      else if (key == "max_iters") config.options.max_iterations = std::stoi(value);
       else if (key == "seed") config.seed = static_cast<std::uint64_t>(std::stoull(value));
     }
+  } catch (const std::exception&) {
+    throw InvalidArgument("ParameterDataset::load: malformed config line: " +
+                          config_line);
   }
 
   while (std::getline(is, line)) {
     if (line.empty()) continue;
-    std::istringstream ls(line);
-    std::string tag;
-    ls >> tag;
-    if (tag == "graph") {
-      InstanceRecord record;
-      int nodes = 0;
-      std::size_t edges = 0;
-      ls >> record.id >> nodes >> edges;
-      graph::Graph problem(nodes);
-      for (std::size_t e = 0; e < edges; ++e) {
-        int u = 0;
-        int v = 0;
-        double w = 0.0;
-        ls >> u >> v >> w;
-        problem.add_edge(u, v, w);
-      }
-      require(!ls.fail(), "ParameterDataset::load: malformed graph line");
-      record.problem = problem;
-      record.max_cut = graph::max_cut_brute_force(problem).value;
-      records.push_back(std::move(record));
-    } else if (tag == "params") {
-      require(!records.empty(), "ParameterDataset::load: params before graph");
-      InstanceRecord& record = records.back();
-      int id = 0;
-      int p = 0;
-      int fc = 0;
-      double expectation = 0.0;
-      double ar = 0.0;
-      ls >> id >> p >> fc >> expectation >> ar;
-      require(id == record.id, "ParameterDataset::load: params id mismatch");
-      require(p == static_cast<int>(record.optimal_params.size()) + 1,
-              "ParameterDataset::load: depths out of order");
-      std::vector<double> params(num_angles(p));
-      for (double& v : params) ls >> v;
-      require(!ls.fail(), "ParameterDataset::load: malformed params line");
-      record.optimal_params.push_back(std::move(params));
-      record.expectation.push_back(expectation);
-      record.approximation_ratio.push_back(ar);
-      record.generation_fc.push_back(fc);
-    } else {
-      throw InvalidArgument("ParameterDataset::load: unknown tag " + tag);
+    if (!detail::consume_record_line(line, records)) {
+      throw InvalidArgument("ParameterDataset::load: unknown tag in: " + line);
     }
   }
-  return ParameterDataset(config, std::move(records));
+  ParameterDataset dataset(config, std::move(records));
+  dataset.source_key_ = config_line;
+  return dataset;
 }
 
 ParameterDataset ParameterDataset::load_or_generate(
@@ -248,9 +333,14 @@ ParameterDataset ParameterDataset::load_or_generate(
     if (probe.good()) {
       try {
         ParameterDataset cached = load(path);
-        if (to_string(cached.config()) == to_string(config)) return cached;
-      } catch (const Error&) {
-        // fall through to regeneration on any parse problem
+        // Compare the file's literal config line, not a re-derived
+        // to_string(cached.config()): the latter would re-emit the
+        // current code's "gen=N" token and defeat recipe-version bumps.
+        if (cached.source_key() == to_string(config)) return cached;
+      } catch (const std::exception&) {
+        // Fall through to regeneration on any parse problem — including
+        // non-Error exceptions a corrupt file can provoke (bad_alloc,
+        // length_error from garbage counts).
       }
     }
   }

@@ -5,9 +5,29 @@
 // with multistart L-BFGS-B (tolerance 1e-6), keeping the best optimum.
 // At full scale (330 graphs) the corpus holds 330 * (2+4+...+12) =
 // 13,860 optimal parameters — the paper's headline dataset size.
+//
+// Contracts:
+//  - **Determinism.**  Record g is a pure function of (DatasetConfig, g)
+//    (see generate_instance_record): generation is bit-identical for
+//    every thread count, shard layout and call order.  save() output is
+//    therefore byte-identical across runs, which is what the corpus
+//    pipeline's merge guarantee (core/corpus_pipeline.hpp) and the
+//    on-disk cache key (to_string(config)) rely on.
+//  - **Thread-safety.**  ParameterDataset is immutable after
+//    construction; concurrent readers need no synchronization.
+//    generate() parallelizes internally and must not be called from
+//    inside a parallel_* body.
+//  - **Angle units.**  Stored optima use the packed layout of
+//    core/angles.hpp — [gamma_1..gamma_p, beta_1..beta_p], radians,
+//    gamma in [0, 2*pi], beta in [0, pi] — canonicalized into the
+//    beta_1 <= pi/2 half-domain when the cut spectrum is integral.
+//  - **Persistence.**  save()/load() round-trip exactly (doubles are
+//    printed with 17 significant digits); load() recomputes max_cut
+//    rather than trusting the file.
 #ifndef QAOAML_CORE_PARAMETER_DATASET_HPP
 #define QAOAML_CORE_PARAMETER_DATASET_HPP
 
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
@@ -79,6 +99,12 @@ class ParameterDataset {
   void save(const std::string& path) const;
   static ParameterDataset load(const std::string& path);
 
+  /// The literal config line a load() came from (empty for generated
+  /// datasets).  load_or_generate compares THIS against the requested
+  /// key, so recipe-version bumps ("gen=N" in to_string) invalidate
+  /// stale caches even though gen is not a DatasetConfig field.
+  const std::string& source_key() const { return source_key_; }
+
   /// Loads from `path` when present and generated with an identical
   /// config; otherwise generates and saves.
   static ParameterDataset load_or_generate(const DatasetConfig& config,
@@ -87,10 +113,49 @@ class ParameterDataset {
  private:
   DatasetConfig config_;
   std::vector<InstanceRecord> records_;
+  std::string source_key_;
 };
 
 /// One-line summary of a config (also the cache key).
 std::string to_string(const DatasetConfig& config);
+
+/// Validates every generation-relevant field (>= 1 graph and depth,
+/// num_nodes within the exact-MaxCut limit [1, 30], min_edges reachable
+/// under edge_probability); throws InvalidArgument otherwise.  Every
+/// generation entry point — ParameterDataset::generate and the corpus
+/// pipeline — calls this BEFORE touching any on-disk state, so a typo'd
+/// config errors instantly instead of clobbering completed shards.
+void validate(const DatasetConfig& config);
+
+/// Generates the record of corpus unit `index` (the index-th graph):
+/// the Erdos-Renyi instance plus its best multistart optimum at every
+/// depth 1..config.max_depth.  The result depends only on
+/// (config, index) — never on thread count, shard layout or call order
+/// — which is what makes sharded corpus generation bit-reproducible
+/// (core/corpus_pipeline.hpp).  Safe to call concurrently for distinct
+/// indices.
+InstanceRecord generate_instance_record(const DatasetConfig& config,
+                                        std::size_t index);
+
+namespace detail {
+
+/// Serializes one record in the dataset text format (one "graph" line,
+/// then one "params" line per depth; 17 significant digits).  Shared by
+/// ParameterDataset::save and the corpus pipeline's shard writer so the
+/// two produce byte-identical record blocks.
+void write_record(std::ostream& os, const InstanceRecord& record);
+
+/// Feeds one body line of the dataset format into an in-progress record
+/// list: "graph ..." starts a record, "params ..." appends the next
+/// depth to the last one.  Returns false on any other tag; throws Error
+/// on malformed lines.  `compute_max_cut` re-runs the exact MaxCut
+/// brute force per graph (O(2^nodes)) — callers that only re-serialize
+/// records (the shard resume path) pass false and leave max_cut at 0.
+bool consume_record_line(const std::string& line,
+                         std::vector<InstanceRecord>& records,
+                         bool compute_max_cut = true);
+
+}  // namespace detail
 
 }  // namespace qaoaml::core
 

@@ -5,6 +5,17 @@
 // depth), each mapping the feature vector to that angle's optimal value.
 // Predictions are clamped into the QAOA domain (gamma in [0, 2*pi],
 // beta in [0, pi]) before they seed the optimizer.
+//
+// Contracts:
+//  - **Determinism.**  train() and predict*() are deterministic in
+//    their inputs: training the same (dataset, split, config) always
+//    yields the same models, and predictions contain no RNG.
+//  - **Thread-safety.**  A trained predictor is immutable: predict*()
+//    is safe to call concurrently from many threads (run_table1 does).
+//    train() is not; construct-and-train before fanning out.
+//  - **Angle units.**  All inputs and outputs are radians in the packed
+//    [gamma_1..gamma_pt, beta_1..beta_pt] layout of core/angles.hpp;
+//    gamma is clamped to [0, 2*pi] and beta to [0, pi].
 #ifndef QAOAML_CORE_PARAMETER_PREDICTOR_HPP
 #define QAOAML_CORE_PARAMETER_PREDICTOR_HPP
 

@@ -1,0 +1,373 @@
+// The sharded corpus pipeline's headline guarantees:
+//  - the merged corpus is byte-identical across shard counts {1, 2, 8}
+//    and thread counts {1, 8}, and identical to a direct
+//    ParameterDataset::generate(...).save(...);
+//  - a shard killed mid-write (simulated by truncating its data file at
+//    arbitrary byte offsets) resumes where it left off and completes to
+//    the same bytes;
+//  - stale files (different config / shard layout) are regenerated, a
+//    missing manifest does not block resume, and merging an incomplete
+//    shard set fails loudly.
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "core/corpus_pipeline.hpp"
+
+namespace qaoaml::core {
+namespace {
+
+// Small enough that one full generation is milliseconds, big enough
+// that 8 shards all own units.
+DatasetConfig tiny_config() {
+  DatasetConfig config;
+  config.num_graphs = 8;
+  config.num_nodes = 6;
+  config.max_depth = 2;
+  config.restarts = 2;
+  config.seed = 123;
+  return config;
+}
+
+std::string unique_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "corpus_pipeline" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "cannot read " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void run_all_shards(const DatasetConfig& config, int shards,
+                    const std::string& dir) {
+  for (int s = 0; s < shards; ++s) {
+    CorpusShardConfig shard_config;
+    shard_config.dataset = config;
+    shard_config.shard = ShardSpec{s, shards};
+    shard_config.directory = dir;
+    CorpusPipeline::run_shard(shard_config);
+  }
+}
+
+std::string reference_bytes(const DatasetConfig& config,
+                            const std::string& dir) {
+  const std::string path = dir + "/reference.txt";
+  ParameterDataset::generate(config).save(path);
+  return file_bytes(path);
+}
+
+TEST(ShardSpecTest, RoundRobinOwnership) {
+  const ShardSpec shard{1, 3};
+  EXPECT_FALSE(shard.owns(0));
+  EXPECT_TRUE(shard.owns(1));
+  EXPECT_FALSE(shard.owns(2));
+  EXPECT_TRUE(shard.owns(4));
+
+  EXPECT_EQ(shard_units(10, ShardSpec{0, 1}).size(), 10u);
+  const auto units = shard_units(10, shard);
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_EQ(units[0], 1u);
+  EXPECT_EQ(units[1], 4u);
+  EXPECT_EQ(units[2], 7u);
+  // More shards than units: high shards own nothing.
+  EXPECT_TRUE(shard_units(2, ShardSpec{5, 8}).empty());
+}
+
+TEST(RunUnitsInOrderTest, CommitsAscendingAndComplete) {
+  std::vector<std::size_t> units{3, 5, 8, 11};
+  std::vector<int> ran(12, 0);
+  std::vector<std::size_t> committed;
+  run_units_in_order(
+      units, [&](std::size_t unit, std::size_t) { ran[unit] = 1; },
+      [&](std::size_t unit, std::size_t slot) {
+        EXPECT_EQ(units[slot], unit);
+        committed.push_back(unit);
+      });
+  EXPECT_EQ(committed, units);  // every unit committed, in list order
+  for (const std::size_t unit : units) EXPECT_EQ(ran[unit], 1);
+}
+
+TEST(CorpusPipelineTest, MergedBytesIdenticalAcrossShardAndThreadCounts) {
+  const DatasetConfig config = tiny_config();
+  const std::string base = unique_dir("determinism");
+  const std::string reference = reference_bytes(config, base);
+  ASSERT_FALSE(reference.empty());
+
+  for (const int shards : {1, 2, 8}) {
+    for (const int threads : {1, 8}) {
+      ScopedThreadCount scoped(threads);
+      const std::string dir = base + "/s" + std::to_string(shards) + "t" +
+                              std::to_string(threads);
+      run_all_shards(config, shards, dir);
+      const std::string out = dir + "/merged.txt";
+      const ParameterDataset merged =
+          CorpusPipeline::merge_shards(config, shards, dir, out);
+      EXPECT_EQ(merged.size(), static_cast<std::size_t>(config.num_graphs));
+      EXPECT_EQ(file_bytes(out), reference)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+TEST(CorpusPipelineTest, ResumeAfterTruncationCompletesToSameBytes) {
+  const DatasetConfig config = tiny_config();
+  const std::string base = unique_dir("resume");
+  const std::string reference = reference_bytes(config, base);
+
+  // Cut the shard-0 data file at several points — mid-record, mid-line,
+  // even inside the header — and check the rerun completes to the same
+  // merged bytes every time.
+  for (const double cut : {0.15, 0.4, 0.6, 0.9}) {
+    const std::string dir =
+        base + "/cut" + std::to_string(static_cast<int>(cut * 100));
+    run_all_shards(config, 2, dir);
+
+    const std::string shard0 =
+        CorpusPipeline::shard_data_path(dir, ShardSpec{0, 2});
+    const std::string full = file_bytes(shard0);
+    ASSERT_GT(full.size(), 10u);
+    std::filesystem::resize_file(
+        shard0, static_cast<std::uintmax_t>(cut *
+                                            static_cast<double>(full.size())));
+
+    CorpusShardConfig shard_config;
+    shard_config.dataset = config;
+    shard_config.shard = ShardSpec{0, 2};
+    shard_config.directory = dir;
+    const ShardReport report = CorpusPipeline::run_shard(shard_config);
+    EXPECT_EQ(report.units_resumed + report.units_generated,
+              report.units_owned);
+    EXPECT_GT(report.units_generated, 0u) << "cut=" << cut;
+
+    const std::string out = dir + "/merged.txt";
+    CorpusPipeline::merge_shards(config, 2, dir, out);
+    EXPECT_EQ(file_bytes(out), reference) << "cut=" << cut;
+  }
+}
+
+TEST(CorpusPipelineTest, CompletedShardResumesWithoutRecomputing) {
+  const DatasetConfig config = tiny_config();
+  const std::string dir = unique_dir("noop_resume");
+  CorpusShardConfig shard_config;
+  shard_config.dataset = config;
+  shard_config.shard = ShardSpec{0, 2};
+  shard_config.directory = dir;
+
+  const ShardReport first = CorpusPipeline::run_shard(shard_config);
+  EXPECT_EQ(first.units_resumed, 0u);
+  EXPECT_EQ(first.units_generated, first.units_owned);
+  const std::string bytes = file_bytes(first.data_path);
+
+  const ShardReport second = CorpusPipeline::run_shard(shard_config);
+  EXPECT_EQ(second.units_resumed, second.units_owned);
+  EXPECT_EQ(second.units_generated, 0u);
+  EXPECT_EQ(file_bytes(second.data_path), bytes);
+}
+
+TEST(CorpusPipelineTest, MissingManifestStillResumesFromData) {
+  const DatasetConfig config = tiny_config();
+  const std::string dir = unique_dir("manifest_gone");
+  CorpusShardConfig shard_config;
+  shard_config.dataset = config;
+  shard_config.shard = ShardSpec{0, 1};
+  shard_config.directory = dir;
+
+  const ShardReport first = CorpusPipeline::run_shard(shard_config);
+  std::filesystem::remove(first.manifest_path);
+
+  const ShardReport second = CorpusPipeline::run_shard(shard_config);
+  EXPECT_EQ(second.units_resumed, second.units_owned);
+  EXPECT_EQ(second.units_generated, 0u);
+  // The manifest ledger is rebuilt to match the data file.
+  EXPECT_TRUE(std::filesystem::exists(second.manifest_path));
+}
+
+TEST(CorpusPipelineTest, ManifestLedgerCapsResume) {
+  const DatasetConfig config = tiny_config();
+  const std::string dir = unique_dir("ledger_cap");
+  CorpusShardConfig shard_config;
+  shard_config.dataset = config;
+  shard_config.shard = ShardSpec{0, 1};
+  shard_config.directory = dir;
+
+  const ShardReport first = CorpusPipeline::run_shard(shard_config);
+  const std::string bytes = file_bytes(first.data_path);
+
+  // Drop the ledger's last line: the data file still holds every unit,
+  // but the un-recorded one must be treated as uncommitted and re-run.
+  std::string manifest = file_bytes(first.manifest_path);
+  manifest.pop_back();  // trailing newline
+  manifest.resize(manifest.rfind('\n') + 1);
+  {
+    std::ofstream os(first.manifest_path, std::ios::trunc);
+    os << manifest;
+  }
+
+  const ShardReport second = CorpusPipeline::run_shard(shard_config);
+  EXPECT_EQ(second.units_resumed, second.units_owned - 1);
+  EXPECT_EQ(second.units_generated, 1u);
+  EXPECT_EQ(file_bytes(second.data_path), bytes);
+}
+
+TEST(CorpusPipelineTest, InvalidConfigErrorsBeforeTouchingShardFiles) {
+  // A typo'd config (nodes=40 > the exact-MaxCut limit) must error
+  // before the prefix rewrite, leaving a completed shard's bytes
+  // untouched.
+  const DatasetConfig config = tiny_config();
+  const std::string dir = unique_dir("no_clobber");
+  CorpusShardConfig shard_config;
+  shard_config.dataset = config;
+  shard_config.shard = ShardSpec{0, 1};
+  shard_config.directory = dir;
+  const ShardReport report = CorpusPipeline::run_shard(shard_config);
+  const std::string bytes = file_bytes(report.data_path);
+
+  shard_config.dataset.num_nodes = 40;
+  EXPECT_THROW(CorpusPipeline::run_shard(shard_config), Error);
+  EXPECT_EQ(file_bytes(report.data_path), bytes);
+}
+
+TEST(CorpusPipelineTest, StaleConfigIsRegenerated) {
+  DatasetConfig config = tiny_config();
+  const std::string dir = unique_dir("stale");
+  CorpusShardConfig shard_config;
+  shard_config.dataset = config;
+  shard_config.shard = ShardSpec{0, 1};
+  shard_config.directory = dir;
+  CorpusPipeline::run_shard(shard_config);
+
+  shard_config.dataset.seed += 1;  // different corpus, same paths
+  const ShardReport report = CorpusPipeline::run_shard(shard_config);
+  EXPECT_EQ(report.units_resumed, 0u);
+  EXPECT_EQ(report.units_generated, report.units_owned);
+}
+
+TEST(CorpusPipelineTest, ConcurrentSameShardInvocationFailsFast) {
+  const DatasetConfig config = tiny_config();
+  const std::string dir = unique_dir("locked");
+  CorpusShardConfig shard_config;
+  shard_config.dataset = config;
+  shard_config.shard = ShardSpec{0, 1};
+  shard_config.directory = dir;
+
+  // Hold the shard's flock the way a concurrently running invocation
+  // would; run_shard must refuse instead of interleaving writes.
+  const std::string lock_path =
+      CorpusPipeline::shard_data_path(dir, shard_config.shard) + ".lock";
+  std::filesystem::create_directories(dir);
+  const int fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::flock(fd, LOCK_EX | LOCK_NB), 0);
+
+  EXPECT_THROW(CorpusPipeline::run_shard(shard_config), Error);
+
+  ::flock(fd, LOCK_UN);
+  ::close(fd);
+  // Released (as the kernel does on process death): the run proceeds.
+  const ShardReport report = CorpusPipeline::run_shard(shard_config);
+  EXPECT_EQ(report.units_generated, report.units_owned);
+}
+
+TEST(CorpusPipelineTest, MergeRejectsIncompleteShardSet) {
+  const DatasetConfig config = tiny_config();
+  const std::string dir = unique_dir("incomplete");
+  CorpusShardConfig shard_config;
+  shard_config.dataset = config;
+  shard_config.shard = ShardSpec{0, 2};
+  shard_config.directory = dir;
+  CorpusPipeline::run_shard(shard_config);  // shard 1 of 2 never runs
+
+  EXPECT_THROW(CorpusPipeline::merge_shards(config, 2, dir, ""), Error);
+}
+
+TEST(CorpusPipelineTest, TornCacheConfigLineRegeneratesInsteadOfCrashing) {
+  // A cache killed mid-write of its config line ("xtol=" with no value)
+  // must look corrupt to load_or_generate — std::stod's exception must
+  // not escape as a crash.
+  const std::string dir = unique_dir("torn_cache");
+  const std::string path = dir + "/cache.txt";
+  {
+    std::ofstream os(path);
+    os << "qaoaml-dataset-v1\nconfig gen=4 graphs=2 xtol=\n";
+  }
+  const DatasetConfig config = tiny_config();
+  const ParameterDataset dataset =
+      ParameterDataset::load_or_generate(config, path);
+  EXPECT_EQ(dataset.size(), static_cast<std::size_t>(config.num_graphs));
+}
+
+TEST(CorpusPipelineTest, CorruptEdgeCountFailsFastNotForever) {
+  // A bit-flipped edge count must hit the malformed-line error after
+  // the tokens run out, not loop to the bogus count.
+  std::vector<InstanceRecord> records;
+  EXPECT_THROW(
+      detail::consume_record_line("graph 0 6 999999999999 0 1 1.0", records),
+      Error);
+  // A corrupt node count must error before allocating a huge Graph.
+  EXPECT_THROW(
+      detail::consume_record_line("graph 0 2000000000 1 0 1 1.0", records),
+      Error);
+}
+
+TEST(RunUnitsInOrderTest, ExceptionAbortsNotYetStartedUnits) {
+  // With one thread the dispatch is sequential, so after commit(0)
+  // throws, no later unit's run() may execute.
+  ScopedThreadCount scoped(1);
+  std::vector<std::size_t> units{0, 1, 2, 3};
+  int runs = 0;
+  EXPECT_THROW(
+      run_units_in_order(
+          units, [&](std::size_t, std::size_t) { ++runs; },
+          [&](std::size_t, std::size_t) { throw InvalidArgument("boom"); }),
+      Error);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(CorpusPipelineTest, ChangedOptimizerOptionsInvalidateShards) {
+  DatasetConfig config = tiny_config();
+  const std::string dir = unique_dir("options_key");
+  CorpusShardConfig shard_config;
+  shard_config.dataset = config;
+  shard_config.shard = ShardSpec{0, 1};
+  shard_config.directory = dir;
+  CorpusPipeline::run_shard(shard_config);
+
+  shard_config.dataset.options.gtol = 1e-2;  // different optimizer recipe
+  const ShardReport report = CorpusPipeline::run_shard(shard_config);
+  EXPECT_EQ(report.units_resumed, 0u);
+  EXPECT_EQ(report.units_generated, report.units_owned);
+}
+
+TEST(CorpusPipelineTest, GenerateRecordsMatchesDatasetGenerate) {
+  const DatasetConfig config = tiny_config();
+  const ParameterDataset direct = ParameterDataset::generate(config);
+  const std::vector<InstanceRecord> records =
+      CorpusPipeline::generate_records(config);
+  ASSERT_EQ(records.size(), direct.size());
+  for (std::size_t g = 0; g < records.size(); ++g) {
+    EXPECT_EQ(records[g].id, direct.records()[g].id);
+    ASSERT_EQ(records[g].optimal_params.size(),
+              direct.records()[g].optimal_params.size());
+    EXPECT_EQ(records[g].optimal_params, direct.records()[g].optimal_params);
+    EXPECT_EQ(records[g].expectation, direct.records()[g].expectation);
+  }
+}
+
+}  // namespace
+}  // namespace qaoaml::core

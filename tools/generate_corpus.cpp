@@ -1,0 +1,278 @@
+// Command-line driver for the sharded corpus-generation pipeline.
+//
+// Generates the (graph -> optimal QAOA angles) training corpus, one
+// shard per invocation (or all shards in-process), with checkpoint /
+// resume: re-running after a kill continues from the last committed
+// unit.  When every shard is complete, the shards merge into one
+// ParameterDataset file whose bytes are identical for every shard and
+// thread count.
+//
+//   # whole corpus, one process:
+//   generate_corpus --graphs 64 --depth 4 --dir /tmp/corpus --out corpus.txt
+//
+//   # the same corpus split over two machines/processes:
+//   generate_corpus --graphs 64 --depth 4 --dir /shared --shards 2 --shard 0
+//   generate_corpus --graphs 64 --depth 4 --dir /shared --shards 2 --shard 1
+//   generate_corpus --graphs 64 --depth 4 --dir /shared --shards 2 --merge-only
+//
+// Thread count comes from QAOAML_THREADS (default: hardware
+// concurrency); see docs/CONFIGURATION.md for every knob.
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <iterator>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/corpus_pipeline.hpp"
+
+namespace {
+
+using qaoaml::core::CorpusPipeline;
+using qaoaml::core::CorpusShardConfig;
+using qaoaml::core::DatasetConfig;
+using qaoaml::core::ShardReport;
+using qaoaml::core::ShardSpec;
+
+struct CliOptions {
+  DatasetConfig dataset;
+  int shards = 1;
+  int shard = -1;          // -1: run every shard in this process
+  bool merge_only = false; // skip generation, only merge existing shards
+  bool no_merge = false;   // skip the merge step
+  std::string directory = ".";
+  std::string out = "corpus.txt";  // merged dataset, relative to --dir
+};
+
+void print_usage() {
+  std::printf(
+      "usage: generate_corpus [options]\n"
+      "\n"
+      "corpus shape (defaults = the paper's full-scale setup):\n"
+      "  --graphs N       ensemble size (default 330)\n"
+      "  --nodes N        nodes per graph (default 8)\n"
+      "  --edge-prob F    Erdos-Renyi edge probability (default 0.5)\n"
+      "  --min-edges N    resample graphs with fewer edges (default 1)\n"
+      "  --depth D        corpus depths 1..D (default 6)\n"
+      "  --restarts R     multistart count per (graph, depth) (default 20)\n"
+      "  --optimizer S    L-BFGS-B | Nelder-Mead | SLSQP | COBYLA\n"
+      "  --seed S         master seed (default 42)\n"
+      "\n"
+      "sharding / output:\n"
+      "  --dir PATH       shard + manifest directory (default .)\n"
+      "  --shards N       total shard count (default 1)\n"
+      "  --shard K        run only shard K (default: all, sequentially)\n"
+      "  --merge-only     merge existing complete shards and exit\n"
+      "  --no-merge       generate without merging (for multi-process runs)\n"
+      "  --out PATH       merged dataset file, relative to --dir\n"
+      "                   unless absolute (default corpus.txt)\n"
+      "\n"
+      "QAOAML_THREADS controls worker threads; a killed run resumes from\n"
+      "the last committed unit when re-invoked with the same arguments.\n");
+}
+
+// Strict numeric parsing: trailing garbage and empty strings are
+// rejected, so "--shard two" or "--seed 0x2a" error out instead of
+// silently becoming 0 and generating the wrong corpus.
+bool to_int(const char* text, int& out) {
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE ||
+      value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  out = static_cast<int>(value);
+  return true;
+}
+
+bool to_u64(const char* text, std::uint64_t& out) {
+  if (text[0] == '-') return false;  // strtoull would silently wrap
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  out = value;
+  return true;
+}
+
+bool to_double(const char* text, double& out) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  out = value;
+  return true;
+}
+
+bool parse_args(int argc, char** argv, CliOptions& options) {
+  // One table for every value-taking flag, so the known-flag check and
+  // the setter cannot drift apart.  Setters return false on a
+  // malformed value.
+  const std::pair<const char*, std::function<bool(const char*)>>
+      value_flags[] = {
+          {"--graphs",
+           [&](const char* v) { return to_int(v, options.dataset.num_graphs); }},
+          {"--nodes",
+           [&](const char* v) { return to_int(v, options.dataset.num_nodes); }},
+          {"--edge-prob",
+           [&](const char* v) {
+             return to_double(v, options.dataset.edge_probability);
+           }},
+          {"--min-edges",
+           [&](const char* v) { return to_int(v, options.dataset.min_edges); }},
+          {"--depth",
+           [&](const char* v) { return to_int(v, options.dataset.max_depth); }},
+          {"--restarts",
+           [&](const char* v) { return to_int(v, options.dataset.restarts); }},
+          {"--optimizer",
+           [&](const char* v) {
+             options.dataset.optimizer =
+                 qaoaml::optim::optimizer_from_string(v);  // throws on typo
+             return true;
+           }},
+          {"--seed",
+           [&](const char* v) { return to_u64(v, options.dataset.seed); }},
+          {"--dir",
+           [&](const char* v) {
+             options.directory = v;
+             return true;
+           }},
+          {"--shards", [&](const char* v) { return to_int(v, options.shards); }},
+          {"--shard", [&](const char* v) { return to_int(v, options.shard); }},
+          {"--out",
+           [&](const char* v) {
+             options.out = v;
+             return true;
+           }},
+      };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      std::exit(0);
+    } else if (arg == "--merge-only") {
+      options.merge_only = true;
+    } else if (arg == "--no-merge") {
+      options.no_merge = true;
+    } else {
+      const auto* entry = std::find_if(
+          std::begin(value_flags), std::end(value_flags),
+          [&](const auto& flag) { return arg == flag.first; });
+      if (entry == std::end(value_flags)) {
+        std::fprintf(stderr, "generate_corpus: unknown option %s\n",
+                     arg.c_str());
+        return false;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "generate_corpus: %s needs a value\n",
+                     arg.c_str());
+        return false;
+      }
+      if (!entry->second(argv[++i])) {
+        std::fprintf(stderr, "generate_corpus: invalid value '%s' for %s\n",
+                     argv[i], arg.c_str());
+        return false;
+      }
+    }
+  }
+  if (options.merge_only && options.no_merge) {
+    std::fprintf(stderr,
+                 "generate_corpus: --merge-only and --no-merge conflict\n");
+    return false;
+  }
+  if (options.merge_only && options.shard != -1) {
+    std::fprintf(stderr,
+                 "generate_corpus: --merge-only merges every shard; "
+                 "--shard conflicts with it\n");
+    return false;
+  }
+  if (options.shards < 1) {
+    std::fprintf(stderr, "generate_corpus: --shards must be >= 1\n");
+    return false;
+  }
+  if (options.shard != -1 &&
+      (options.shard < 0 || options.shard >= options.shards)) {
+    std::fprintf(stderr,
+                 "generate_corpus: --shard must be in [0, --shards)\n");
+    return false;
+  }
+  return true;
+}
+
+void print_report(const ShardReport& report, const ShardSpec& shard) {
+  std::printf(
+      "shard %d/%d: %zu units (%zu resumed, %zu generated) in %.2f s"
+      "  (%.2f instances/sec)\n  data     %s\n  manifest %s\n",
+      shard.index, shard.count, report.units_owned, report.units_resumed,
+      report.units_generated, report.seconds, report.instances_per_second,
+      report.data_path.c_str(), report.manifest_path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  try {
+    if (!parse_args(argc, argv, options)) {
+      print_usage();
+      return 2;
+    }
+
+    if (!options.merge_only) {
+      std::vector<int> to_run;
+      if (options.shard >= 0) {
+        to_run.push_back(options.shard);
+      } else {
+        for (int s = 0; s < options.shards; ++s) to_run.push_back(s);
+      }
+      for (const int s : to_run) {
+        CorpusShardConfig shard_config;
+        shard_config.dataset = options.dataset;
+        shard_config.shard = ShardSpec{s, options.shards};
+        shard_config.directory = options.directory;
+        const ShardReport report = CorpusPipeline::run_shard(shard_config);
+        print_report(report, shard_config.shard);
+      }
+      // A single-shard invocation of a multi-shard run leaves the merge
+      // to whoever sees all shards complete (--merge-only).  Say so —
+      // an operator who passed --out would otherwise wait for a merged
+      // file that was never going to be written.
+      if (options.shard >= 0 && options.shards > 1) {
+        if (!options.no_merge) {
+          // Only advise when the operator might have expected a merge;
+          // scripted runs pass --no-merge and want quiet output.
+          std::printf(
+              "merge skipped (ran only shard %d of %d); run --merge-only "
+              "once every shard is complete\n",
+              options.shard, options.shards);
+        }
+        return 0;
+      }
+    }
+
+    if (options.no_merge) return 0;
+    // fs::path join keeps an absolute --out unchanged and composes a
+    // relative one under --dir.
+    const std::string out =
+        (std::filesystem::path(options.directory) / options.out).string();
+    const auto merged = CorpusPipeline::merge_shards(
+        options.dataset, options.shards, options.directory, out);
+    std::printf("merged %zu instances (%zu optimal parameters) -> %s\n",
+                merged.size(), merged.total_parameter_count(), out.c_str());
+  } catch (const std::exception& e) {
+    // qaoaml::Error and the std::filesystem errors from shard I/O alike.
+    std::fprintf(stderr, "generate_corpus: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
