@@ -1,0 +1,233 @@
+// CI benchmark-regression gate.
+//
+// Runs a pinned subset of the performance-critical paths (fused QAOA
+// objective, corpus-pipeline throughput, batched multistart) `--repeats`
+// times each, reports the per-metric MEDIAN (robust to one noisy run on
+// a shared CI box), writes the result as a flat JSON file, and — when
+// given a baseline JSON — fails on any median regression beyond
+// `--max-regression` (default 0.25, i.e. 25%).
+//
+// Every metric is in seconds-per-fixed-workload, so "bigger than
+// baseline" always means "slower".  Timings are hardware-dependent: a
+// baseline is only meaningful on the machine class it was measured on
+// (for CI: the runner class; refresh instructions live next to the
+// bench-regression job in .github/workflows/ci.yml).
+//
+//   bench_ci --repeats 3 --out BENCH_ci.json
+//   bench_ci --repeats 3 --out BENCH_ci.json --baseline bench/baseline_ci.json
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "core/batch_evaluator.hpp"
+#include "core/corpus_pipeline.hpp"
+#include "core/qaoa_solver.hpp"
+#include "graph/generators.hpp"
+
+using namespace qaoaml;
+
+namespace {
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+/// Seconds for a fixed batch of fused-path objective evaluations
+/// (p = 2, 14 qubits — the fused kernels' headline configuration).
+double time_fused_objective() {
+  Rng rng(7);
+  const graph::Graph g = graph::erdos_renyi_gnp(14, 0.5, rng);
+  const core::MaxCutQaoa instance(g, 2);
+  core::BatchEvaluator evaluator(instance);
+  std::vector<double> params(instance.num_parameters(), 0.3);
+  Timer timer;
+  double sink = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    params[0] = 0.01 * static_cast<double>(i % 100);
+    sink += evaluator.expectation(params);
+  }
+  const double seconds = timer.seconds();
+  // Keep the accumulated value observable so the loop cannot be
+  // optimized away.
+  if (sink == 42.123456) std::printf("#\n");
+  return seconds;
+}
+
+/// Seconds to generate a fixed small corpus through the pipeline
+/// scheduler (the offline data-generation hot path).
+double time_corpus_pipeline() {
+  core::DatasetConfig config;
+  config.num_graphs = 12;
+  config.num_nodes = 8;
+  config.max_depth = 2;
+  config.restarts = 4;
+  config.seed = 42;
+  Timer timer;
+  const auto records = core::CorpusPipeline::generate_records(config);
+  const double seconds = timer.seconds();
+  if (records.size() != 12) std::printf("# unexpected corpus size\n");
+  return seconds;
+}
+
+/// Seconds for one batched multistart (all restarts dispatched as a
+/// single batch over the pool).
+double time_batched_multistart() {
+  Rng rng(11);
+  const graph::Graph g = graph::erdos_renyi_gnp(10, 0.5, rng);
+  const core::MaxCutQaoa instance(g, 2);
+  Rng starts(99);
+  Timer timer;
+  const core::MultistartRuns runs = core::solve_multistart(
+      instance, optim::OptimizerKind::kLbfgsb, 24, starts);
+  const double seconds = timer.seconds();
+  if (runs.runs.size() != 24) std::printf("# unexpected run count\n");
+  return seconds;
+}
+
+/// Minimal flat-JSON number extraction ("key": value), tolerant of
+/// everything else in the file — enough for the baseline format this
+/// tool itself writes.
+bool json_number(const std::string& text, const std::string& key,
+                 double& out) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t colon = text.find(':', at + needle.size());
+  if (colon == std::string::npos) return false;
+  try {
+    out = std::stod(text.substr(colon + 1));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int repeats = 3;
+  double max_regression = 0.25;
+  std::string out_path;
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_ci: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--repeats") repeats = std::atoi(value());
+    else if (arg == "--out") out_path = value();
+    else if (arg == "--baseline") baseline_path = value();
+    else if (arg == "--max-regression") max_regression = std::atof(value());
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_ci [--repeats N] [--out FILE] "
+                   "[--baseline FILE] [--max-regression F]\n");
+      return 2;
+    }
+  }
+  if (repeats < 1) repeats = 1;
+
+  struct Metric {
+    const char* name;
+    double (*run)();
+  };
+  const Metric metrics[] = {
+      {"fused_objective_s", &time_fused_objective},
+      {"corpus_pipeline_s", &time_corpus_pipeline},
+      {"multistart_batched_s", &time_batched_multistart},
+  };
+
+  std::map<std::string, double> medians;
+  std::printf("bench_ci: %d repeats, %d threads\n", repeats,
+              default_thread_count());
+  for (const Metric& metric : metrics) {
+    std::vector<double> samples;
+    for (int r = 0; r < repeats; ++r) samples.push_back(metric.run());
+    medians[metric.name] = median(samples);
+    std::printf("  %-22s median %.4f s  (", metric.name, medians[metric.name]);
+    for (std::size_t s = 0; s < samples.size(); ++s) {
+      std::printf("%s%.4f", s ? " " : "", samples[s]);
+    }
+    std::printf(")\n");
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    os.precision(6);
+    os << "{\n  \"schema\": \"qaoaml-bench-ci-v1\",\n  \"repeats\": "
+       << repeats << ",\n  \"threads\": " << default_thread_count();
+    for (const auto& [name, value] : medians) {
+      os << ",\n  \"" << name << "\": " << std::fixed << value;
+    }
+    os << "\n}\n";
+    if (!os.good()) {
+      std::fprintf(stderr, "bench_ci: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  if (baseline_path.empty()) return 0;
+
+  std::ifstream is(baseline_path);
+  if (!is.good()) {
+    std::fprintf(stderr, "bench_ci: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string baseline = buf.str();
+
+  bool failed = false;
+  // Timings only compare within one thread configuration: a baseline
+  // captured at threads=1 gated against a 4-thread run would let a real
+  // 3x regression in the parallel paths sail under the tolerance.
+  double base_threads = 0.0;
+  if (json_number(baseline, "threads", base_threads) &&
+      static_cast<int>(base_threads) != default_thread_count()) {
+    std::fprintf(stderr,
+                 "bench_ci: baseline was measured with %d threads but this "
+                 "run uses %d (set QAOAML_THREADS=%d or refresh %s)\n",
+                 static_cast<int>(base_threads), default_thread_count(),
+                 static_cast<int>(base_threads), baseline_path.c_str());
+    return 1;
+  }
+  for (const auto& [name, value] : medians) {
+    double base = 0.0;
+    if (!json_number(baseline, name, base) || base <= 0.0) {
+      // A metric added after the baseline was captured is reported, not
+      // gated — refresh the baseline to start gating it.
+      std::printf("  %-22s NOT IN BASELINE (refresh %s to gate it)\n",
+                  name.c_str(), baseline_path.c_str());
+      continue;
+    }
+    const double ratio = value / base;
+    const bool regressed = ratio > 1.0 + max_regression;
+    std::printf("  %-22s %.4f s vs baseline %.4f s  (%+.1f%%)%s\n",
+                name.c_str(), value, base, 100.0 * (ratio - 1.0),
+                regressed ? "  REGRESSION" : "");
+    if (regressed) failed = true;
+  }
+  if (failed) {
+    std::fprintf(stderr,
+                 "bench_ci: median regression beyond %.0f%% against %s\n",
+                 100.0 * max_regression, baseline_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -17,6 +17,7 @@ BenchConfig bench_config_from_env() {
   config.ml_repeats = env_int("QAOAML_ML_REPEATS", config.ml_repeats);
   config.seed = static_cast<std::uint64_t>(env_int("QAOAML_SEED", 42));
   config.cache_path = env_string("QAOAML_CACHE", config.cache_path);
+  config.family = env_string("QAOAML_FAMILY", config.family);
   return config;
 }
 
@@ -24,7 +25,8 @@ core::DatasetConfig dataset_config(const BenchConfig& config) {
   core::DatasetConfig ds;
   ds.num_graphs = config.graphs;
   ds.num_nodes = 8;
-  ds.edge_probability = 0.5;
+  ds.ensemble.family = core::family_from_string(config.family);
+  ds.ensemble.edge_probability = 0.5;
   ds.max_depth = config.max_depth;
   ds.restarts = config.restarts;
   ds.optimizer = optim::OptimizerKind::kLbfgsb;
@@ -35,10 +37,10 @@ core::DatasetConfig dataset_config(const BenchConfig& config) {
 
 core::ParameterDataset load_corpus(const BenchConfig& config) {
   Timer timer;
-  std::printf("# corpus: %d graphs x depths 1..%d, best of %d restarts "
+  std::printf("# corpus: %d %s graphs x depths 1..%d, best of %d restarts "
               "(cache: %s)\n",
-              config.graphs, config.max_depth, config.restarts,
-              config.cache_path.c_str());
+              config.graphs, config.family.c_str(), config.max_depth,
+              config.restarts, config.cache_path.c_str());
   core::ParameterDataset dataset = core::ParameterDataset::load_or_generate(
       dataset_config(config), config.cache_path);
   std::printf("# corpus ready: %zu optimal parameters in %.1f s\n",

@@ -12,6 +12,9 @@
 //                       (default 8; paper: 20)
 //   QAOAML_ML_REPEATS   two-level repeats per graph (default 2)
 //   QAOAML_SEED         master seed (default 42)
+//   QAOAML_FAMILY       instance distribution (default erdos-renyi;
+//                       regular | weighted-erdos-renyi | small-world |
+//                       mixed — see core/graph_ensemble.hpp)
 //   QAOAML_CACHE        dataset cache path
 //                       (default "qaoaml_dataset_cache.txt")
 //   QAOAML_THREADS      worker threads (default: hardware concurrency);
@@ -43,6 +46,10 @@ struct BenchConfig {
   int ml_repeats = 2;
   std::uint64_t seed = 42;
   std::string cache_path = "qaoaml_dataset_cache.txt";
+  /// Instance distribution (QAOAML_FAMILY: erdos-renyi | regular |
+  /// weighted-erdos-renyi | small-world | mixed).  Every bench that
+  /// consumes the corpus — including the Table-I sweep — runs on it.
+  std::string family = "erdos-renyi";
 };
 
 /// Reads the QAOAML_* environment variables.

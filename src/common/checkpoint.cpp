@@ -1,0 +1,59 @@
+#include "common/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qaoaml {
+
+FileLock::FileLock(const std::string& path)
+    : fd_(::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644)) {
+  require(fd_ >= 0, "FileLock: cannot open lock file " + path);
+  if (::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw InvalidArgument(
+        "FileLock: resource is locked by another running process (" + path +
+        ")");
+  }
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void replace_file_atomic(const std::string& path, const std::string& content) {
+  {
+    std::ifstream is(path, std::ios::binary);
+    if (is.good()) {
+      std::ostringstream existing;
+      existing << is.rdbuf();
+      if (existing.str() == content) return;
+    }
+  }
+  // PID-suffixed temp name: even without an advisory lock, two
+  // processes rewriting the same path never collide on the temp file.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  try {
+    std::ofstream os(tmp, std::ios::trunc);
+    require(os.good(), "replace_file_atomic: cannot open " + tmp);
+    os << content;
+    os.flush();
+    require(os.good(), "replace_file_atomic: write failed: " + tmp);
+  } catch (...) {
+    // Don't strand .tmp.<pid> litter in a shared directory on a failed
+    // write (disk full); the retry runs under a new PID.
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw;
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace qaoaml

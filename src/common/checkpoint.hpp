@@ -1,0 +1,46 @@
+// Crash-safe file primitives shared by the checkpointed shard pipelines
+// (corpus generation in core/corpus_pipeline.hpp, the sharded Table-I
+// experiment in core/experiment.hpp).
+//
+// Both pipelines follow the same on-disk contract: a shard streams
+// results to a data file, a resume validates the longest usable prefix
+// and rewrites the file down to it *atomically* before appending, and a
+// process-lifetime advisory lock makes concurrent duplicate invocations
+// of one shard fail fast.  These are the two primitives that contract
+// rests on.
+#ifndef QAOAML_COMMON_CHECKPOINT_HPP
+#define QAOAML_COMMON_CHECKPOINT_HPP
+
+#include <string>
+
+namespace qaoaml {
+
+/// Advisory per-file exclusive lock (flock on the given path) so two
+/// concurrent owners of one checkpointed resource fail fast instead of
+/// interleaving writes.  flock is released by the kernel when the
+/// process dies — including SIGKILL — so a crashed run never leaves a
+/// stale lock that would block the resume the pipelines are built
+/// around.  Throws InvalidArgument when the lock is already held by
+/// another process.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path);
+  ~FileLock();
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_;
+};
+
+/// Writes `content` to `path` atomically (PID-suffixed temp file +
+/// rename), so a kill mid-rewrite can never leave the file shorter than
+/// before.  A file that already holds exactly `content` is left
+/// untouched — the common no-op resume of a complete shard then costs a
+/// read, not a rewrite (which matters on shared storage).  On a failed
+/// write (e.g. disk full) the temp file is removed before rethrowing.
+void replace_file_atomic(const std::string& path, const std::string& content);
+
+}  // namespace qaoaml
+
+#endif  // QAOAML_COMMON_CHECKPOINT_HPP

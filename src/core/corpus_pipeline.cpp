@@ -1,9 +1,5 @@
 #include "core/corpus_pipeline.hpp"
 
-#include <fcntl.h>
-#include <sys/file.h>
-#include <unistd.h>
-
 #include <atomic>
 #include <filesystem>
 #include <fstream>
@@ -11,6 +7,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "common/checkpoint.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
@@ -144,67 +141,6 @@ bool read_manifest(const std::string& path, const std::string& config_line,
   return true;
 }
 
-/// Advisory per-shard exclusive lock (flock on a sidecar file) so two
-/// concurrent invocations of the same shard fail fast instead of
-/// interleaving writes.  flock is released by the kernel when the
-/// process dies — including SIGKILL — so a crashed run never leaves a
-/// stale lock that would block the resume the pipeline is built around.
-class ShardLock {
- public:
-  explicit ShardLock(const std::string& path)
-      : fd_(::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644)) {
-    require(fd_ >= 0, "CorpusPipeline: cannot open lock file " + path);
-    if (::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
-      ::close(fd_);
-      fd_ = -1;
-      throw InvalidArgument(
-          "CorpusPipeline::run_shard: shard is locked by another running "
-          "process (" + path + ")");
-    }
-  }
-  ~ShardLock() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-  ShardLock(const ShardLock&) = delete;
-  ShardLock& operator=(const ShardLock&) = delete;
-
- private:
-  int fd_;
-};
-
-/// Writes `content` to `path` atomically (temp file + rename), so a
-/// kill mid-rewrite can never leave the file shorter than before.  A
-/// file that already holds exactly `content` is left untouched — the
-/// common no-op resume of a complete shard then costs a read, not a
-/// rewrite (which matters on the multi-machine shared-storage flow).
-void replace_file(const std::string& path, const std::string& content) {
-  {
-    std::ifstream is(path, std::ios::binary);
-    if (is.good()) {
-      std::ostringstream existing;
-      existing << is.rdbuf();
-      if (existing.str() == content) return;
-    }
-  }
-  // PID-suffixed temp name: even without the shard lock, two processes
-  // rewriting the same path never collide on the temp file.
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
-  try {
-    std::ofstream os(tmp, std::ios::trunc);
-    require(os.good(), "CorpusPipeline: cannot open " + tmp);
-    os << content;
-    os.flush();
-    require(os.good(), "CorpusPipeline: write failed: " + tmp);
-  } catch (...) {
-    // Don't strand .tmp.<pid> litter in the shared corpus directory on
-    // a failed write (disk full); the retry runs under a new PID.
-    std::error_code ignored;
-    std::filesystem::remove(tmp, ignored);
-    throw;
-  }
-  std::filesystem::rename(tmp, path);
-}
-
 }  // namespace
 
 std::vector<std::size_t> shard_units(std::size_t total,
@@ -302,7 +238,7 @@ ShardReport CorpusPipeline::run_shard(const CorpusShardConfig& config) {
 
   // Exclusive for the whole run: a concurrent duplicate invocation of
   // this shard errors out here instead of interleaving file writes.
-  const ShardLock lock(report.data_path + ".lock");
+  const FileLock lock(report.data_path + ".lock");
 
   const std::string config_line =
       shard_config_line(config.dataset, config.shard);
@@ -343,8 +279,8 @@ ShardReport CorpusPipeline::run_shard(const CorpusShardConfig& config) {
       write_unit_block(data_prefix, resumed.units[i], resumed.records[i]);
       manifest_prefix << resumed.units[i] << '\n';
     }
-    replace_file(report.data_path, data_prefix.str());
-    replace_file(report.manifest_path, manifest_prefix.str());
+    replace_file_atomic(report.data_path, data_prefix.str());
+    replace_file_atomic(report.manifest_path, manifest_prefix.str());
   }
   // The resumed records are only needed for the prefix rewrite above;
   // don't hold them in memory through the (potentially long) generation

@@ -1,15 +1,20 @@
 #include "core/experiment.hpp"
 
+#include <filesystem>
+#include <fstream>
 #include <numeric>
+#include <sstream>
 
+#include "common/checkpoint.hpp"
 #include "common/error.hpp"
-#include "core/corpus_pipeline.hpp"
+#include "common/timer.hpp"
 #include "stats/descriptive.hpp"
 
 namespace qaoaml::core {
 namespace {
 
-/// Per-graph means for one (optimizer, depth) cell.
+/// Per-graph means for one (optimizer, depth) cell — the sharded
+/// sweep's unit payload.
 struct GraphStats {
   double naive_ar = 0.0;
   double naive_fc = 0.0;
@@ -23,75 +28,81 @@ struct Cell {
   int target_depth;
 };
 
-}  // namespace
-
-std::vector<TableRow> run_table1(const ParameterDataset& dataset,
-                                 const std::vector<std::size_t>& test_records,
-                                 const ParameterPredictor& predictor,
-                                 const ExperimentConfig& config) {
-  require(predictor.trained(), "run_table1: predictor not trained");
-  require(!test_records.empty(), "run_table1: empty test set");
-  require(config.naive_runs >= 1 && config.ml_repeats >= 1,
-          "run_table1: run counts must be >= 1");
-
-  // Flatten the sweep into (cell, graph) work units and dispatch them
-  // through the corpus pipeline's scheduler as ONE asynchronous wave:
-  // no barrier between table cells, so a slow straggler in one cell no
-  // longer idles the pool while the next cell waits to start.  Each
-  // unit's RNG stream depends only on (seed, graph id, depth,
-  // optimizer), exactly as before, so the flattening changes scheduling
-  // but not a single reported number.
+std::vector<Cell> sweep_cells(const ExperimentConfig& config) {
   std::vector<Cell> cells;
   for (const optim::OptimizerKind optimizer : config.optimizers) {
     for (const int depth : config.target_depths) {
       cells.push_back(Cell{optimizer, depth});
     }
   }
+  return cells;
+}
+
+void validate_sweep(const ParameterDataset& dataset,
+                    const std::vector<std::size_t>& test_records,
+                    const ExperimentConfig& config) {
+  require(!test_records.empty(), "run_table1: empty test set");
+  require(config.naive_runs >= 1 && config.ml_repeats >= 1,
+          "run_table1: run counts must be >= 1");
+  for (const std::size_t t : test_records) {
+    require(t < dataset.size(), "run_table1: test record out of range");
+  }
+}
+
+/// Computes one (cell, graph) unit.  Pure function of (dataset, config,
+/// unit): the RNG stream is keyed by (seed, graph id, depth, optimizer)
+/// only, so results are bit-identical for every thread count, shard
+/// layout and scheduling order — the same purity contract corpus units
+/// have, which is what makes the Table-I sweep shardable at all.
+GraphStats compute_unit(const ParameterDataset& dataset,
+                        const std::vector<std::size_t>& test_records,
+                        const ParameterPredictor& predictor,
+                        const ExperimentConfig& config,
+                        const std::vector<Cell>& cells, std::size_t unit) {
   const std::size_t graphs = test_records.size();
-  std::vector<GraphStats> per_unit(cells.size() * graphs);
+  const Cell& cell = cells[unit / graphs];
+  const std::size_t t = unit % graphs;
+  const InstanceRecord& record = dataset.records()[test_records[t]];
+  // Deterministic per-(cell, graph) stream.
+  Rng rng(config.seed ^
+          (static_cast<std::uint64_t>(record.id) << 32) ^
+          (static_cast<std::uint64_t>(cell.target_depth) << 8) ^
+          static_cast<std::uint64_t>(cell.optimizer));
 
-  std::vector<std::size_t> units(per_unit.size());
-  std::iota(units.begin(), units.end(), std::size_t{0});
-  run_units_in_order(units, [&](std::size_t unit, std::size_t) {
-    const Cell& cell = cells[unit / graphs];
-    const std::size_t t = unit % graphs;
-    const InstanceRecord& record = dataset.records()[test_records[t]];
-    // Deterministic per-(cell, graph) stream.
-    Rng rng(config.seed ^
-            (static_cast<std::uint64_t>(record.id) << 32) ^
-            (static_cast<std::uint64_t>(cell.target_depth) << 8) ^
-            static_cast<std::uint64_t>(cell.optimizer));
+  const MaxCutQaoa instance(record.problem, cell.target_depth);
 
-    const MaxCutQaoa instance(record.problem, cell.target_depth);
+  // Naive arm: per-run statistics over random initializations.
+  std::vector<double> naive_ar;
+  std::vector<double> naive_fc;
+  for (int run = 0; run < config.naive_runs; ++run) {
+    const QaoaRun r =
+        solve_random_init(instance, cell.optimizer, rng, config.options);
+    naive_ar.push_back(r.approximation_ratio);
+    naive_fc.push_back(static_cast<double>(r.function_calls));
+  }
 
-    // Naive arm: per-run statistics over random initializations.
-    std::vector<double> naive_ar;
-    std::vector<double> naive_fc;
-    for (int run = 0; run < config.naive_runs; ++run) {
-      const QaoaRun r =
-          solve_random_init(instance, cell.optimizer, rng, config.options);
-      naive_ar.push_back(r.approximation_ratio);
-      naive_fc.push_back(static_cast<double>(r.function_calls));
-    }
+  // ML arm: the two-level flow (level-1 randomness repeats).
+  TwoLevelConfig two_level;
+  two_level.optimizer = cell.optimizer;
+  two_level.options = config.options;
+  std::vector<double> ml_ar;
+  std::vector<double> ml_fc;
+  for (int run = 0; run < config.ml_repeats; ++run) {
+    const AcceleratedRun r = solve_two_level(
+        record.problem, cell.target_depth, predictor, two_level, rng);
+    ml_ar.push_back(r.final.approximation_ratio);
+    ml_fc.push_back(static_cast<double>(r.total_function_calls));
+  }
 
-    // ML arm: the two-level flow (level-1 randomness repeats).
-    TwoLevelConfig two_level;
-    two_level.optimizer = cell.optimizer;
-    two_level.options = config.options;
-    std::vector<double> ml_ar;
-    std::vector<double> ml_fc;
-    for (int run = 0; run < config.ml_repeats; ++run) {
-      const AcceleratedRun r =
-          solve_two_level(record.problem, cell.target_depth, predictor,
-                          two_level, rng);
-      ml_ar.push_back(r.final.approximation_ratio);
-      ml_fc.push_back(static_cast<double>(r.total_function_calls));
-    }
+  return GraphStats{stats::mean(naive_ar), stats::mean(naive_fc),
+                    stats::mean(ml_ar), stats::mean(ml_fc)};
+}
 
-    per_unit[unit] = GraphStats{stats::mean(naive_ar), stats::mean(naive_fc),
-                                stats::mean(ml_ar), stats::mean(ml_fc)};
-  });
-
+/// Aggregates the flat per-unit stats into the per-cell rows (per-graph
+/// statistics first, then mean and SD across graphs).
+std::vector<TableRow> aggregate_rows(const std::vector<Cell>& cells,
+                                     std::size_t graphs,
+                                     const std::vector<GraphStats>& per_unit) {
   std::vector<TableRow> rows;
   for (std::size_t c = 0; c < cells.size(); ++c) {
     std::vector<double> nar;
@@ -124,11 +135,268 @@ std::vector<TableRow> run_table1(const ParameterDataset& dataset,
   return rows;
 }
 
+constexpr const char* kTable1Header = "qaoaml-table1-shard-v1";
+
+/// FNV-1a over the test-record indices: a compact test-set identity for
+/// the config line (the full list can be hundreds of entries).
+std::uint64_t test_set_hash(const std::vector<std::size_t>& test_records) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::size_t t : test_records) {
+    h ^= static_cast<std::uint64_t>(t);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// The config line written to shard files; a full-line match is
+/// required on resume/merge, so any change of dataset, test set, sweep
+/// shape or optimizer options invalidates stale shards instead of
+/// silently mixing experiments.
+std::string table1_config_line(const ParameterDataset& dataset,
+                               const std::vector<std::size_t>& test_records,
+                               const ExperimentConfig& config,
+                               const ShardSpec& shard) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "config table1 dataset={" << to_string(dataset.config()) << "}"
+     << " tests=" << test_records.size() << ":" << test_set_hash(test_records)
+     << " optimizers=";
+  for (std::size_t i = 0; i < config.optimizers.size(); ++i) {
+    os << (i ? "," : "") << optim::to_string(config.optimizers[i]);
+  }
+  os << " depths=";
+  for (std::size_t i = 0; i < config.target_depths.size(); ++i) {
+    os << (i ? "," : "") << config.target_depths[i];
+  }
+  os << " naive_runs=" << config.naive_runs
+     << " ml_repeats=" << config.ml_repeats
+     << " ftol=" << config.options.ftol << " xtol=" << config.options.xtol
+     << " gtol=" << config.options.gtol
+     << " fd_step=" << config.options.fd_step
+     << " rho_begin=" << config.options.rho_begin
+     << " rho_end=" << config.options.rho_end
+     << " max_evals=" << config.options.max_evaluations
+     << " max_iters=" << config.options.max_iterations
+     << " seed=" << config.seed << " shard=" << shard.index << '/'
+     << shard.count;
+  return os.str();
+}
+
+void write_unit_line(std::ostream& os, std::size_t unit,
+                     const GraphStats& g) {
+  os.precision(17);
+  os << "unit " << unit << ' ' << g.naive_ar << ' ' << g.naive_fc << ' '
+     << g.ml_ar << ' ' << g.ml_fc << '\n';
+}
+
+/// The longest valid prefix of unit lines in a Table-I shard file.
+/// Units are one line each, so the only damage a kill can leave is a
+/// torn trailing line — anything after the first malformed,
+/// out-of-order or foreign-unit line is discarded and regenerated.
+struct ParsedTable1Shard {
+  std::vector<std::size_t> units;   ///< ascending, owned
+  std::vector<GraphStats> stats;    ///< stats[i] is units[i]
+};
+
+ParsedTable1Shard parse_table1_shard(const std::string& path,
+                                     const std::string& config_line,
+                                     std::size_t total_units,
+                                     const ShardSpec& shard) {
+  ParsedTable1Shard out;
+  std::ifstream is(path);
+  if (!is.good()) return out;
+  std::string line;
+  if (!std::getline(is, line) || line != kTable1Header) return out;
+  if (!std::getline(is, line) || line != config_line) return out;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    std::size_t unit = 0;
+    GraphStats g;
+    ls >> tag >> unit >> g.naive_ar >> g.naive_fc >> g.ml_ar >> g.ml_fc;
+    std::string trailing;
+    if (tag != "unit" || ls.fail() || (ls >> trailing, !trailing.empty()) ||
+        !shard.owns(unit) || unit >= total_units ||
+        (!out.units.empty() && unit <= out.units.back())) {
+      break;
+    }
+    out.units.push_back(unit);
+    out.stats.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TableRow> run_table1(const ParameterDataset& dataset,
+                                 const std::vector<std::size_t>& test_records,
+                                 const ParameterPredictor& predictor,
+                                 const ExperimentConfig& config) {
+  require(predictor.trained(), "run_table1: predictor not trained");
+  validate_sweep(dataset, test_records, config);
+
+  // Flatten the sweep into (cell, graph) work units and dispatch them
+  // through the corpus pipeline's scheduler as ONE asynchronous wave:
+  // no barrier between table cells, so a slow straggler in one cell no
+  // longer idles the pool while the next cell waits to start.  Each
+  // unit's RNG stream depends only on (seed, graph id, depth,
+  // optimizer), exactly as before, so the flattening changes scheduling
+  // but not a single reported number.
+  const std::vector<Cell> cells = sweep_cells(config);
+  const std::size_t graphs = test_records.size();
+  std::vector<GraphStats> per_unit(cells.size() * graphs);
+
+  std::vector<std::size_t> units(per_unit.size());
+  std::iota(units.begin(), units.end(), std::size_t{0});
+  run_units_in_order(units, [&](std::size_t unit, std::size_t) {
+    per_unit[unit] =
+        compute_unit(dataset, test_records, predictor, config, cells, unit);
+  });
+
+  return aggregate_rows(cells, graphs, per_unit);
+}
+
 double average_fc_reduction(const std::vector<TableRow>& rows) {
   require(!rows.empty(), "average_fc_reduction: no rows");
   double acc = 0.0;
   for (const TableRow& row : rows) acc += row.fc_reduction_percent;
   return acc / static_cast<double>(rows.size());
+}
+
+std::string table1_shard_path(const std::string& directory,
+                              const ShardSpec& shard) {
+  require(shard.count >= 1 && shard.index >= 0 && shard.index < shard.count,
+          "table1_shard_path: invalid shard spec");
+  return (std::filesystem::path(directory) /
+          ("table1.shard" + std::to_string(shard.index) + "of" +
+           std::to_string(shard.count) + ".txt"))
+      .string();
+}
+
+Table1ShardReport run_table1_shard(const ParameterDataset& dataset,
+                                   const std::vector<std::size_t>& test_records,
+                                   const ParameterPredictor& predictor,
+                                   const ExperimentConfig& config,
+                                   const ShardSpec& shard,
+                                   const std::string& directory) {
+  require(predictor.trained(), "run_table1_shard: predictor not trained");
+  validate_sweep(dataset, test_records, config);
+
+  Timer timer;
+  std::filesystem::create_directories(directory);
+
+  Table1ShardReport report;
+  report.data_path = table1_shard_path(directory, shard);
+
+  // Exclusive for the whole run, exactly like a corpus shard.
+  const FileLock lock(report.data_path + ".lock");
+
+  const std::vector<Cell> cells = sweep_cells(config);
+  const std::size_t total = cells.size() * test_records.size();
+  const std::string config_line =
+      table1_config_line(dataset, test_records, config, shard);
+  const std::vector<std::size_t> owned = shard_units(total, shard);
+  report.units_owned = owned.size();
+
+  // Resume: the prefix of owned units already on disk under this exact
+  // config; rewrite the file down to it atomically, then stream the
+  // remaining units in order.
+  ParsedTable1Shard resumed =
+      parse_table1_shard(report.data_path, config_line, total, shard);
+  std::size_t resume_count = 0;
+  while (resume_count < resumed.units.size() &&
+         resumed.units[resume_count] == owned[resume_count]) {
+    ++resume_count;
+  }
+  report.units_resumed = resume_count;
+
+  {
+    std::ostringstream prefix;
+    prefix << kTable1Header << '\n' << config_line << '\n';
+    for (std::size_t i = 0; i < resume_count; ++i) {
+      write_unit_line(prefix, resumed.units[i], resumed.stats[i]);
+    }
+    replace_file_atomic(report.data_path, prefix.str());
+  }
+  resumed = ParsedTable1Shard{};
+
+  std::ofstream data(report.data_path, std::ios::app);
+  require(data.good(),
+          "run_table1_shard: cannot open " + report.data_path);
+
+  const std::vector<std::size_t> pending(owned.begin() + resume_count,
+                                         owned.end());
+  std::vector<GraphStats> slots(pending.size());
+  run_units_in_order(
+      pending,
+      [&](std::size_t unit, std::size_t slot) {
+        slots[slot] =
+            compute_unit(dataset, test_records, predictor, config, cells, unit);
+      },
+      [&](std::size_t unit, std::size_t slot) {
+        write_unit_line(data, unit, slots[slot]);
+        data.flush();
+        // Fail fast on I/O errors: every remaining unit would otherwise
+        // keep burning CPU while its commits silently no-op.
+        require(data.good(),
+                "run_table1_shard: write failed at unit " +
+                    std::to_string(unit));
+      });
+  require(data.good(), "run_table1_shard: write failed");
+
+  report.units_generated = pending.size();
+  report.seconds = timer.seconds();
+  return report;
+}
+
+std::vector<TableRow> merge_table1_shards(
+    const ParameterDataset& dataset,
+    const std::vector<std::size_t>& test_records,
+    const ExperimentConfig& config, int shard_count,
+    const std::string& directory) {
+  require(shard_count >= 1, "merge_table1_shards: need >= 1 shard");
+  validate_sweep(dataset, test_records, config);
+
+  const std::vector<Cell> cells = sweep_cells(config);
+  const std::size_t graphs = test_records.size();
+  const std::size_t total = cells.size() * graphs;
+  std::vector<GraphStats> per_unit(total);
+
+  for (int s = 0; s < shard_count; ++s) {
+    const ShardSpec shard{s, shard_count};
+    const std::string path = table1_shard_path(directory, shard);
+    const std::string config_line =
+        table1_config_line(dataset, test_records, config, shard);
+    const ParsedTable1Shard parsed =
+        parse_table1_shard(path, config_line, total, shard);
+    const std::vector<std::size_t> owned = shard_units(total, shard);
+    if (parsed.units.size() != owned.size()) {
+      // Distinguish "not done yet" from "done, but for a different
+      // sweep" — an operator who changed a flag between generation and
+      // merge should be told to fix the flag, not re-run the sweep.
+      std::ifstream probe(path);
+      std::string header;
+      std::string file_config;
+      if (probe.good() && std::getline(probe, header) &&
+          std::getline(probe, file_config) && file_config != config_line) {
+        throw InvalidArgument(
+            "merge_table1_shards: shard " + std::to_string(s) + "/" +
+            std::to_string(shard_count) +
+            " was generated with a different config (" + path + ")");
+      }
+      throw InvalidArgument(
+          "merge_table1_shards: shard " + std::to_string(s) + "/" +
+          std::to_string(shard_count) + " incomplete (" +
+          std::to_string(parsed.units.size()) + " of " +
+          std::to_string(owned.size()) + " units in " + path + ")");
+    }
+    for (std::size_t i = 0; i < parsed.units.size(); ++i) {
+      per_unit[parsed.units[i]] = parsed.stats[i];
+    }
+  }
+
+  return aggregate_rows(cells, graphs, per_unit);
 }
 
 }  // namespace qaoaml::core

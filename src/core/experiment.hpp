@@ -20,8 +20,10 @@
 #ifndef QAOAML_CORE_EXPERIMENT_HPP
 #define QAOAML_CORE_EXPERIMENT_HPP
 
+#include <string>
 #include <vector>
 
+#include "core/corpus_pipeline.hpp"
 #include "core/two_level_solver.hpp"
 
 namespace qaoaml::core {
@@ -66,6 +68,62 @@ std::vector<TableRow> run_table1(const ParameterDataset& dataset,
 
 /// Average FC reduction over all rows (the paper's headline 44.9%).
 double average_fc_reduction(const std::vector<TableRow>& rows);
+
+// ---------------------------------------------------------------------
+// Sharded Table-I: the sweep's flat (cell, graph) unit space split
+// round-robin across processes/machines via the same ShardSpec the
+// corpus pipeline uses, with the same checkpoint/resume contract —
+// per-shard result files, longest-valid-prefix resume after a kill,
+// and a deterministic merge that reproduces run_table1 bit for bit.
+// Unit results are streamed as single text lines (17 significant
+// digits, which round-trips doubles exactly), so a torn trailing line
+// is the only loss a kill can cause and it is simply regenerated.
+//
+// The shard file's config line covers the dataset key, the test-record
+// set, and every ExperimentConfig field, so a stale shard (different
+// sweep) is discarded instead of silently merged.  The predictor is
+// NOT part of the key — callers must hand every shard and the merge a
+// predictor trained identically (deterministic training from the same
+// dataset/split/seed, as bench_common does); this mirrors the corpus
+// pipeline's "nothing is shared but the config" model.
+// ---------------------------------------------------------------------
+
+/// What one run_table1_shard call did.
+struct Table1ShardReport {
+  std::size_t units_owned = 0;      ///< (cell, graph) units this shard owns
+  std::size_t units_resumed = 0;    ///< found complete on disk and skipped
+  std::size_t units_generated = 0;  ///< computed by this run
+  double seconds = 0.0;             ///< wall time of this run
+  std::string data_path;
+};
+
+/// Shard result-file location inside `directory`.
+std::string table1_shard_path(const std::string& directory,
+                              const ShardSpec& shard);
+
+/// Computes (or resumes) one shard of the Table-I sweep: every owned
+/// (cell, graph) unit not already on disk is computed and streamed to
+/// the shard file in unit order.  Same operational guarantees as
+/// CorpusPipeline::run_shard: stale configs are discarded, a truncated
+/// trailing line is regenerated, prefix rewrites are atomic, and a
+/// flock sidecar makes concurrent duplicate invocations fail fast.
+Table1ShardReport run_table1_shard(const ParameterDataset& dataset,
+                                   const std::vector<std::size_t>& test_records,
+                                   const ParameterPredictor& predictor,
+                                   const ExperimentConfig& config,
+                                   const ShardSpec& shard,
+                                   const std::string& directory);
+
+/// Merges the complete shard files of a `shard_count`-way Table-I run
+/// into the aggregated rows.  Throws if any shard is missing units or
+/// was produced under a different config.  The result is bit-identical
+/// to run_table1(dataset, test_records, predictor, config) for every
+/// (shard count, thread count) combination.
+std::vector<TableRow> merge_table1_shards(
+    const ParameterDataset& dataset,
+    const std::vector<std::size_t>& test_records,
+    const ExperimentConfig& config, int shard_count,
+    const std::string& directory);
 
 }  // namespace qaoaml::core
 

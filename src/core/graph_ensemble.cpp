@@ -1,0 +1,202 @@
+#include "core/graph_ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "graph/generators.hpp"
+
+namespace qaoaml::core {
+namespace {
+
+/// The four concrete families a kMixed instance can draw, in the fixed
+/// order the per-instance draw indexes (part of the corpus recipe: a
+/// reorder would change every mixed corpus, so don't).
+constexpr GraphFamily kMixedPool[] = {
+    GraphFamily::kErdosRenyi,
+    GraphFamily::kRegular,
+    GraphFamily::kWeightedErdosRenyi,
+    GraphFamily::kSmallWorld,
+};
+
+void validate_family(const EnsembleConfig& config, GraphFamily family,
+                     int num_nodes) {
+  switch (family) {
+    case GraphFamily::kErdosRenyi:
+      require(config.edge_probability >= 0.0 && config.edge_probability <= 1.0,
+              "EnsembleConfig: edge_probability must lie in [0, 1]");
+      break;
+    case GraphFamily::kRegular:
+      require(config.degree >= 1 && config.degree < num_nodes,
+              "EnsembleConfig: degree must lie in [1, num_nodes)");
+      require((static_cast<std::int64_t>(num_nodes) * config.degree) % 2 == 0,
+              "EnsembleConfig: num_nodes * degree must be even");
+      break;
+    case GraphFamily::kWeightedErdosRenyi:
+      require(config.edge_probability >= 0.0 && config.edge_probability <= 1.0,
+              "EnsembleConfig: edge_probability must lie in [0, 1]");
+      switch (config.weight) {
+        case WeightKind::kUniform:
+          require(std::isfinite(config.weight_low) &&
+                      std::isfinite(config.weight_high),
+                  "EnsembleConfig: uniform weight bounds must be finite");
+          require(config.weight_low < config.weight_high,
+                  "EnsembleConfig: need weight_low < weight_high");
+          break;
+        case WeightKind::kGaussian:
+          require(std::isfinite(config.weight_mean) &&
+                      std::isfinite(config.weight_sd),
+                  "EnsembleConfig: gaussian weight parameters must be finite");
+          require(config.weight_sd >= 0.0,
+                  "EnsembleConfig: weight_sd must be >= 0");
+          break;
+      }
+      break;
+    case GraphFamily::kSmallWorld:
+      require(num_nodes >= 4,
+              "EnsembleConfig: small-world needs >= 4 nodes");
+      require(config.neighbors >= 2 && config.neighbors % 2 == 0 &&
+                  config.neighbors < num_nodes - 1,
+              "EnsembleConfig: neighbors must be even and in "
+              "[2, num_nodes - 1)");
+      require(config.rewire_probability >= 0.0 &&
+                  config.rewire_probability <= 1.0,
+              "EnsembleConfig: rewire_probability must lie in [0, 1]");
+      break;
+    case GraphFamily::kMixed:
+      for (const GraphFamily f : kMixedPool) {
+        validate_family(config, f, num_nodes);
+      }
+      break;
+  }
+}
+
+std::int64_t family_max_edges(const EnsembleConfig& config, GraphFamily family,
+                              int num_nodes) {
+  const std::int64_t n = num_nodes;
+  switch (family) {
+    case GraphFamily::kErdosRenyi:
+    case GraphFamily::kWeightedErdosRenyi:
+      return config.edge_probability > 0.0 ? n * (n - 1) / 2 : 0;
+    case GraphFamily::kRegular:
+      return n * config.degree / 2;
+    case GraphFamily::kSmallWorld:
+      return n * config.neighbors / 2;
+    case GraphFamily::kMixed: {
+      std::int64_t bound = n * (n - 1) / 2;
+      for (const GraphFamily f : kMixedPool) {
+        bound = std::min(bound, family_max_edges(config, f, num_nodes));
+      }
+      return bound;
+    }
+  }
+  return 0;  // unreachable
+}
+
+graph::Graph sample_family(const EnsembleConfig& config, GraphFamily family,
+                           int num_nodes, Rng& rng) {
+  switch (family) {
+    case GraphFamily::kErdosRenyi:
+      return graph::erdos_renyi_gnp(num_nodes, config.edge_probability, rng);
+    case GraphFamily::kRegular:
+      return graph::random_regular(num_nodes, config.degree, rng);
+    case GraphFamily::kWeightedErdosRenyi: {
+      const graph::Graph base =
+          graph::erdos_renyi_gnp(num_nodes, config.edge_probability, rng);
+      return config.weight == WeightKind::kUniform
+                 ? graph::with_random_weights(base, config.weight_low,
+                                              config.weight_high, rng)
+                 : graph::with_gaussian_weights(base, config.weight_mean,
+                                                config.weight_sd, rng);
+    }
+    case GraphFamily::kSmallWorld:
+      return graph::watts_strogatz(num_nodes, config.neighbors,
+                                   config.rewire_probability, rng);
+    case GraphFamily::kMixed: {
+      const GraphFamily drawn = kMixedPool[rng.uniform_int(
+          sizeof(kMixedPool) / sizeof(kMixedPool[0]))];
+      return sample_family(config, drawn, num_nodes, rng);
+    }
+  }
+  throw InvalidArgument("sample_graph: unknown family");
+}
+
+}  // namespace
+
+std::string to_string(GraphFamily family) {
+  switch (family) {
+    case GraphFamily::kErdosRenyi: return "erdos-renyi";
+    case GraphFamily::kRegular: return "regular";
+    case GraphFamily::kWeightedErdosRenyi: return "weighted-erdos-renyi";
+    case GraphFamily::kSmallWorld: return "small-world";
+    case GraphFamily::kMixed: return "mixed";
+  }
+  throw InvalidArgument("to_string: unknown GraphFamily");
+}
+
+GraphFamily family_from_string(const std::string& name) {
+  if (name == "erdos-renyi" || name == "er") return GraphFamily::kErdosRenyi;
+  if (name == "regular") return GraphFamily::kRegular;
+  if (name == "weighted-erdos-renyi" || name == "weighted-er") {
+    return GraphFamily::kWeightedErdosRenyi;
+  }
+  if (name == "small-world") return GraphFamily::kSmallWorld;
+  if (name == "mixed") return GraphFamily::kMixed;
+  throw InvalidArgument(
+      "family_from_string: unknown graph family '" + name +
+      "' (expected erdos-renyi, regular, weighted-erdos-renyi, "
+      "small-world, or mixed)");
+}
+
+std::string to_string(const EnsembleConfig& config) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "family=" << to_string(config.family);
+  // Emit only the tokens the family consumes: an unused knob must not
+  // invalidate shard resume, and every consumed knob must (this string
+  // feeds the dataset config key).
+  const bool er = config.family == GraphFamily::kErdosRenyi ||
+                  config.family == GraphFamily::kWeightedErdosRenyi ||
+                  config.family == GraphFamily::kMixed;
+  const bool weighted = config.family == GraphFamily::kWeightedErdosRenyi ||
+                        config.family == GraphFamily::kMixed;
+  const bool regular = config.family == GraphFamily::kRegular ||
+                       config.family == GraphFamily::kMixed;
+  const bool small_world = config.family == GraphFamily::kSmallWorld ||
+                           config.family == GraphFamily::kMixed;
+  if (er) os << " edge_prob=" << config.edge_probability;
+  if (regular) os << " degree=" << config.degree;
+  if (weighted) {
+    os << " weight="
+       << (config.weight == WeightKind::kUniform ? "uniform" : "gaussian");
+    if (config.weight == WeightKind::kUniform) {
+      os << " weight_low=" << config.weight_low
+         << " weight_high=" << config.weight_high;
+    } else {
+      os << " weight_mean=" << config.weight_mean
+         << " weight_sd=" << config.weight_sd;
+    }
+  }
+  if (small_world) {
+    os << " neighbors=" << config.neighbors
+       << " rewire=" << config.rewire_probability;
+  }
+  return os.str();
+}
+
+void validate(const EnsembleConfig& config, int num_nodes) {
+  validate_family(config, config.family, num_nodes);
+}
+
+std::int64_t max_edges(const EnsembleConfig& config, int num_nodes) {
+  return family_max_edges(config, config.family, num_nodes);
+}
+
+graph::Graph sample_graph(const EnsembleConfig& config, int num_nodes,
+                          Rng& rng) {
+  validate(config, num_nodes);
+  return sample_family(config, config.family, num_nodes, rng);
+}
+
+}  // namespace qaoaml::core

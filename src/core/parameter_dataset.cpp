@@ -42,11 +42,15 @@ void validate(const DatasetConfig& config) {
   require(config.max_depth >= 1, "DatasetConfig: max_depth must be >= 1");
   require(config.num_nodes >= 1 && config.num_nodes <= 30,
           "DatasetConfig: num_nodes out of range [1, 30]");
-  const std::int64_t n = config.num_nodes;
-  require(config.min_edges <= n * (n - 1) / 2,
-          "DatasetConfig: min_edges exceeds the complete graph");
-  require(config.min_edges <= 0 || config.edge_probability > 0.0,
-          "DatasetConfig: min_edges unreachable with edge_probability <= 0");
+  validate(config.ensemble, config.num_nodes);
+  // Reachability under the *selected family*: an ER resample loop can
+  // reach any count up to C(n, 2) when p > 0, but regular/small-world
+  // families have a fixed edge count — a min_edges above it would
+  // resample forever.
+  require(config.min_edges <= 0 ||
+              config.min_edges <= max_edges(config.ensemble, config.num_nodes),
+          "DatasetConfig: min_edges unreachable under the selected "
+          "graph family");
 }
 
 InstanceRecord generate_instance_record(const DatasetConfig& config,
@@ -55,20 +59,19 @@ InstanceRecord generate_instance_record(const DatasetConfig& config,
 
   // Per-graph deterministic stream: independent of thread scheduling.
   Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + index);
-  graph::Graph problem = graph::erdos_renyi_gnp(
-      config.num_nodes, config.edge_probability, rng);
+  graph::Graph problem = sample_graph(config.ensemble, config.num_nodes, rng);
   int attempts = 0;
   while (static_cast<int>(problem.num_edges()) < config.min_edges) {
-    // Terminates with probability 1 for any edge_probability > 0.  The
-    // cap only exists to turn effectively-unreachable configs (e.g.
+    // Terminates with probability 1 for any family that validate()
+    // accepted (reachability is checked there per family).  The cap
+    // only exists to turn effectively-unreachable configs (e.g.
     // p = 1e-300) into an error instead of a silent hang: it is set so
     // high that any config with a practically generatable expected
     // attempt count (even millions) passes, and hitting it means the
     // config could not have produced a corpus in any usable time.
     require(++attempts < 10'000'000,
             "generate_instance_record: cannot reach min_edges");
-    problem = graph::erdos_renyi_gnp(config.num_nodes,
-                                     config.edge_probability, rng);
+    problem = sample_graph(config.ensemble, config.num_nodes, rng);
   }
 
   InstanceRecord record;
@@ -156,7 +159,7 @@ std::string to_string(const DatasetConfig& config) {
   // pipeline's shard resume, so an omitted knob would silently resume
   // shards generated under a different recipe.
   os << "gen=4 graphs=" << config.num_graphs << " nodes=" << config.num_nodes
-     << " edge_prob=" << config.edge_probability
+     << ' ' << to_string(config.ensemble)
      << " min_edges=" << config.min_edges << " max_depth=" << config.max_depth
      << " restarts=" << config.restarts
      << " optimizer=" << optim::to_string(config.optimizer)
@@ -295,7 +298,18 @@ ParameterDataset ParameterDataset::load(const std::string& path) {
       const std::string value = token.substr(eq + 1);
       if (key == "graphs") config.num_graphs = std::stoi(value);
       else if (key == "nodes") config.num_nodes = std::stoi(value);
-      else if (key == "edge_prob") config.edge_probability = std::stod(value);
+      else if (key == "family") config.ensemble.family = family_from_string(value);
+      else if (key == "edge_prob") config.ensemble.edge_probability = std::stod(value);
+      else if (key == "degree") config.ensemble.degree = std::stoi(value);
+      else if (key == "weight")
+        config.ensemble.weight = value == "gaussian" ? WeightKind::kGaussian
+                                                     : WeightKind::kUniform;
+      else if (key == "weight_low") config.ensemble.weight_low = std::stod(value);
+      else if (key == "weight_high") config.ensemble.weight_high = std::stod(value);
+      else if (key == "weight_mean") config.ensemble.weight_mean = std::stod(value);
+      else if (key == "weight_sd") config.ensemble.weight_sd = std::stod(value);
+      else if (key == "neighbors") config.ensemble.neighbors = std::stoi(value);
+      else if (key == "rewire") config.ensemble.rewire_probability = std::stod(value);
       else if (key == "min_edges") config.min_edges = std::stoi(value);
       else if (key == "max_depth") config.max_depth = std::stoi(value);
       else if (key == "restarts") config.restarts = std::stoi(value);

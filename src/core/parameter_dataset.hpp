@@ -1,10 +1,12 @@
 // The training corpus of optimal QAOA parameters.
 //
-// Mirrors the paper's data-generation phase: an ensemble of Erdos-Renyi
-// G(n = 8, p_edge = 0.5) graphs, each optimized at every depth p = 1..6
-// with multistart L-BFGS-B (tolerance 1e-6), keeping the best optimum.
-// At full scale (330 graphs) the corpus holds 330 * (2+4+...+12) =
-// 13,860 optimal parameters — the paper's headline dataset size.
+// Mirrors the paper's data-generation phase: an ensemble of problem
+// graphs (default: Erdos-Renyi G(n = 8, p_edge = 0.5), the paper's;
+// pluggable via DatasetConfig::ensemble — see core/graph_ensemble.hpp),
+// each optimized at every depth p = 1..6 with multistart L-BFGS-B
+// (tolerance 1e-6), keeping the best optimum.  At full scale (330
+// graphs) the corpus holds 330 * (2+4+...+12) = 13,860 optimal
+// parameters — the paper's headline dataset size.
 //
 // Contracts:
 //  - **Determinism.**  Record g is a pure function of (DatasetConfig, g)
@@ -32,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/graph_ensemble.hpp"
 #include "core/qaoa_solver.hpp"
 #include "graph/graph.hpp"
 #include "optim/optimizer.hpp"
@@ -63,7 +66,8 @@ struct InstanceRecord {
 struct DatasetConfig {
   int num_graphs = 330;
   int num_nodes = 8;
-  double edge_probability = 0.5;
+  EnsembleConfig ensemble{};   ///< instance distribution (default:
+                               ///  Erdos-Renyi p=0.5, the paper's)
   int min_edges = 1;           ///< resample graphs with fewer edges
   int max_depth = 6;
   int restarts = 20;           ///< random initializations per (graph, p)
@@ -120,16 +124,17 @@ class ParameterDataset {
 std::string to_string(const DatasetConfig& config);
 
 /// Validates every generation-relevant field (>= 1 graph and depth,
-/// num_nodes within the exact-MaxCut limit [1, 30], min_edges reachable
-/// under edge_probability); throws InvalidArgument otherwise.  Every
+/// num_nodes within the exact-MaxCut limit [1, 30], the ensemble's
+/// family knobs, min_edges reachable under the selected family);
+/// throws InvalidArgument otherwise.  Every
 /// generation entry point — ParameterDataset::generate and the corpus
 /// pipeline — calls this BEFORE touching any on-disk state, so a typo'd
 /// config errors instantly instead of clobbering completed shards.
 void validate(const DatasetConfig& config);
 
 /// Generates the record of corpus unit `index` (the index-th graph):
-/// the Erdos-Renyi instance plus its best multistart optimum at every
-/// depth 1..config.max_depth.  The result depends only on
+/// one instance sampled from config.ensemble plus its best multistart
+/// optimum at every depth 1..config.max_depth.  The result depends only on
 /// (config, index) — never on thread count, shard layout or call order
 /// — which is what makes sharded corpus generation bit-reproducible
 /// (core/corpus_pipeline.hpp).  Safe to call concurrently for distinct

@@ -1,8 +1,11 @@
 #include "core/qaoa_solver.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "core/angles.hpp"
+#include "core/batch_evaluator.hpp"
 
 namespace qaoaml::core {
 namespace {
@@ -41,25 +44,24 @@ QaoaRun solve_random_init(const MaxCutQaoa& instance,
   return solve_from(instance, optimizer, x0, options);
 }
 
-MultistartRuns solve_multistart(const MaxCutQaoa& instance,
-                                optim::OptimizerKind optimizer, int restarts,
-                                Rng& rng, const optim::Options& options) {
+namespace {
+
+/// Draws the starting points of a `restarts`-way multistart, in restart
+/// order (the rng sequence both multistart paths consume).
+std::vector<std::vector<double>> draw_starts(const MaxCutQaoa& instance,
+                                             int restarts, Rng& rng) {
   require(restarts >= 1, "solve_multistart: need at least one restart");
-  // Draw every starting point up front (the same rng sequence the old
-  // sequential loop consumed), then run the restarts in parallel: each
-  // optimization is deterministic in its x0 and owns a private buffered
-  // objective, so the result is identical for every thread count.
   std::vector<std::vector<double>> starts;
   starts.reserve(static_cast<std::size_t>(restarts));
   for (int r = 0; r < restarts; ++r) {
     starts.push_back(random_angles(instance.depth(), rng));
   }
+  return starts;
+}
 
-  std::vector<QaoaRun> runs(static_cast<std::size_t>(restarts));
-  parallel_for(static_cast<std::size_t>(restarts), [&](std::size_t r) {
-    runs[r] = solve_from(instance, optimizer, starts[r], options);
-  });
-
+/// Reduces per-restart runs in restart order, so best/total are
+/// identical for every thread count (ties keep the earliest restart).
+MultistartRuns reduce_runs(std::vector<QaoaRun> runs) {
   MultistartRuns out;
   for (QaoaRun& run : runs) {
     out.total_function_calls += run.function_calls;
@@ -69,6 +71,56 @@ MultistartRuns solve_multistart(const MaxCutQaoa& instance,
     out.runs.push_back(std::move(run));
   }
   return out;
+}
+
+}  // namespace
+
+MultistartRuns solve_multistart(const MaxCutQaoa& instance,
+                                optim::OptimizerKind optimizer, int restarts,
+                                Rng& rng, const optim::Options& options) {
+  const std::vector<std::vector<double>> starts =
+      draw_starts(instance, restarts, rng);
+
+  // One batch over the pool: contiguous restart chunks (one per worker,
+  // BatchEvaluator-style) run concurrently, and every restart within a
+  // chunk shares that chunk's reusable statevector workspace — O(threads)
+  // 2^n allocations per multistart instead of O(restarts).  Each
+  // optimization is a pure function of its starting point and the
+  // workspace is fully rewritten per evaluation, so chunk boundaries
+  // (i.e. the thread count) cannot change a single bit of any run.
+  const std::size_t count = starts.size();
+  const std::size_t chunks = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(default_thread_count(), 1)), count);
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+
+  std::vector<QaoaRun> runs(count);
+  parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * base + std::min(c, extra);
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    BatchEvaluator evaluator(instance);
+    const optim::ObjectiveFn objective = [&evaluator](
+        std::span<const double> params) { return evaluator.objective(params); };
+    for (std::size_t r = begin; r < end; ++r) {
+      runs[r] = to_run(instance,
+                       optim::minimize(optimizer, objective, starts[r],
+                                       instance.bounds(), options));
+    }
+  });
+  return reduce_runs(std::move(runs));
+}
+
+MultistartRuns solve_multistart_sequential(const MaxCutQaoa& instance,
+                                           optim::OptimizerKind optimizer,
+                                           int restarts, Rng& rng,
+                                           const optim::Options& options) {
+  const std::vector<std::vector<double>> starts =
+      draw_starts(instance, restarts, rng);
+  std::vector<QaoaRun> runs(starts.size());
+  for (std::size_t r = 0; r < starts.size(); ++r) {
+    runs[r] = solve_from(instance, optimizer, starts[r], options);
+  }
+  return reduce_runs(std::move(runs));
 }
 
 }  // namespace qaoaml::core

@@ -44,9 +44,27 @@ struct MultistartRuns {
   int total_function_calls = 0;
 };
 
+/// Runs `restarts` optimizations from random starting points and keeps
+/// the best.  The restarts are evaluated as ONE batch over the thread
+/// pool, BatchEvaluator-style: contiguous restart chunks are dispatched
+/// together and each chunk's runs share a single reusable statevector
+/// workspace, so a batch makes O(threads) 2^n allocations instead of
+/// O(restarts).  Bit-identical to solve_multistart_sequential for every
+/// thread count: starting points are drawn from `rng` up front in
+/// restart order, each run depends only on its own start, and the
+/// best/total reduction happens in restart order.
 MultistartRuns solve_multistart(const MaxCutQaoa& instance,
                                 optim::OptimizerKind optimizer, int restarts,
                                 Rng& rng, const optim::Options& options = {});
+
+/// The plain one-restart-after-another reference path (one fresh
+/// buffered objective per restart, no batching).  Kept as the
+/// differential-testing oracle for the batched path — same restarts,
+/// same winner, bit-identical objectives — and as the honest baseline
+/// for bench_multistart.
+MultistartRuns solve_multistart_sequential(
+    const MaxCutQaoa& instance, optim::OptimizerKind optimizer, int restarts,
+    Rng& rng, const optim::Options& options = {});
 
 }  // namespace qaoaml::core
 

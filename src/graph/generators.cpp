@@ -1,5 +1,7 @@
 #include "graph/generators.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <utility>
 #include <vector>
@@ -99,9 +101,65 @@ Graph path_graph(int num_nodes) {
   return g;
 }
 
+Graph watts_strogatz(int num_nodes, int neighbors, double rewire_probability,
+                     Rng& rng) {
+  require(num_nodes >= 4, "watts_strogatz: need at least 4 nodes");
+  require(neighbors >= 2 && neighbors % 2 == 0,
+          "watts_strogatz: neighbors must be even and >= 2");
+  require(neighbors < num_nodes - 1,
+          "watts_strogatz: neighbors must be < num_nodes - 1");
+  require(rewire_probability >= 0.0 && rewire_probability <= 1.0,
+          "watts_strogatz: rewire probability must lie in [0, 1]");
+
+  Graph g(num_nodes);
+  // Ring lattice: node u connects to its neighbors/2 clockwise
+  // successors (each lattice edge appears exactly once).
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int d = 1; d <= neighbors / 2; ++d) {
+      g.add_edge(u, (u + d) % num_nodes);
+    }
+  }
+  // Rewire in the lattice's construction order (deterministic in rng):
+  // with probability beta, edge {u, u + d} becomes {u, w} for a uniform
+  // w that is neither u nor already adjacent to u.  Skipping a rewire
+  // whose u is already adjacent to every other node keeps termination
+  // unconditional (matches the standard networkx behavior).
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int d = 1; d <= neighbors / 2; ++d) {
+      const int v = (u + d) % num_nodes;
+      if (!rng.bernoulli(rewire_probability)) continue;
+      if (g.degree(u) >= num_nodes - 1) continue;  // no free target
+      int w = u;
+      do {
+        w = static_cast<int>(rng.uniform_int(
+            static_cast<std::uint64_t>(num_nodes)));
+      } while (w == u || g.has_edge(u, w));
+      Graph next(num_nodes);
+      for (const Edge& e : g.edges()) {
+        if ((e.u == std::min(u, v) && e.v == std::max(u, v))) continue;
+        next.add_edge(e.u, e.v, e.weight);
+      }
+      next.add_edge(u, w);
+      g = std::move(next);
+    }
+  }
+  return g;
+}
+
 Graph with_random_weights(const Graph& g, double lo, double hi, Rng& rng) {
   Graph out(g.num_nodes());
   for (const Edge& e : g.edges()) out.add_edge(e.u, e.v, rng.uniform(lo, hi));
+  return out;
+}
+
+Graph with_gaussian_weights(const Graph& g, double mean, double stddev,
+                            Rng& rng) {
+  require(std::isfinite(mean) && std::isfinite(stddev),
+          "with_gaussian_weights: mean and stddev must be finite");
+  Graph out(g.num_nodes());
+  for (const Edge& e : g.edges()) {
+    out.add_edge(e.u, e.v, rng.normal(mean, stddev));
+  }
   return out;
 }
 

@@ -40,8 +40,23 @@ Graph star_graph(int num_nodes);
 /// Simple path 0-1-...-(n-1).  Requires n >= 2.
 Graph path_graph(int num_nodes);
 
+/// Watts-Strogatz small-world graph: a ring lattice where every node is
+/// joined to its `neighbors` nearest neighbors (neighbors even, in
+/// [2, n - 1)), then each lattice edge's far endpoint is rewired with
+/// probability `rewire_probability` to a uniform non-duplicate target.
+/// The edge count is always n * neighbors / 2 — rewiring moves edges,
+/// it never adds or removes them.  Requires n >= 4.
+Graph watts_strogatz(int num_nodes, int neighbors, double rewire_probability,
+                     Rng& rng);
+
 /// Assigns every edge a weight drawn uniformly from [lo, hi).
 Graph with_random_weights(const Graph& g, double lo, double hi, Rng& rng);
+
+/// Assigns every edge a weight drawn from N(mean, stddev).  Throws
+/// InvalidArgument when mean or stddev is non-finite (a NaN weight
+/// would silently poison every downstream expectation value).
+Graph with_gaussian_weights(const Graph& g, double mean, double stddev,
+                            Rng& rng);
 
 }  // namespace qaoaml::graph
 

@@ -1,0 +1,278 @@
+// Property tests for the pluggable graph-ensemble subsystem: per-family
+// generator invariants, config-key hygiene, and the corpus pipeline's
+// byte-identical-merge guarantee extended to every family.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "core/corpus_pipeline.hpp"
+#include "core/graph_ensemble.hpp"
+#include "graph/generators.hpp"
+
+namespace qaoaml::core {
+namespace {
+
+std::string unique_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "graph_ensemble" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "cannot read " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(GraphFamilyNames, RoundTripAndAliases) {
+  for (const GraphFamily family :
+       {GraphFamily::kErdosRenyi, GraphFamily::kRegular,
+        GraphFamily::kWeightedErdosRenyi, GraphFamily::kSmallWorld,
+        GraphFamily::kMixed}) {
+    EXPECT_EQ(family_from_string(to_string(family)), family);
+  }
+  EXPECT_EQ(family_from_string("er"), GraphFamily::kErdosRenyi);
+  EXPECT_EQ(family_from_string("weighted-er"),
+            GraphFamily::kWeightedErdosRenyi);
+  EXPECT_THROW(family_from_string("barabasi-albert"), InvalidArgument);
+}
+
+TEST(GraphEnsembleConfigKey, EmitsOnlyConsumedTokens) {
+  EnsembleConfig config;
+  config.family = GraphFamily::kRegular;
+  const std::string key = to_string(config);
+  EXPECT_NE(key.find("family=regular"), std::string::npos);
+  EXPECT_NE(key.find("degree="), std::string::npos);
+  // An unused knob must not leak into the key: tweaking it must not
+  // invalidate shard resume for a family that never reads it.
+  EXPECT_EQ(key.find("edge_prob"), std::string::npos);
+  EXPECT_EQ(key.find("neighbors"), std::string::npos);
+
+  config.edge_probability = 0.9;
+  EXPECT_EQ(to_string(config), key);
+}
+
+TEST(GraphEnsembleSampling, DeterministicInSeed) {
+  for (const GraphFamily family :
+       {GraphFamily::kErdosRenyi, GraphFamily::kRegular,
+        GraphFamily::kWeightedErdosRenyi, GraphFamily::kSmallWorld,
+        GraphFamily::kMixed}) {
+    EnsembleConfig config;
+    config.family = family;
+    Rng a(99);
+    Rng b(99);
+    const graph::Graph ga = sample_graph(config, 8, a);
+    const graph::Graph gb = sample_graph(config, 8, b);
+    EXPECT_EQ(ga.edges(), gb.edges()) << to_string(family);
+  }
+}
+
+TEST(GraphEnsembleRegular, EverySampleIsExactlyDRegular) {
+  EnsembleConfig config;
+  config.family = GraphFamily::kRegular;
+  config.degree = 3;
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const graph::Graph g = sample_graph(config, 8, rng);
+    EXPECT_TRUE(g.is_regular(3));
+    EXPECT_EQ(g.num_edges(), 12u);  // n * d / 2
+  }
+}
+
+TEST(GraphEnsembleErdosRenyi, EdgeCountDistributionWithinBounds) {
+  // Under a fixed seed the empirical mean edge count over many samples
+  // must sit near p * C(n, 2).  With n = 8, p = 0.5: mean 14, per-graph
+  // SD sqrt(28 * 0.25) ~ 2.65, so over 200 samples the sample mean has
+  // SD ~ 0.19 — a +-1 band is a > 5-sigma-wide property, not a flake
+  // (and the seed is fixed anyway).
+  EnsembleConfig config;
+  Rng rng(1234);
+  double total = 0.0;
+  const int samples = 200;
+  for (int i = 0; i < samples; ++i) {
+    total += static_cast<double>(sample_graph(config, 8, rng).num_edges());
+  }
+  const double mean = total / samples;
+  EXPECT_NEAR(mean, 14.0, 1.0);
+}
+
+TEST(GraphEnsembleWeighted, RejectsNonFiniteWeightKnobs) {
+  EnsembleConfig config;
+  config.family = GraphFamily::kWeightedErdosRenyi;
+
+  config.weight = WeightKind::kUniform;
+  config.weight_low = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(validate(config, 8), InvalidArgument);
+  config.weight_low = 0.1;
+  config.weight_high = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(validate(config, 8), InvalidArgument);
+  config.weight_high = 0.05;  // low >= high
+  EXPECT_THROW(validate(config, 8), InvalidArgument);
+
+  config.weight = WeightKind::kGaussian;
+  config.weight_mean = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(validate(config, 8), InvalidArgument);
+  config.weight_mean = 1.0;
+  config.weight_sd = -0.5;
+  EXPECT_THROW(validate(config, 8), InvalidArgument);
+
+  // The generator itself enforces the same contract.
+  Rng rng(1);
+  const graph::Graph base = graph::erdos_renyi_gnp(6, 0.8, rng);
+  EXPECT_THROW(graph::with_gaussian_weights(
+                   base, std::numeric_limits<double>::infinity(), 1.0, rng),
+               InvalidArgument);
+}
+
+TEST(GraphEnsembleWeighted, SampledWeightsAreFiniteAndInRange) {
+  EnsembleConfig config;
+  config.family = GraphFamily::kWeightedErdosRenyi;
+  config.weight = WeightKind::kUniform;
+  config.weight_low = 0.25;
+  config.weight_high = 0.75;
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const graph::Graph g = sample_graph(config, 8, rng);
+    for (const graph::Edge& e : g.edges()) {
+      EXPECT_TRUE(std::isfinite(e.weight));
+      EXPECT_GE(e.weight, 0.25);
+      EXPECT_LT(e.weight, 0.75);
+    }
+  }
+}
+
+TEST(GraphEnsembleSmallWorld, EdgeCountIsLatticeInvariant) {
+  // Watts-Strogatz rewiring moves edges, it never adds or removes them:
+  // every sample has exactly n * k / 2 edges and no node drops off.
+  EnsembleConfig config;
+  config.family = GraphFamily::kSmallWorld;
+  config.neighbors = 4;
+  config.rewire_probability = 0.5;
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const graph::Graph g = sample_graph(config, 10, rng);
+    EXPECT_EQ(g.num_edges(), 20u);  // n * k / 2
+  }
+}
+
+TEST(GraphEnsembleSmallWorld, ZeroRewireIsTheRingLattice) {
+  Rng rng(3);
+  const graph::Graph g = graph::watts_strogatz(8, 2, 0.0, rng);
+  EXPECT_EQ(g.num_edges(), 8u);
+  for (int u = 0; u < 8; ++u) {
+    EXPECT_TRUE(g.has_edge(u, (u + 1) % 8));
+  }
+}
+
+TEST(GraphEnsembleMixed, DrawsEveryConcreteFamily) {
+  // Over enough samples a mixed ensemble must produce both weighted and
+  // unweighted graphs and both regular and irregular ones.
+  EnsembleConfig config;
+  config.family = GraphFamily::kMixed;
+  Rng rng(21);
+  bool saw_weighted = false;
+  bool saw_unweighted = false;
+  for (int i = 0; i < 60; ++i) {
+    const graph::Graph g = sample_graph(config, 8, rng);
+    bool weighted = false;
+    for (const graph::Edge& e : g.edges()) {
+      if (e.weight != 1.0) weighted = true;
+    }
+    (weighted ? saw_weighted : saw_unweighted) = true;
+  }
+  EXPECT_TRUE(saw_weighted);
+  EXPECT_TRUE(saw_unweighted);
+}
+
+TEST(GraphEnsembleValidation, FixedEdgeCountFamiliesCapMinEdges) {
+  DatasetConfig config;
+  config.num_graphs = 1;
+  config.num_nodes = 8;
+  config.ensemble.family = GraphFamily::kRegular;
+  config.ensemble.degree = 3;
+  config.min_edges = 12;  // exactly n * d / 2: reachable
+  validate(config);
+  config.min_edges = 13;  // above the family's fixed edge count
+  EXPECT_THROW(validate(config), InvalidArgument);
+
+  config.ensemble.family = GraphFamily::kErdosRenyi;
+  validate(config);  // ER can reach any count up to C(n, 2)
+  config.ensemble.edge_probability = 0.0;
+  EXPECT_THROW(validate(config), InvalidArgument);
+}
+
+TEST(GraphEnsembleValidation, RegularParityAndSmallWorldRanges) {
+  EnsembleConfig config;
+  config.family = GraphFamily::kRegular;
+  config.degree = 3;
+  EXPECT_THROW(validate(config, 7), InvalidArgument);  // n * d odd
+  validate(config, 8);
+
+  config.family = GraphFamily::kSmallWorld;
+  config.neighbors = 3;  // odd
+  EXPECT_THROW(validate(config, 8), InvalidArgument);
+  config.neighbors = 8;  // >= n - 1
+  EXPECT_THROW(validate(config, 8), InvalidArgument);
+  config.neighbors = 2;
+  config.rewire_probability = 1.5;
+  EXPECT_THROW(validate(config, 8), InvalidArgument);
+}
+
+// The corpus pipeline's headline guarantee, per family: the merged
+// corpus is byte-identical across shard counts {1, 2, 8} and thread
+// counts {1, 8}, and identical to a direct generate().save().
+TEST(GraphEnsembleCorpus, MergedBytesIdenticalAcrossShardsPerFamily) {
+  for (const GraphFamily family :
+       {GraphFamily::kErdosRenyi, GraphFamily::kRegular,
+        GraphFamily::kWeightedErdosRenyi, GraphFamily::kSmallWorld,
+        GraphFamily::kMixed}) {
+    DatasetConfig config;
+    config.num_graphs = 8;
+    config.num_nodes = 6;
+    config.max_depth = 1;
+    config.restarts = 2;
+    config.seed = 321;
+    config.ensemble.family = family;
+    config.ensemble.degree = 3;     // valid for n = 6
+    config.ensemble.neighbors = 2;  // valid for n = 6
+
+    const std::string base = unique_dir("family_" + to_string(family));
+    const std::string reference_path = base + "/reference.txt";
+    ParameterDataset::generate(config).save(reference_path);
+    const std::string reference = file_bytes(reference_path);
+    ASSERT_FALSE(reference.empty());
+
+    for (const int shards : {1, 2, 8}) {
+      for (const int threads : {1, 8}) {
+        ScopedThreadCount scoped(threads);
+        const std::string dir = base + "/s" + std::to_string(shards) + "t" +
+                                std::to_string(threads);
+        for (int s = 0; s < shards; ++s) {
+          CorpusShardConfig shard_config;
+          shard_config.dataset = config;
+          shard_config.shard = ShardSpec{s, shards};
+          shard_config.directory = dir;
+          CorpusPipeline::run_shard(shard_config);
+        }
+        const std::string out = dir + "/merged.txt";
+        CorpusPipeline::merge_shards(config, shards, dir, out);
+        EXPECT_EQ(file_bytes(out), reference)
+            << to_string(family) << " shards=" << shards
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qaoaml::core

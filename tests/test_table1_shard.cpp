@@ -1,0 +1,201 @@
+// The sharded Table-I experiment's guarantees: the merged rows are
+// bit-identical to the direct run_table1 sweep for every shard and
+// thread count, a shard killed mid-write resumes, stale configs are
+// discarded, and merging an incomplete shard set fails loudly.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "core/experiment.hpp"
+#include "core/parameter_predictor.hpp"
+
+namespace qaoaml::core {
+namespace {
+
+/// Shared tiny corpus + trained predictor (one-time cost for the suite).
+struct Harness {
+  ParameterDataset dataset;
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+  ParameterPredictor predictor;
+};
+
+const Harness& harness() {
+  static const Harness h = [] {
+    Harness out;
+    DatasetConfig config;
+    config.num_graphs = 10;
+    config.num_nodes = 6;
+    config.max_depth = 3;
+    config.restarts = 4;
+    config.seed = 77;
+    out.dataset = ParameterDataset::generate(config);
+    Rng rng(7);
+    auto [train, test] = out.dataset.split_indices(0.4, rng);
+    out.train = std::move(train);
+    out.test = std::move(test);
+    out.predictor.train(out.dataset, out.train);
+    return out;
+  }();
+  return h;
+}
+
+ExperimentConfig tiny_sweep() {
+  ExperimentConfig config;
+  config.optimizers = {optim::OptimizerKind::kLbfgsb,
+                       optim::OptimizerKind::kNelderMead};
+  config.target_depths = {2, 3};
+  config.naive_runs = 2;
+  config.ml_repeats = 1;
+  config.seed = 99;
+  return config;
+}
+
+std::string unique_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "table1_shard" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+void expect_rows_identical(const std::vector<TableRow>& a,
+                           const std::vector<TableRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].optimizer, b[i].optimizer);
+    EXPECT_EQ(a[i].target_depth, b[i].target_depth);
+    // Bit-identical, not approximately equal: the shard files print 17
+    // significant digits, which round-trips doubles exactly.
+    EXPECT_EQ(a[i].naive_ar_mean, b[i].naive_ar_mean);
+    EXPECT_EQ(a[i].naive_ar_sd, b[i].naive_ar_sd);
+    EXPECT_EQ(a[i].naive_fc_mean, b[i].naive_fc_mean);
+    EXPECT_EQ(a[i].naive_fc_sd, b[i].naive_fc_sd);
+    EXPECT_EQ(a[i].ml_ar_mean, b[i].ml_ar_mean);
+    EXPECT_EQ(a[i].ml_ar_sd, b[i].ml_ar_sd);
+    EXPECT_EQ(a[i].ml_fc_mean, b[i].ml_fc_mean);
+    EXPECT_EQ(a[i].ml_fc_sd, b[i].ml_fc_sd);
+    EXPECT_EQ(a[i].fc_reduction_percent, b[i].fc_reduction_percent);
+  }
+}
+
+TEST(Table1ShardTest, MergedRowsIdenticalToDirectRunAcrossShardsAndThreads) {
+  const Harness& h = harness();
+  const ExperimentConfig config = tiny_sweep();
+  const std::vector<TableRow> direct =
+      run_table1(h.dataset, h.test, h.predictor, config);
+
+  for (const int shards : {1, 2, 8}) {
+    for (const int threads : {1, 8}) {
+      ScopedThreadCount scoped(threads);
+      const std::string dir = unique_dir(
+          "merge_s" + std::to_string(shards) + "t" + std::to_string(threads));
+      for (int s = 0; s < shards; ++s) {
+        const Table1ShardReport report = run_table1_shard(
+            h.dataset, h.test, h.predictor, config, ShardSpec{s, shards}, dir);
+        EXPECT_EQ(report.units_resumed, 0u);
+        EXPECT_EQ(report.units_generated, report.units_owned);
+      }
+      const std::vector<TableRow> merged =
+          merge_table1_shards(h.dataset, h.test, config, shards, dir);
+      expect_rows_identical(merged, direct);
+    }
+  }
+}
+
+TEST(Table1ShardTest, ResumeAfterTruncationCompletesToSameRows) {
+  const Harness& h = harness();
+  const ExperimentConfig config = tiny_sweep();
+  const std::vector<TableRow> direct =
+      run_table1(h.dataset, h.test, h.predictor, config);
+
+  for (const double cut : {0.3, 0.6, 0.95}) {
+    const std::string dir =
+        unique_dir("resume_cut" + std::to_string(static_cast<int>(cut * 100)));
+    for (int s = 0; s < 2; ++s) {
+      run_table1_shard(h.dataset, h.test, h.predictor, config, ShardSpec{s, 2},
+                       dir);
+    }
+    // Simulate a kill mid-write: drop the tail of shard 0.
+    const std::string shard0 = table1_shard_path(dir, ShardSpec{0, 2});
+    const auto size = std::filesystem::file_size(shard0);
+    ASSERT_GT(size, 10u);
+    std::filesystem::resize_file(
+        shard0,
+        static_cast<std::uintmax_t>(cut * static_cast<double>(size)));
+
+    const Table1ShardReport report = run_table1_shard(
+        h.dataset, h.test, h.predictor, config, ShardSpec{0, 2}, dir);
+    EXPECT_EQ(report.units_resumed + report.units_generated,
+              report.units_owned);
+    EXPECT_GT(report.units_generated, 0u) << "cut=" << cut;
+
+    expect_rows_identical(merge_table1_shards(h.dataset, h.test, config, 2, dir),
+                          direct);
+  }
+}
+
+TEST(Table1ShardTest, CompletedShardResumesWithoutRecomputing) {
+  const Harness& h = harness();
+  const ExperimentConfig config = tiny_sweep();
+  const std::string dir = unique_dir("noop_resume");
+
+  const Table1ShardReport first = run_table1_shard(
+      h.dataset, h.test, h.predictor, config, ShardSpec{0, 1}, dir);
+  EXPECT_EQ(first.units_generated, first.units_owned);
+
+  const Table1ShardReport second = run_table1_shard(
+      h.dataset, h.test, h.predictor, config, ShardSpec{0, 1}, dir);
+  EXPECT_EQ(second.units_resumed, second.units_owned);
+  EXPECT_EQ(second.units_generated, 0u);
+}
+
+TEST(Table1ShardTest, StaleConfigIsRegeneratedAndMergeRejectsIt) {
+  const Harness& h = harness();
+  ExperimentConfig config = tiny_sweep();
+  const std::string dir = unique_dir("stale");
+  run_table1_shard(h.dataset, h.test, h.predictor, config, ShardSpec{0, 1},
+                   dir);
+
+  ExperimentConfig changed = config;
+  changed.seed += 1;
+  // Merging under the changed config must refuse the stale shard file.
+  EXPECT_THROW(merge_table1_shards(h.dataset, h.test, changed, 1, dir), Error);
+
+  // Re-running under the changed config regenerates from scratch.
+  const Table1ShardReport report = run_table1_shard(
+      h.dataset, h.test, h.predictor, changed, ShardSpec{0, 1}, dir);
+  EXPECT_EQ(report.units_resumed, 0u);
+  EXPECT_EQ(report.units_generated, report.units_owned);
+}
+
+TEST(Table1ShardTest, MergeRejectsIncompleteShardSet) {
+  const Harness& h = harness();
+  const ExperimentConfig config = tiny_sweep();
+  const std::string dir = unique_dir("incomplete");
+  run_table1_shard(h.dataset, h.test, h.predictor, config, ShardSpec{0, 2},
+                   dir);  // shard 1 of 2 never runs
+  EXPECT_THROW(merge_table1_shards(h.dataset, h.test, config, 2, dir), Error);
+}
+
+TEST(Table1ShardTest, DifferentTestSetInvalidatesShards) {
+  const Harness& h = harness();
+  const ExperimentConfig config = tiny_sweep();
+  const std::string dir = unique_dir("test_set_key");
+  run_table1_shard(h.dataset, h.test, h.predictor, config, ShardSpec{0, 1},
+                   dir);
+
+  std::vector<std::size_t> other_tests = h.test;
+  other_tests.pop_back();
+  ASSERT_FALSE(other_tests.empty());
+  EXPECT_THROW(merge_table1_shards(h.dataset, other_tests, config, 1, dir),
+               Error);
+}
+
+}  // namespace
+}  // namespace qaoaml::core

@@ -15,6 +15,10 @@
 //   generate_corpus --graphs 64 --depth 4 --dir /shared --shards 2 --shard 1
 //   generate_corpus --graphs 64 --depth 4 --dir /shared --shards 2 --merge-only
 //
+//   # a non-ER instance distribution (see core/graph_ensemble.hpp):
+//   generate_corpus --graphs 64 --family small-world --neighbors 2 \
+//                   --rewire-prob 0.25 --dir /tmp/sw
+//
 // Thread count comes from QAOAML_THREADS (default: hardware
 // concurrency); see docs/CONFIGURATION.md for every knob.
 #include <algorithm>
@@ -58,12 +62,25 @@ void print_usage() {
       "corpus shape (defaults = the paper's full-scale setup):\n"
       "  --graphs N       ensemble size (default 330)\n"
       "  --nodes N        nodes per graph (default 8)\n"
-      "  --edge-prob F    Erdos-Renyi edge probability (default 0.5)\n"
       "  --min-edges N    resample graphs with fewer edges (default 1)\n"
       "  --depth D        corpus depths 1..D (default 6)\n"
       "  --restarts R     multistart count per (graph, depth) (default 20)\n"
       "  --optimizer S    L-BFGS-B | Nelder-Mead | SLSQP | COBYLA\n"
       "  --seed S         master seed (default 42)\n"
+      "\n"
+      "graph family (see docs/CONFIGURATION.md):\n"
+      "  --family F       erdos-renyi (default) | regular |\n"
+      "                   weighted-erdos-renyi | small-world | mixed\n"
+      "  --edge-prob F    ER edge probability (ER families; default 0.5)\n"
+      "  --degree D       degree of the regular family (default 3;\n"
+      "                   nodes * degree must be even)\n"
+      "  --weight S       weighted-ER weight law: uniform | gaussian\n"
+      "  --weight-low F   uniform weight lower bound (default 0.1)\n"
+      "  --weight-high F  uniform weight upper bound (default 1.0)\n"
+      "  --weight-mean F  gaussian weight mean (default 1.0)\n"
+      "  --weight-sd F    gaussian weight std dev (default 0.25)\n"
+      "  --neighbors K    small-world ring degree, even (default 2)\n"
+      "  --rewire-prob F  small-world rewiring probability (default 0.25)\n"
       "\n"
       "sharding / output:\n"
       "  --dir PATH       shard + manifest directory (default .)\n"
@@ -123,9 +140,57 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
            [&](const char* v) { return to_int(v, options.dataset.num_graphs); }},
           {"--nodes",
            [&](const char* v) { return to_int(v, options.dataset.num_nodes); }},
+          {"--family",
+           [&](const char* v) {
+             options.dataset.ensemble.family =
+                 qaoaml::core::family_from_string(v);  // throws on typo
+             return true;
+           }},
           {"--edge-prob",
            [&](const char* v) {
-             return to_double(v, options.dataset.edge_probability);
+             return to_double(v, options.dataset.ensemble.edge_probability);
+           }},
+          {"--degree",
+           [&](const char* v) {
+             return to_int(v, options.dataset.ensemble.degree);
+           }},
+          {"--weight",
+           [&](const char* v) {
+             const std::string kind = v;
+             if (kind == "uniform") {
+               options.dataset.ensemble.weight =
+                   qaoaml::core::WeightKind::kUniform;
+             } else if (kind == "gaussian") {
+               options.dataset.ensemble.weight =
+                   qaoaml::core::WeightKind::kGaussian;
+             } else {
+               return false;
+             }
+             return true;
+           }},
+          {"--weight-low",
+           [&](const char* v) {
+             return to_double(v, options.dataset.ensemble.weight_low);
+           }},
+          {"--weight-high",
+           [&](const char* v) {
+             return to_double(v, options.dataset.ensemble.weight_high);
+           }},
+          {"--weight-mean",
+           [&](const char* v) {
+             return to_double(v, options.dataset.ensemble.weight_mean);
+           }},
+          {"--weight-sd",
+           [&](const char* v) {
+             return to_double(v, options.dataset.ensemble.weight_sd);
+           }},
+          {"--neighbors",
+           [&](const char* v) {
+             return to_int(v, options.dataset.ensemble.neighbors);
+           }},
+          {"--rewire-prob",
+           [&](const char* v) {
+             return to_double(v, options.dataset.ensemble.rewire_probability);
            }},
           {"--min-edges",
            [&](const char* v) { return to_int(v, options.dataset.min_edges); }},
