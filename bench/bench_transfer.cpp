@@ -1,0 +1,122 @@
+// Cross-family warm-start transfer matrix: does a predictor trained on
+// family A still accelerate QAOA on family B?
+//
+// For every (train family x eval family x model) cell the sweep trains
+// a bank on the train family's corpus and compares warm-started vs
+// cold-started optimization on fresh eval-family instances
+// (core/transfer_experiment.hpp).  The shape to look for: the diagonal
+// (train == eval) reproduces the paper's same-distribution FC
+// reduction, and the off-diagonal cells show how much of it survives a
+// distribution shift.
+//
+// Scale knobs (see docs/CONFIGURATION.md):
+//   QAOAML_FAMILIES       comma list (default erdos-renyi,regular,small-world)
+//   QAOAML_MODELS         comma list (default GPR)
+//   QAOAML_GRAPHS         train-corpus instances per family (default 24)
+//   QAOAML_NODES          nodes per graph (default 8)
+//   QAOAML_MAX_DEPTH      corpus depths 1..D (default 4)
+//   QAOAML_RESTARTS       corpus multistart count (default 8)
+//   QAOAML_EVAL_GRAPHS    fresh eval instances per family (default 8)
+//   QAOAML_TARGET_DEPTH   depth both arms optimize (default 3)
+//   QAOAML_COLD_RESTARTS  random inits in the cold arm (default 8)
+//   QAOAML_WARM_REPEATS   two-level repeats per instance (default 1)
+//   QAOAML_SEED           master seed (default 2020)
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/transfer_experiment.hpp"
+
+using namespace qaoaml;
+
+namespace {
+
+using cli::split_list;
+
+core::TransferConfig config_from_env() {
+  core::TransferConfig config;
+  config.families.clear();
+  for (const std::string& name : split_list(env_string(
+           "QAOAML_FAMILIES", "erdos-renyi,regular,small-world"))) {
+    core::EnsembleConfig ensemble;
+    ensemble.family = core::family_from_string(name);
+    config.families.push_back(ensemble);
+  }
+  config.models.clear();
+  for (const std::string& name : split_list(env_string("QAOAML_MODELS", "GPR"))) {
+    config.models.push_back(ml::regressor_from_string(name));
+  }
+  config.train_graphs = env_int("QAOAML_GRAPHS", 24);
+  config.num_nodes = env_int("QAOAML_NODES", 8);
+  config.max_depth = env_int("QAOAML_MAX_DEPTH", 4);
+  config.corpus_restarts = env_int("QAOAML_RESTARTS", 8);
+  config.eval_graphs = env_int("QAOAML_EVAL_GRAPHS", 8);
+  config.target_depth = env_int("QAOAML_TARGET_DEPTH", 3);
+  config.cold_restarts = env_int("QAOAML_COLD_RESTARTS", 8);
+  config.warm_repeats = env_int("QAOAML_WARM_REPEATS", 1);
+  config.seed = static_cast<std::uint64_t>(env_int("QAOAML_SEED", 2020));
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  const core::TransferConfig config = config_from_env();
+  std::printf("# transfer matrix: %zu families x %zu models, "
+              "train %d graphs (depths 1..%d), eval %d graphs at p=%d\n",
+              config.families.size(), config.models.size(),
+              config.train_graphs, config.max_depth, config.eval_graphs,
+              config.target_depth);
+
+  Timer timer;
+  const std::vector<core::TransferCell> cells = core::run_transfer(config);
+  const double seconds = timer.seconds();
+
+  Table table({"train \\ eval", "model", "cold FC", "warm FC", "FC red %",
+               "iter red %", "cold AR", "warm AR", "dAR"});
+  std::size_t last_train = cells.front().train_family;
+  for (const core::TransferCell& cell : cells) {
+    if (cell.train_family != last_train) {
+      table.add_separator();
+      last_train = cell.train_family;
+    }
+    table.add_row(
+        {to_string(config.families[cell.train_family].family) + " -> " +
+             to_string(config.families[cell.eval_family].family),
+         ml::to_string(cell.model), Table::num(cell.cold_fc_mean, 1),
+         Table::num(cell.warm_fc_mean, 1),
+         Table::num(cell.fc_reduction_percent, 1),
+         Table::num(cell.iter_reduction_percent, 1),
+         Table::num(cell.cold_ar_mean), Table::num(cell.warm_ar_mean),
+         Table::num(cell.ar_delta)});
+  }
+  table.print(std::cout);
+
+  // Diagonal vs off-diagonal summary: how much FC reduction transfers.
+  double diag = 0.0;
+  double off = 0.0;
+  std::size_t diag_n = 0;
+  std::size_t off_n = 0;
+  for (const core::TransferCell& cell : cells) {
+    if (cell.train_family == cell.eval_family) {
+      diag += cell.fc_reduction_percent;
+      ++diag_n;
+    } else {
+      off += cell.fc_reduction_percent;
+      ++off_n;
+    }
+  }
+  std::printf("\nsame-family FC reduction:  %.1f%% (mean over %zu cells)\n",
+              diag_n ? diag / static_cast<double>(diag_n) : 0.0, diag_n);
+  if (off_n) {
+    std::printf("cross-family FC reduction: %.1f%% (mean over %zu cells)\n",
+                off / static_cast<double>(off_n), off_n);
+  }
+  std::printf("wall time: %.2f s\n", seconds);
+  return 0;
+}

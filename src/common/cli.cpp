@@ -1,0 +1,52 @@
+#include "common/cli.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+namespace qaoaml::cli {
+
+bool to_int(const char* text, int& out) {
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE ||
+      value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  out = static_cast<int>(value);
+  return true;
+}
+
+bool to_u64(const char* text, std::uint64_t& out) {
+  if (text[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  out = value;
+  return true;
+}
+
+bool to_double(const char* text, double& out) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  out = value;
+  return true;
+}
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> items;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+}  // namespace qaoaml::cli

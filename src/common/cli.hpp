@@ -1,0 +1,33 @@
+// Strict command-line value parsing shared by the tools/ drivers and
+// the env-driven benches.
+//
+// The contract every CLI in this repo follows: trailing garbage, empty
+// strings and out-of-range values are rejected (return false) instead
+// of silently truncating — "--shard two" or "--seed 0x2a" must error
+// out, not become 0 and generate the wrong corpus.  Keeping the
+// parsers here keeps the three tools' accepted grammar identical.
+#ifndef QAOAML_COMMON_CLI_HPP
+#define QAOAML_COMMON_CLI_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qaoaml::cli {
+
+/// Parses a base-10 int; false on garbage, overflow or trailing bytes.
+bool to_int(const char* text, int& out);
+
+/// Parses a non-negative base-10 u64; false on garbage, a leading '-'
+/// (strtoull would silently wrap) or trailing bytes.
+bool to_u64(const char* text, std::uint64_t& out);
+
+/// Parses a double; false on garbage, overflow or trailing bytes.
+bool to_double(const char* text, double& out);
+
+/// Splits "a,b,c" into {"a","b","c"}, dropping empty items.
+std::vector<std::string> split_list(const std::string& csv);
+
+}  // namespace qaoaml::cli
+
+#endif  // QAOAML_COMMON_CLI_HPP

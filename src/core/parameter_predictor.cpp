@@ -2,11 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 
 #include "common/error.hpp"
 #include "core/angles.hpp"
+#include "ml/serialize.hpp"
 
 namespace qaoaml::core {
+namespace {
+
+// Bank-file framing: a small versioned header in front of the
+// ml/serialize.hpp regressor blocks (which carry their own per-model
+// checksums).  Bump kBankVersion on any layout change so old readers
+// reject new files loudly.
+constexpr char kBankMagic[4] = {'Q', 'P', 'B', 'K'};
+constexpr std::uint32_t kBankVersion = 1;
+
+}  // namespace
 
 ParameterPredictor::ParameterPredictor(PredictorConfig config)
     : config_(config) {
@@ -81,6 +93,62 @@ std::vector<double> ParameterPredictor::predict_hierarchical(
                   intermediate_params.end());
   features.push_back(static_cast<double>(target_depth));
   return predict_from_features(std::move(features), target_depth);
+}
+
+void ParameterPredictor::save(const std::string& path) const {
+  require(trained_, "ParameterPredictor::save: bank not trained");
+  std::ofstream os(path, std::ios::binary);
+  require(os.good(), "ParameterPredictor::save: cannot open " + path);
+
+  os.write(kBankMagic, 4);
+  ml::io::write_u32(os, kBankVersion);
+  ml::io::write_u32(os, static_cast<std::uint32_t>(config_.model));
+  ml::io::write_i32(os, config_.intermediate_depth);
+  ml::io::write_i32(os, max_depth_);
+  for (const auto& model : gamma_models_) ml::save_regressor(os, *model);
+  for (const auto& model : beta_models_) ml::save_regressor(os, *model);
+  // Flush before the final check: a buffered tail-write failure (disk
+  // full, quota) must fail THIS call, not vanish in the destructor.
+  os.flush();
+  require(os.good(), "ParameterPredictor::save: write failed");
+}
+
+ParameterPredictor ParameterPredictor::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  require(is.good(), "ParameterPredictor::load: cannot open " + path);
+
+  char magic[4];
+  is.read(magic, 4);
+  require(is.gcount() == 4 && std::equal(magic, magic + 4, kBankMagic),
+          "ParameterPredictor::load: not a predictor bank file (bad magic)");
+  const std::uint32_t version = ml::io::read_u32(is);
+  require(version == kBankVersion,
+          "ParameterPredictor::load: unsupported bank version " +
+              std::to_string(version));
+
+  PredictorConfig config;
+  const std::uint32_t model_tag = ml::io::read_u32(is);
+  require(model_tag <= static_cast<std::uint32_t>(ml::RegressorKind::kSvr),
+          "ParameterPredictor::load: unknown model kind tag");
+  config.model = static_cast<ml::RegressorKind>(model_tag);
+  config.intermediate_depth = ml::io::read_i32(is);
+  const std::int32_t max_depth = ml::io::read_i32(is);
+  require(config.intermediate_depth >= 0 && max_depth >= 1 && max_depth <= 64,
+          "ParameterPredictor::load: implausible bank shape");
+
+  ParameterPredictor bank(config);
+  bank.max_depth_ = max_depth;
+  for (auto* models : {&bank.gamma_models_, &bank.beta_models_}) {
+    for (std::int32_t stage = 1; stage <= max_depth; ++stage) {
+      std::unique_ptr<ml::Regressor> model = ml::load_regressor(is);
+      require(model->kind() == config.model,
+              "ParameterPredictor::load: bank header and model block "
+              "disagree on the model kind (corrupt file)");
+      models->push_back(std::move(model));
+    }
+  }
+  bank.trained_ = true;
+  return bank;
 }
 
 double ParameterPredictor::predict_angle(

@@ -16,10 +16,17 @@
 //  - **Angle units.**  All inputs and outputs are radians in the packed
 //    [gamma_1..gamma_pt, beta_1..beta_pt] layout of core/angles.hpp;
 //    gamma is clamped to [0, 2*pi] and beta to [0, pi].
+//  - **Persistence.**  save()/load() round-trip the whole bank — every
+//    per-angle regressor plus its feature-normalization state — through
+//    the versioned binary format of ml/serialize.hpp, so a bank trained
+//    in one process (tools/train_predictor) serves bit-identical
+//    predictions in another.  Corrupt, truncated or old-format files
+//    are rejected loudly, never half-loaded.
 #ifndef QAOAML_CORE_PARAMETER_PREDICTOR_HPP
 #define QAOAML_CORE_PARAMETER_PREDICTOR_HPP
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/feature_extraction.hpp"
@@ -61,6 +68,15 @@ class ParameterPredictor {
 
   /// Per-angle prediction used by the Fig. 6 error study.
   double predict_angle(AngleId angle, const std::vector<double>& features) const;
+
+  /// Serializes the trained bank (config + all 2 * max_depth regressors
+  /// and their normalization state) to `path`.  Requires trained().
+  void save(const std::string& path) const;
+
+  /// Loads a bank saved by save(); the result predicts bit-identically
+  /// to the bank that was saved.  Throws InvalidArgument on a missing,
+  /// truncated, corrupt or version-mismatched file.
+  static ParameterPredictor load(const std::string& path);
 
  private:
   std::vector<double> predict_from_features(std::vector<double> features,

@@ -84,6 +84,21 @@ void Standardizer::fit(const linalg::Matrix& x) {
   }
 }
 
+Standardizer Standardizer::from_moments(std::vector<double> mean,
+                                        std::vector<double> stddev) {
+  require(!mean.empty() && mean.size() == stddev.size(),
+          "Standardizer::from_moments: moment vectors must match and be "
+          "non-empty");
+  for (const double sd : stddev) {
+    require(std::isfinite(sd) && sd > 0.0,
+            "Standardizer::from_moments: stddev must be finite and positive");
+  }
+  Standardizer out;
+  out.mean_ = std::move(mean);
+  out.stddev_ = std::move(stddev);
+  return out;
+}
+
 linalg::Matrix Standardizer::transform(const linalg::Matrix& x) const {
   require(fitted(), "Standardizer: not fitted");
   require(x.cols() == mean_.size(), "Standardizer: feature arity mismatch");

@@ -2,6 +2,15 @@
 //
 // Rows are observations, columns are features; a single real-valued
 // target per row (the predictor bank trains one model per QAOA angle).
+//
+// Contracts:
+//  - **Determinism.**  train_test_split draws only from the caller's
+//    Rng; Standardizer::fit is pure.  Same inputs, same outputs.
+//  - **Thread-safety.**  A fitted Standardizer is immutable;
+//    transform/transform_row are safe from many threads.
+//  - **Serialization.**  A Standardizer round-trips through its
+//    (mean, stddev) moments — from_moments is the deserialization
+//    path used by ml/serialize.hpp.
 #ifndef QAOAML_ML_DATASET_HPP
 #define QAOAML_ML_DATASET_HPP
 
@@ -44,6 +53,12 @@ class Standardizer {
  public:
   /// Learns column means and standard deviations from `x`.
   void fit(const linalg::Matrix& x);
+
+  /// Restores a fitted scaler from previously learned moments — the
+  /// deserialization path (ml/serialize.hpp).  The vectors must have
+  /// equal, non-zero length and every stddev must be positive.
+  static Standardizer from_moments(std::vector<double> mean,
+                                   std::vector<double> stddev);
 
   /// Applies the learned scaling.
   linalg::Matrix transform(const linalg::Matrix& x) const;

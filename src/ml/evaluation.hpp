@@ -1,5 +1,10 @@
 // Model evaluation helpers: train/test scoring and k-fold cross
 // validation, used by the Section III-C model-comparison ablation.
+//
+// Contracts: deterministic in (data, rng state) — fold shuffling draws
+// only from the caller's Rng, and model fits are deterministic (see
+// ml/model.hpp).  evaluate_on_split refits `model` in place, so it is
+// not safe to share a model across concurrent calls.
 #ifndef QAOAML_ML_EVALUATION_HPP
 #define QAOAML_ML_EVALUATION_HPP
 

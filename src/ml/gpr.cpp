@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "ml/serialize.hpp"
 #include "optim/multistart.hpp"
 #include "stats/descriptive.hpp"
 
@@ -115,6 +116,51 @@ void GPRegressor::fit(const Dataset& data) {
   } else {
     factorize();
   }
+  fitted_ = true;
+}
+
+void GPRegressor::save_payload(std::ostream& os) const {
+  require(fitted_, "GPRegressor::save_payload: not fitted");
+  io::write_f64(os, y_mean_);
+  io::write_f64(os, y_scale_);
+  io::write_standardizer(os, x_scaler_);
+  io::write_matrix(os, train_x_);
+  io::write_vec(os, train_y_);
+  io::write_vec(os, lengthscales_);
+  io::write_f64(os, signal_stddev_);
+  io::write_f64(os, noise_stddev_);
+  io::write_vec(os, alpha_);
+  io::write_f64(os, log_marginal_);
+}
+
+void GPRegressor::load_payload(std::istream& is) {
+  y_mean_ = io::read_f64(is);
+  y_scale_ = io::read_f64(is);
+  x_scaler_ = io::read_standardizer(is);
+  train_x_ = io::read_matrix(is, 1u << 26);
+  train_y_ = io::read_vec(is, 1u << 26);
+  lengthscales_ = io::read_vec(is, 1u << 20);
+  signal_stddev_ = io::read_f64(is);
+  noise_stddev_ = io::read_f64(is);
+  const std::vector<double> alpha = io::read_vec(is, 1u << 26);
+  const double log_marginal = io::read_f64(is);
+  require(!train_x_.empty() && train_y_.size() == train_x_.rows() &&
+              alpha.size() == train_x_.rows() &&
+              lengthscales_.size() == train_x_.cols() &&
+              train_x_.cols() == x_scaler_.mean().size(),
+          "GPRegressor::load_payload: inconsistent dimensions");
+  for (const double l : lengthscales_) {
+    require(std::isfinite(l) && l > 0.0,
+            "GPRegressor::load_payload: invalid lengthscale");
+  }
+  require(std::isfinite(signal_stddev_) && std::isfinite(noise_stddev_),
+          "GPRegressor::load_payload: non-finite kernel hyperparameters");
+  // Rebuild the Cholesky factor from the loaded hyperparameters (pure
+  // FP recomputation, deterministic), then pin alpha / log-marginal to
+  // the stored values so predict() is byte-for-byte the saved model's.
+  factorize();
+  alpha_ = alpha;
+  log_marginal_ = log_marginal;
   fitted_ = true;
 }
 

@@ -36,6 +36,15 @@ class GPRegressor final : public Regressor {
   double predict(const std::vector<double>& features) const override;
   std::string name() const override { return "GPR"; }
   bool fitted() const override { return fitted_; }
+  RegressorKind kind() const override { return RegressorKind::kGpr; }
+
+  /// Fitted state: scalers, standardized training data, kernel
+  /// hyperparameters, alpha and the log marginal (see ml/serialize.hpp).
+  /// load_payload re-runs the (deterministic) Cholesky factorization so
+  /// predict_with_uncertainty survives the round-trip, then restores
+  /// alpha and the log marginal from the file verbatim.
+  void save_payload(std::ostream& os) const override;
+  void load_payload(std::istream& is) override;
 
   /// Posterior mean and standard deviation at one point.
   struct Prediction {

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "linalg/qr.hpp"
+#include "ml/serialize.hpp"
 
 namespace qaoaml::ml {
 
@@ -61,6 +62,24 @@ double LinearRegression::predict(const std::vector<double>& features) const {
     acc += weights_[i] * features[i];
   }
   return acc;
+}
+
+void LinearRegression::save_payload(std::ostream& os) const {
+  require(fitted_, "LinearRegression::save_payload: not fitted");
+  io::write_f64(os, ridge_);
+  io::write_f64(os, intercept_);
+  io::write_vec(os, weights_);
+}
+
+void LinearRegression::load_payload(std::istream& is) {
+  ridge_ = io::read_f64(is);
+  require(std::isfinite(ridge_) && ridge_ >= 0.0,
+          "LinearRegression::load_payload: invalid ridge");
+  intercept_ = io::read_f64(is);
+  weights_ = io::read_vec(is, 1u << 20);
+  require(!weights_.empty(),
+          "LinearRegression::load_payload: empty weight vector");
+  fitted_ = true;
 }
 
 double LinearRegression::intercept() const {

@@ -18,6 +18,11 @@ class LinearRegression final : public Regressor {
   double predict(const std::vector<double>& features) const override;
   std::string name() const override { return "LM"; }
   bool fitted() const override { return fitted_; }
+  RegressorKind kind() const override { return RegressorKind::kLinear; }
+
+  /// Fitted state: ridge, intercept, weights (see ml/serialize.hpp).
+  void save_payload(std::ostream& os) const override;
+  void load_payload(std::istream& is) override;
 
   double intercept() const;
   const std::vector<double>& weights() const;

@@ -3,6 +3,10 @@
 // The paper selects GPR because it achieves the "lowest MSE, RMSE, MAE
 // and highest R^2 and adjusted R^2"; all five are implemented here, plus
 // the mean absolute percentage error used for the Fig. 6 analysis.
+//
+// Contracts: every metric is a pure function of (truth, pred) — no
+// state, safe from any thread; truth and pred must be equal-length and
+// non-empty (InvalidArgument otherwise).
 #ifndef QAOAML_ML_METRICS_HPP
 #define QAOAML_ML_METRICS_HPP
 

@@ -1,5 +1,7 @@
 #include "ml/model.hpp"
 
+#include <cctype>
+
 #include "common/error.hpp"
 #include "ml/gpr.hpp"
 #include "ml/linear_regression.hpp"
@@ -32,6 +34,19 @@ std::string to_string(RegressorKind kind) {
     case RegressorKind::kSvr: return "RSVM";
   }
   return "unknown";
+}
+
+RegressorKind regressor_from_string(const std::string& name) {
+  std::string upper = name;
+  // unsigned char cast: std::toupper on a negative plain char is UB.
+  for (char& c : upper) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  for (const RegressorKind kind : all_regressors()) {
+    if (upper == to_string(kind)) return kind;
+  }
+  throw InvalidArgument("regressor_from_string: unknown model '" + name +
+                        "' (expected GPR | LM | RTREE | RSVM)");
 }
 
 std::unique_ptr<Regressor> make_regressor(RegressorKind kind) {

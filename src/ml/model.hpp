@@ -1,9 +1,27 @@
 // Common interface over the four regression families from the paper:
 // Gaussian Process Regression (GPR), Linear Regression (LM), Regression
 // Tree (RTREE) and Support Vector Machine regression (RSVM).
+//
+// Contracts (all four concrete models):
+//  - **Determinism.**  fit() is deterministic in (data, config): the
+//    same training set always produces the same model — GPR's
+//    hyperparameter search seeds its own Rng from GprConfig::seed, and
+//    no model draws from global state.  This is what lets the sharded
+//    experiment pipelines retrain "the same" predictor in every
+//    process instead of shipping it.
+//  - **Thread-safety.**  A fitted model is immutable: predict() /
+//    predict_many() are safe to call concurrently from many threads.
+//    fit() is not; train before fanning out.
+//  - **Serialization.**  Every model round-trips through
+//    ml/serialize.hpp (save_regressor / load_regressor): the reloaded
+//    model's predict() is bit-identical to the source model's on every
+//    input.  save_payload/load_payload are the per-model halves of
+//    that wire format and should only be called through serialize.hpp,
+//    which owns the versioned, checksummed framing.
 #ifndef QAOAML_ML_MODEL_HPP
 #define QAOAML_ML_MODEL_HPP
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +29,14 @@
 #include "ml/dataset.hpp"
 
 namespace qaoaml::ml {
+
+/// The paper's model families.
+enum class RegressorKind {
+  kGpr,
+  kLinear,
+  kRegressionTree,
+  kSvr,
+};
 
 /// Abstract single-output regressor.
 class Regressor {
@@ -28,16 +54,19 @@ class Regressor {
 
   virtual bool fitted() const = 0;
 
+  /// This model's RegressorKind (the serialization kind tag).
+  virtual RegressorKind kind() const = 0;
+
+  /// Writes / restores the fitted state (model-specific payload of the
+  /// ml/serialize.hpp wire format).  save_payload requires fitted();
+  /// load_payload leaves the model fitted and predicting bit-identically
+  /// to the saved one.  Call through save_regressor / load_regressor,
+  /// which add the versioned, checksummed header.
+  virtual void save_payload(std::ostream& os) const = 0;
+  virtual void load_payload(std::istream& is) = 0;
+
   /// Predicts every row of `x`.
   std::vector<double> predict_many(const linalg::Matrix& x) const;
-};
-
-/// The paper's model families.
-enum class RegressorKind {
-  kGpr,
-  kLinear,
-  kRegressionTree,
-  kSvr,
 };
 
 /// All kinds, in the paper's Section III-C order.
@@ -45,6 +74,11 @@ const std::vector<RegressorKind>& all_regressors();
 
 /// Display name ("GPR", "LM", "RTREE", "RSVM").
 std::string to_string(RegressorKind kind);
+
+/// Parses a display name ("GPR", "LM", "RTREE", "RSVM"),
+/// case-insensitively; throws InvalidArgument on unknown names.  Used
+/// by the CLIs and the transfer benches.
+RegressorKind regressor_from_string(const std::string& name);
 
 /// Factory with default hyperparameters (the paper's setting).
 std::unique_ptr<Regressor> make_regressor(RegressorKind kind);

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "ml/serialize.hpp"
 
 namespace qaoaml::ml {
 namespace {
@@ -138,6 +139,56 @@ double RegressionTree::predict(const std::vector<double>& features) const {
                : n.right;
   }
   return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+void RegressionTree::save_payload(std::ostream& os) const {
+  require(!nodes_.empty(), "RegressionTree::save_payload: not fitted");
+  io::write_i32(os, config_.max_depth);
+  io::write_i32(os, config_.min_samples_leaf);
+  io::write_i32(os, config_.min_samples_split);
+  io::write_u64(os, nodes_.size());
+  for (const Node& n : nodes_) {
+    io::write_i32(os, n.feature);
+    io::write_f64(os, n.threshold);
+    io::write_f64(os, n.value);
+    io::write_i32(os, n.left);
+    io::write_i32(os, n.right);
+  }
+}
+
+void RegressionTree::load_payload(std::istream& is) {
+  TreeConfig config;
+  config.max_depth = io::read_i32(is);
+  config.min_samples_leaf = io::read_i32(is);
+  config.min_samples_split = io::read_i32(is);
+  require(config.max_depth >= 1 && config.min_samples_leaf >= 1,
+          "RegressionTree::load_payload: invalid config");
+  const std::uint64_t count = io::read_u64(is);
+  require(count >= 1 && count <= (1u << 26),
+          "RegressionTree::load_payload: implausible node count");
+  std::vector<Node> nodes(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Node& n = nodes[i];
+    n.feature = io::read_i32(is);
+    n.threshold = io::read_f64(is);
+    n.value = io::read_f64(is);
+    n.left = io::read_i32(is);
+    n.right = io::read_i32(is);
+    // build() emits nodes in preorder, so children always carry larger
+    // indices than their parent.  Enforcing that on load keeps a
+    // corrupt payload from sending predict() out of bounds or into a
+    // cycle.
+    const bool leaf = n.feature < 0;
+    const bool children_valid =
+        leaf ? (n.left == -1 && n.right == -1)
+             : (static_cast<std::uint64_t>(n.left) > i &&
+                static_cast<std::uint64_t>(n.left) < count &&
+                static_cast<std::uint64_t>(n.right) > i &&
+                static_cast<std::uint64_t>(n.right) < count);
+    require(children_valid, "RegressionTree::load_payload: invalid node links");
+  }
+  config_ = config;
+  nodes_ = std::move(nodes);
 }
 
 std::size_t RegressionTree::leaf_count() const {

@@ -27,6 +27,11 @@ class RegressionTree final : public Regressor {
   double predict(const std::vector<double>& features) const override;
   std::string name() const override { return "RTREE"; }
   bool fitted() const override { return !nodes_.empty(); }
+  RegressorKind kind() const override { return RegressorKind::kRegressionTree; }
+
+  /// Fitted state: config + the flat node array (see ml/serialize.hpp).
+  void save_payload(std::ostream& os) const override;
+  void load_payload(std::istream& is) override;
 
   /// Number of nodes in the fitted tree.
   std::size_t node_count() const { return nodes_.size(); }

@@ -1,0 +1,198 @@
+#include "ml/serialize.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qaoaml::ml {
+namespace io {
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'M', 'L', 'R'};
+
+void write_bytes(std::ostream& os, const char* data, std::size_t size) {
+  os.write(data, static_cast<std::streamsize>(size));
+}
+
+void read_bytes(std::istream& is, char* data, std::size_t size,
+                const char* what) {
+  is.read(data, static_cast<std::streamsize>(size));
+  require(static_cast<std::size_t>(is.gcount()) == size,
+          std::string("load_regressor: truncated file (while reading ") +
+              what + ")");
+}
+
+}  // namespace
+
+void write_u32(std::ostream& os, std::uint32_t value) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  write_bytes(os, bytes, 4);
+}
+
+void write_u64(std::ostream& os, std::uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  write_bytes(os, bytes, 8);
+}
+
+void write_i32(std::ostream& os, std::int32_t value) {
+  write_u32(os, static_cast<std::uint32_t>(value));
+}
+
+void write_f64(std::ostream& os, double value) {
+  write_u64(os, std::bit_cast<std::uint64_t>(value));
+}
+
+void write_vec(std::ostream& os, const std::vector<double>& values) {
+  write_u64(os, values.size());
+  for (const double v : values) write_f64(os, v);
+}
+
+void write_matrix(std::ostream& os, const linalg::Matrix& m) {
+  write_u64(os, m.rows());
+  write_u64(os, m.cols());
+  for (const double v : m.data()) write_f64(os, v);
+}
+
+void write_standardizer(std::ostream& os, const Standardizer& scaler) {
+  require(scaler.fitted(), "write_standardizer: scaler not fitted");
+  write_vec(os, scaler.mean());
+  write_vec(os, scaler.stddev());
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  char bytes[4];
+  read_bytes(is, bytes, 4, "u32");
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  char bytes[8];
+  read_bytes(is, bytes, 8, "u64");
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::int32_t read_i32(std::istream& is) {
+  return static_cast<std::int32_t>(read_u32(is));
+}
+
+double read_f64(std::istream& is) {
+  return std::bit_cast<double>(read_u64(is));
+}
+
+std::vector<double> read_vec(std::istream& is, std::uint64_t max_elems) {
+  const std::uint64_t count = read_u64(is);
+  require(count <= max_elems,
+          "load_regressor: implausible vector length (corrupt payload)");
+  std::vector<double> values(count);
+  for (double& v : values) v = read_f64(is);
+  return values;
+}
+
+linalg::Matrix read_matrix(std::istream& is, std::uint64_t max_elems) {
+  const std::uint64_t rows = read_u64(is);
+  const std::uint64_t cols = read_u64(is);
+  require(rows <= max_elems && cols <= max_elems &&
+              (rows == 0 || cols <= max_elems / rows),
+          "load_regressor: implausible matrix shape (corrupt payload)");
+  linalg::Matrix m(rows, cols);
+  for (double& v : m.data()) v = read_f64(is);
+  return m;
+}
+
+Standardizer read_standardizer(std::istream& is) {
+  // Feature arity is small (tens); the generous bound only exists to
+  // reject garbage counts.
+  std::vector<double> mean = read_vec(is, 1u << 20);
+  std::vector<double> stddev = read_vec(is, 1u << 20);
+  return Standardizer::from_moments(std::move(mean), std::move(stddev));
+}
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace io
+
+void save_regressor(std::ostream& os, const Regressor& model) {
+  require(model.fitted(), "save_regressor: model not fitted");
+
+  // Render the payload first so the header can carry its exact size and
+  // checksum — the two fields load_regressor validates before letting a
+  // single payload byte reach a model parser.
+  std::ostringstream payload_stream(std::ios::binary);
+  model.save_payload(payload_stream);
+  const std::string payload = payload_stream.str();
+
+  os.write(io::kMagic, 4);
+  io::write_u32(os, kFormatVersion);
+  io::write_u32(os, static_cast<std::uint32_t>(model.kind()));
+  io::write_u64(os, payload.size());
+  io::write_u64(os, io::fnv1a(payload));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  require(os.good(), "save_regressor: write failed");
+}
+
+std::unique_ptr<Regressor> load_regressor(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  require(is.gcount() == 4 && std::equal(magic, magic + 4, io::kMagic),
+          "load_regressor: not a qaoaml model file (bad magic)");
+
+  const std::uint32_t version = io::read_u32(is);
+  require(version == kFormatVersion,
+          "load_regressor: unsupported format version " +
+              std::to_string(version) + " (this build reads version " +
+              std::to_string(kFormatVersion) + ")");
+
+  const std::uint32_t tag = io::read_u32(is);
+  require(tag <= static_cast<std::uint32_t>(RegressorKind::kSvr),
+          "load_regressor: unknown model kind tag " + std::to_string(tag));
+  const RegressorKind kind = static_cast<RegressorKind>(tag);
+
+  const std::uint64_t payload_size = io::read_u64(is);
+  const std::uint64_t checksum = io::read_u64(is);
+  // Bank files hold a few hundred training rows; 1 GiB of payload can
+  // only be a corrupt size field.
+  require(payload_size <= (1ULL << 30),
+          "load_regressor: implausible payload size (corrupt header)");
+
+  std::string payload(payload_size, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  require(static_cast<std::uint64_t>(is.gcount()) == payload_size,
+          "load_regressor: truncated file (payload shorter than header "
+          "declares)");
+  require(io::fnv1a(payload) == checksum,
+          "load_regressor: payload checksum mismatch (corrupt file)");
+
+  std::istringstream payload_stream(payload, std::ios::binary);
+  std::unique_ptr<Regressor> model = make_regressor(kind);
+  model->load_payload(payload_stream);
+  return model;
+}
+
+}  // namespace qaoaml::ml

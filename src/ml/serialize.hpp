@@ -1,0 +1,97 @@
+// Versioned binary serialization of the ml/ regressors — the
+// train-once / serve-many half of the predictor-bank story: a model
+// fitted in one process (tools/train_predictor, a corpus shard host)
+// is reloaded in another and produces *bit-identical* predictions.
+//
+// Wire format (all integers little-endian, doubles as IEEE-754 bit
+// patterns):
+//
+//   [0..3]   magic   "QMLR"
+//   [4..7]   u32     format version (currently 1)
+//   [8..11]  u32     model kind tag (RegressorKind enumerator value)
+//   [12..19] u64     payload size in bytes
+//   [20..27] u64     FNV-1a checksum of the payload bytes
+//   [28.. ]          payload (model-specific, written by save_payload)
+//
+// The header is validated before a single payload byte is interpreted:
+// a wrong magic, an unknown version, an unknown kind tag, a short read
+// or a checksum mismatch each throw InvalidArgument naming the problem
+// — a truncated or bit-flipped bank file can never load as a silently
+// different model.
+//
+// Contracts:
+//  - **Exact round-trip.**  For every model kind, load_regressor over
+//    save_regressor's bytes yields a model whose predict() output is
+//    bit-identical to the source model's on every input (enforced by
+//    tests/test_ml_serialize.cpp).  GPR additionally rebuilds its
+//    Cholesky factor on load, so predict_with_uncertainty survives the
+//    trip too.
+//  - **Portability.**  The byte layout is endianness-pinned, so files
+//    move between little- and big-endian hosts; bit-identical
+//    *predictions* across different FP hardware are not promised (only
+//    across processes on the same platform, the sharding use case).
+//  - **Versioning.**  Layout changes bump kFormatVersion; old readers
+//    reject new files and vice versa, loudly.
+#ifndef QAOAML_ML_SERIALIZE_HPP
+#define QAOAML_ML_SERIALIZE_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ml/dataset.hpp"
+#include "ml/model.hpp"
+
+namespace qaoaml::ml {
+
+/// Current regressor wire-format version (the u32 after the magic).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Serializes a fitted regressor (header + payload, see above).
+/// Throws InvalidArgument when the model is not fitted, Error on I/O
+/// failure.
+void save_regressor(std::ostream& os, const Regressor& model);
+
+/// Reads one serialized regressor and returns it fitted and ready to
+/// predict.  Throws InvalidArgument on bad magic, unsupported version,
+/// unknown kind, truncation or checksum mismatch.
+std::unique_ptr<Regressor> load_regressor(std::istream& is);
+
+namespace io {
+
+// Endianness-pinned primitives shared by every model's payload writer.
+// Reads throw InvalidArgument("...: truncated...") on EOF, so a payload
+// parser never has to check stream state itself.
+
+void write_u32(std::ostream& os, std::uint32_t value);
+void write_u64(std::ostream& os, std::uint64_t value);
+void write_i32(std::ostream& os, std::int32_t value);
+void write_f64(std::ostream& os, double value);
+/// u64 length prefix + elements.
+void write_vec(std::ostream& os, const std::vector<double>& values);
+/// u64 rows + u64 cols + row-major elements.
+void write_matrix(std::ostream& os, const linalg::Matrix& m);
+/// Fitted Standardizer moments (two equal-length vectors).
+void write_standardizer(std::ostream& os, const Standardizer& scaler);
+
+std::uint32_t read_u32(std::istream& is);
+std::uint64_t read_u64(std::istream& is);
+std::int32_t read_i32(std::istream& is);
+double read_f64(std::istream& is);
+/// `max_elems` bounds the length prefix so a corrupt count surfaces as
+/// InvalidArgument instead of a multi-GB allocation.
+std::vector<double> read_vec(std::istream& is, std::uint64_t max_elems);
+linalg::Matrix read_matrix(std::istream& is, std::uint64_t max_elems);
+Standardizer read_standardizer(std::istream& is);
+
+/// FNV-1a over a byte string (the header checksum).
+std::uint64_t fnv1a(const std::string& bytes);
+
+}  // namespace io
+
+}  // namespace qaoaml::ml
+
+#endif  // QAOAML_ML_SERIALIZE_HPP

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "ml/serialize.hpp"
 #include "stats/descriptive.hpp"
 
 namespace qaoaml::ml {
@@ -96,6 +97,31 @@ double SVRegressor::predict(const std::vector<double>& features) const {
     acc += beta_[i] * kernel(xs, train_x_.row(i));
   }
   return y_mean_ + y_scale_ * acc;
+}
+
+void SVRegressor::save_payload(std::ostream& os) const {
+  require(fitted_, "SVRegressor::save_payload: not fitted");
+  io::write_f64(os, gamma_);
+  io::write_f64(os, y_mean_);
+  io::write_f64(os, y_scale_);
+  io::write_standardizer(os, x_scaler_);
+  io::write_matrix(os, train_x_);
+  io::write_vec(os, beta_);
+}
+
+void SVRegressor::load_payload(std::istream& is) {
+  gamma_ = io::read_f64(is);
+  require(std::isfinite(gamma_) && gamma_ > 0.0,
+          "SVRegressor::load_payload: invalid RBF width");
+  y_mean_ = io::read_f64(is);
+  y_scale_ = io::read_f64(is);
+  x_scaler_ = io::read_standardizer(is);
+  train_x_ = io::read_matrix(is, 1u << 26);
+  beta_ = io::read_vec(is, 1u << 26);
+  require(!train_x_.empty() && beta_.size() == train_x_.rows() &&
+              train_x_.cols() == x_scaler_.mean().size(),
+          "SVRegressor::load_payload: inconsistent dimensions");
+  fitted_ = true;
 }
 
 std::size_t SVRegressor::support_vector_count() const {

@@ -30,6 +30,13 @@ class SVRegressor final : public Regressor {
   double predict(const std::vector<double>& features) const override;
   std::string name() const override { return "RSVM"; }
   bool fitted() const override { return fitted_; }
+  RegressorKind kind() const override { return RegressorKind::kSvr; }
+
+  /// Fitted state: RBF width, target moments, feature scaler, the
+  /// standardized training matrix and the dual coefficients (see
+  /// ml/serialize.hpp).
+  void save_payload(std::ostream& os) const override;
+  void load_payload(std::istream& is) override;
 
   /// Number of support vectors (non-zero dual coefficients).
   std::size_t support_vector_count() const;

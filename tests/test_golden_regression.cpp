@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/graph_ensemble.hpp"
 #include "core/qaoa_objective.hpp"
 #include "graph/generators.hpp"
 #include "quantum/sim_config.hpp"
@@ -53,6 +54,40 @@ graph::Graph reg10d3_cafe() {
   return graph::random_regular(10, 3, rng);
 }
 
+// One pinned-seed instance per core::GraphEnsemble family, sampled
+// through core::sample_graph itself (not the underlying graph/
+// generators), so drift anywhere in a family's sampling recipe — knob
+// defaults, rejection loops, the mixed family's family draw — breaks
+// the fixture, not just drift in the raw generators.
+graph::Graph ensemble_case(core::GraphFamily family, std::uint64_t seed,
+                           core::WeightKind weight = core::WeightKind::kUniform) {
+  core::EnsembleConfig config;
+  config.family = family;
+  config.weight = weight;
+  Rng rng(seed);
+  return core::sample_graph(config, 8, rng);
+}
+
+graph::Graph ensemble_er() {
+  return ensemble_case(core::GraphFamily::kErdosRenyi, 0x5EED01);
+}
+graph::Graph ensemble_regular() {
+  return ensemble_case(core::GraphFamily::kRegular, 0x5EED02);
+}
+graph::Graph ensemble_weighted_uniform() {
+  return ensemble_case(core::GraphFamily::kWeightedErdosRenyi, 0x5EED03);
+}
+graph::Graph ensemble_weighted_gaussian() {
+  return ensemble_case(core::GraphFamily::kWeightedErdosRenyi, 0x5EED04,
+                       core::WeightKind::kGaussian);
+}
+graph::Graph ensemble_small_world() {
+  return ensemble_case(core::GraphFamily::kSmallWorld, 0x5EED05);
+}
+graph::Graph ensemble_mixed() {
+  return ensemble_case(core::GraphFamily::kMixed, 0x5EED06);
+}
+
 // Reference values generated with the PR 2 cross-validated simulator
 // (QAOAML_THREADS-independent by construction of the blocked kernels).
 const GoldenCase kGoldenCases[] = {
@@ -72,6 +107,22 @@ const GoldenCase kGoldenCases[] = {
      {0.37, 0.58, 0.29, 0.64}, 9.908040427040676},
     {"cycle6_weight2.5_p1", &weighted_cycle6, 1,
      {0.16, 0.7}, 10.150943872809416},
+    // Per-family ensemble fixtures (PR 5): one pinned-seed instance per
+    // core::GraphEnsemble family at p=2, fixed angles.  Reference
+    // values computed with the PR 2 cross-validated simulator; a change
+    // in any family's sampling recipe OR in the kernels shifts these.
+    {"ensemble_er_seed0x5EED01_p2", &ensemble_er, 2,
+     {0.42, 0.17, 0.33, 0.71}, 9.5659598761338334},
+    {"ensemble_regular_seed0x5EED02_p2", &ensemble_regular, 2,
+     {0.42, 0.17, 0.33, 0.71}, 7.8071877329951453},
+    {"ensemble_weighted_uniform_seed0x5EED03_p2", &ensemble_weighted_uniform,
+     2, {0.42, 0.17, 0.33, 0.71}, 4.8472419991355826},
+    {"ensemble_weighted_gaussian_seed0x5EED04_p2", &ensemble_weighted_gaussian,
+     2, {0.42, 0.17, 0.33, 0.71}, 10.737006336976691},
+    {"ensemble_small_world_seed0x5EED05_p2", &ensemble_small_world, 2,
+     {0.42, 0.17, 0.33, 0.71}, 5.670393984549059},
+    {"ensemble_mixed_seed0x5EED06_p2", &ensemble_mixed, 2,
+     {0.42, 0.17, 0.33, 0.71}, 5.4177887325276215},
 };
 
 class GoldenRegression : public ::testing::TestWithParam<quantum::LayerKernel> {

@@ -1,0 +1,279 @@
+// The ml/ serialization contract: every model kind round-trips through
+// save_regressor / load_regressor with bit-identical predictions, and
+// the versioned header rejects corrupt, truncated and old-format files
+// loudly instead of half-loading them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/parameter_dataset.hpp"
+#include "core/parameter_predictor.hpp"
+#include "ml/gpr.hpp"
+#include "ml/serialize.hpp"
+
+namespace qaoaml::ml {
+namespace {
+
+/// Deterministic synthetic regression set: 3 features, a smooth target
+/// with mild noise.
+Dataset synthetic_data(std::size_t rows = 40) {
+  Rng rng(0xD05E);
+  Dataset data;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double a = rng.uniform(-2.0, 2.0);
+    const double b = rng.uniform(-2.0, 2.0);
+    const double c = rng.uniform(0.0, 4.0);
+    const double y =
+        std::sin(a) + 0.5 * b * b - 0.25 * c + 0.05 * rng.normal();
+    data.add({a, b, c}, y);
+  }
+  return data;
+}
+
+/// Probe points off the training grid.
+std::vector<std::vector<double>> probe_points() {
+  Rng rng(0xBEA7);
+  std::vector<std::vector<double>> probes;
+  for (int i = 0; i < 16; ++i) {
+    probes.push_back({rng.uniform(-2.5, 2.5), rng.uniform(-2.5, 2.5),
+                      rng.uniform(-0.5, 4.5)});
+  }
+  return probes;
+}
+
+std::string serialized_bytes(const Regressor& model) {
+  std::ostringstream os(std::ios::binary);
+  save_regressor(os, model);
+  return os.str();
+}
+
+std::unique_ptr<Regressor> from_bytes(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  return load_regressor(is);
+}
+
+class SerializeRoundTrip : public ::testing::TestWithParam<RegressorKind> {};
+
+TEST_P(SerializeRoundTrip, PredictionsAreBitIdenticalAfterReload) {
+  const Dataset data = synthetic_data();
+  auto model = make_regressor(GetParam());
+  model->fit(data);
+
+  const std::string bytes = serialized_bytes(*model);
+  const auto reloaded = from_bytes(bytes);
+
+  ASSERT_TRUE(reloaded->fitted());
+  EXPECT_EQ(reloaded->kind(), GetParam());
+  EXPECT_EQ(reloaded->name(), model->name());
+  for (const auto& probe : probe_points()) {
+    // EXPECT_EQ, not NEAR: the contract is bit-identity, which is what
+    // lets a sharded consumer treat a reloaded bank as *the same* bank.
+    EXPECT_EQ(model->predict(probe), reloaded->predict(probe));
+  }
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    EXPECT_EQ(model->predict(data.x.row(r)), reloaded->predict(data.x.row(r)));
+  }
+}
+
+TEST_P(SerializeRoundTrip, SerializationIsDeterministic) {
+  const Dataset data = synthetic_data();
+  auto model = make_regressor(GetParam());
+  model->fit(data);
+  EXPECT_EQ(serialized_bytes(*model), serialized_bytes(*model));
+  // A reloaded model re-serializes to the same bytes (GPR re-derives
+  // its Cholesky factor on load; the stored state must not drift).
+  EXPECT_EQ(serialized_bytes(*from_bytes(serialized_bytes(*model))),
+            serialized_bytes(*model));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SerializeRoundTrip,
+                         ::testing::Values(RegressorKind::kGpr,
+                                           RegressorKind::kLinear,
+                                           RegressorKind::kRegressionTree,
+                                           RegressorKind::kSvr),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(SerializeTest, SavingAnUnfittedModelThrows) {
+  const auto model = make_regressor(RegressorKind::kLinear);
+  std::ostringstream os(std::ios::binary);
+  EXPECT_THROW(save_regressor(os, *model), Error);
+}
+
+TEST(SerializeTest, GprUncertaintySurvivesTheRoundTrip) {
+  const Dataset data = synthetic_data();
+  GPRegressor model;
+  model.fit(data);
+
+  const std::string bytes = serialized_bytes(model);
+  const auto reloaded = from_bytes(bytes);
+  const auto* gpr = dynamic_cast<const GPRegressor*>(reloaded.get());
+  ASSERT_NE(gpr, nullptr);
+  EXPECT_EQ(gpr->log_marginal_likelihood(), model.log_marginal_likelihood());
+  for (const auto& probe : probe_points()) {
+    const auto a = model.predict_with_uncertainty(probe);
+    const auto b = gpr->predict_with_uncertainty(probe);
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.stddev, b.stddev);
+  }
+}
+
+// --- Header validation -------------------------------------------------
+
+std::string reference_bytes() {
+  const Dataset data = synthetic_data();
+  auto model = make_regressor(RegressorKind::kLinear);
+  model->fit(data);
+  return serialized_bytes(*model);
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  std::string bytes = reference_bytes();
+  bytes[0] = 'X';
+  EXPECT_THROW(from_bytes(bytes), InvalidArgument);
+}
+
+TEST(SerializeTest, RejectsUnsupportedVersion) {
+  std::string bytes = reference_bytes();
+  bytes[4] = static_cast<char>(kFormatVersion + 41);  // version field
+  EXPECT_THROW(from_bytes(bytes), InvalidArgument);
+}
+
+TEST(SerializeTest, RejectsUnknownKindTag) {
+  std::string bytes = reference_bytes();
+  bytes[8] = 99;  // kind field
+  EXPECT_THROW(from_bytes(bytes), InvalidArgument);
+}
+
+TEST(SerializeTest, RejectsTruncation) {
+  const std::string bytes = reference_bytes();
+  // Every truncation point must throw — header, payload, or final byte.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{17}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    EXPECT_THROW(from_bytes(bytes.substr(0, keep)), InvalidArgument)
+        << "keep=" << keep;
+  }
+}
+
+TEST(SerializeTest, RejectsPayloadCorruption) {
+  std::string bytes = reference_bytes();
+  // Flip one payload byte (offset 28 is the first payload byte); the
+  // checksum must catch it before any parser sees the garbage.
+  bytes[30] = static_cast<char>(bytes[30] ^ 0x40);
+  EXPECT_THROW(from_bytes(bytes), InvalidArgument);
+}
+
+// --- Predictor banks ---------------------------------------------------
+
+const core::ParameterDataset& tiny_corpus() {
+  static const core::ParameterDataset dataset = [] {
+    core::DatasetConfig config;
+    config.num_graphs = 8;
+    config.num_nodes = 6;
+    config.max_depth = 3;
+    config.restarts = 3;
+    config.seed = 1234;
+    return core::ParameterDataset::generate(config);
+  }();
+  return dataset;
+}
+
+class BankRoundTrip : public ::testing::TestWithParam<RegressorKind> {};
+
+TEST_P(BankRoundTrip, BankPredictsBitIdenticallyAfterReload) {
+  core::PredictorConfig config;
+  config.model = GetParam();
+  core::ParameterPredictor bank(config);
+  std::vector<std::size_t> all(tiny_corpus().size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  bank.train(tiny_corpus(), all);
+
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) /
+       ("bank_" + to_string(GetParam()) + ".qpb"))
+          .string();
+  bank.save(path);
+  const core::ParameterPredictor reloaded = core::ParameterPredictor::load(path);
+
+  ASSERT_TRUE(reloaded.trained());
+  EXPECT_EQ(reloaded.max_depth(), bank.max_depth());
+  EXPECT_EQ(reloaded.config().model, GetParam());
+  Rng rng(0xF1E1D);
+  for (int trial = 0; trial < 8; ++trial) {
+    const double g1 = rng.uniform(0.0, 2.0 * M_PI);
+    const double b1 = rng.uniform(0.0, M_PI);
+    for (int depth = 2; depth <= bank.max_depth(); ++depth) {
+      EXPECT_EQ(bank.predict(g1, b1, depth), reloaded.predict(g1, b1, depth));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, BankRoundTrip,
+                         ::testing::Values(RegressorKind::kGpr,
+                                           RegressorKind::kLinear,
+                                           RegressorKind::kRegressionTree,
+                                           RegressorKind::kSvr),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(BankSerializeTest, RejectsTruncatedAndCorruptBankFiles) {
+  core::ParameterPredictor bank;
+  std::vector<std::size_t> all(tiny_corpus().size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  bank.train(tiny_corpus(), all);
+
+  const std::filesystem::path dir(::testing::TempDir());
+  const std::string good = (dir / "bank_good.qpb").string();
+  bank.save(good);
+
+  std::ifstream is(good, std::ios::binary);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  const std::string bytes = buffer.str();
+
+  const auto write_variant = [&](const std::string& name,
+                                 const std::string& content) {
+    const std::string path = (dir / name).string();
+    std::ofstream os(path, std::ios::binary);
+    os << content;
+    return path;
+  };
+
+  EXPECT_THROW(core::ParameterPredictor::load((dir / "missing.qpb").string()),
+               Error);
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'Z';
+  EXPECT_THROW(
+      core::ParameterPredictor::load(write_variant("bank_magic.qpb", bad_magic)),
+      InvalidArgument);
+
+  std::string bad_version = bytes;
+  bad_version[4] = 77;
+  EXPECT_THROW(core::ParameterPredictor::load(
+                   write_variant("bank_version.qpb", bad_version)),
+               InvalidArgument);
+
+  EXPECT_THROW(core::ParameterPredictor::load(write_variant(
+                   "bank_truncated.qpb", bytes.substr(0, bytes.size() / 2))),
+               InvalidArgument);
+
+  std::string corrupt = bytes;
+  corrupt[bytes.size() / 2] = static_cast<char>(corrupt[bytes.size() / 2] ^ 1);
+  EXPECT_THROW(core::ParameterPredictor::load(
+                   write_variant("bank_corrupt.qpb", corrupt)),
+               InvalidArgument);
+
+  // The pristine file still loads after all that.
+  EXPECT_TRUE(core::ParameterPredictor::load(good).trained());
+}
+
+}  // namespace
+}  // namespace qaoaml::ml

@@ -16,29 +16,31 @@
 //   generate_corpus --graphs 64 --depth 4 --dir /shared --shards 2 --merge-only
 //
 //   # a non-ER instance distribution (see core/graph_ensemble.hpp):
-//   generate_corpus --graphs 64 --family small-world --neighbors 2 \
+//   generate_corpus --graphs 64 --family small-world --neighbors 2
 //                   --rewire-prob 0.25 --dir /tmp/sw
 //
 // Thread count comes from QAOAML_THREADS (default: hardware
 // concurrency); see docs/CONFIGURATION.md for every knob.
 #include <algorithm>
-#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <functional>
 #include <iterator>
-#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/error.hpp"
 #include "core/corpus_pipeline.hpp"
 
 namespace {
 
+using qaoaml::cli::to_double;
+using qaoaml::cli::to_int;
+using qaoaml::cli::to_u64;
 using qaoaml::core::CorpusPipeline;
 using qaoaml::core::CorpusShardConfig;
 using qaoaml::core::DatasetConfig;
@@ -93,41 +95,6 @@ void print_usage() {
       "\n"
       "QAOAML_THREADS controls worker threads; a killed run resumes from\n"
       "the last committed unit when re-invoked with the same arguments.\n");
-}
-
-// Strict numeric parsing: trailing garbage and empty strings are
-// rejected, so "--shard two" or "--seed 0x2a" error out instead of
-// silently becoming 0 and generating the wrong corpus.
-bool to_int(const char* text, int& out) {
-  char* end = nullptr;
-  errno = 0;
-  const long value = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE ||
-      value < std::numeric_limits<int>::min() ||
-      value > std::numeric_limits<int>::max()) {
-    return false;
-  }
-  out = static_cast<int>(value);
-  return true;
-}
-
-bool to_u64(const char* text, std::uint64_t& out) {
-  if (text[0] == '-') return false;  // strtoull would silently wrap
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long value = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE) return false;
-  out = value;
-  return true;
-}
-
-bool to_double(const char* text, double& out) {
-  char* end = nullptr;
-  errno = 0;
-  const double value = std::strtod(text, &end);
-  if (end == text || *end != '\0' || errno == ERANGE) return false;
-  out = value;
-  return true;
 }
 
 bool parse_args(int argc, char** argv, CliOptions& options) {

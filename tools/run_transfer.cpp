@@ -1,0 +1,306 @@
+// Command-line driver for the sharded cross-family warm-start transfer
+// matrix (core/transfer_experiment.hpp).
+//
+// For every (train family x eval family x model) cell it trains a
+// predictor bank on the train family's corpus and compares warm-started
+// against cold-started optimization on fresh eval-family instances.
+// Shards follow the corpus pipeline's operational model: one shard per
+// invocation (or all in-process), kill/resume from the last committed
+// unit, and a merge whose cells are bit-identical to the unsharded
+// sweep for every shard and thread count.
+//
+//   # the whole matrix, one process:
+//   run_transfer --families erdos-renyi,small-world --models GPR,LM
+//       --dir /tmp/transfer --out report.txt
+//
+//   # the same matrix split over two machines on shared storage:
+//   run_transfer --families er,small-world --dir /shared --shards 2 --shard 0
+//   run_transfer --families er,small-world --dir /shared --shards 2 --shard 1
+//   run_transfer --families er,small-world --dir /shared --shards 2
+//       --merge-only --out report.txt
+//
+// Thread count comes from QAOAML_THREADS; docs/EXPERIMENTS.md walks
+// through the full protocol.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/transfer_experiment.hpp"
+
+namespace {
+
+using qaoaml::cli::split_list;
+using qaoaml::cli::to_int;
+using qaoaml::cli::to_u64;
+using qaoaml::core::ShardSpec;
+using qaoaml::core::TransferCell;
+using qaoaml::core::TransferConfig;
+using qaoaml::core::TransferShardReport;
+
+struct CliOptions {
+  TransferConfig transfer;
+  int shards = 1;
+  int shard = -1;          // -1: run every shard in this process
+  bool merge_only = false; // skip generation, only merge existing shards
+  bool no_merge = false;   // skip the merge step
+  std::string directory = ".";
+  std::string out;         // machine-readable report, relative to --dir
+};
+
+void print_usage() {
+  std::printf(
+      "usage: run_transfer [options]\n"
+      "\n"
+      "matrix axes:\n"
+      "  --families LIST  comma-separated graph families (default\n"
+      "                   erdos-renyi,small-world): erdos-renyi | regular |\n"
+      "                   weighted-erdos-renyi | small-world | mixed\n"
+      "                   (family knobs use library defaults; use the C++\n"
+      "                   API for custom knob values)\n"
+      "  --models LIST    comma-separated model kinds (default GPR):\n"
+      "                   GPR | LM | RTREE | RSVM\n"
+      "\n"
+      "train side (per-family corpus):\n"
+      "  --nodes N            nodes per graph (default 8)\n"
+      "  --train-graphs N     corpus instances per family (default 24)\n"
+      "  --depth D            corpus depths 1..D (default 4)\n"
+      "  --corpus-restarts R  multistart count per (graph, depth) (default 8)\n"
+      "\n"
+      "eval side:\n"
+      "  --eval-graphs N      fresh instances per eval family (default 8)\n"
+      "  --target-depth P     depth both arms optimize (default 3)\n"
+      "  --cold-restarts R    random inits in the cold arm (default 8)\n"
+      "  --warm-repeats R     two-level repeats per instance (default 1)\n"
+      "  --optimizer S        L-BFGS-B | Nelder-Mead | SLSQP | COBYLA\n"
+      "  --seed S             master seed (default 2020)\n"
+      "\n"
+      "sharding / output:\n"
+      "  --dir PATH       shard-file directory (default .)\n"
+      "  --shards N       total shard count (default 1)\n"
+      "  --shard K        run only shard K (default: all, sequentially)\n"
+      "  --merge-only     merge existing complete shards and exit\n"
+      "  --no-merge       generate without merging (multi-process runs)\n"
+      "  --out PATH       write the machine-readable report here (relative\n"
+      "                   to --dir unless absolute); bytes are identical\n"
+      "                   for every shard/thread count\n"
+      "\n"
+      "QAOAML_THREADS controls worker threads; a killed run resumes from\n"
+      "the last committed unit when re-invoked with the same arguments.\n");
+}
+
+bool parse_args(int argc, char** argv, CliOptions& options) {
+  const std::pair<const char*, std::function<bool(const char*)>>
+      value_flags[] = {
+          {"--families",
+           [&](const char* v) {
+             options.transfer.families.clear();
+             for (const std::string& name : split_list(v)) {
+               qaoaml::core::EnsembleConfig ensemble;
+               ensemble.family =
+                   qaoaml::core::family_from_string(name);  // throws on typo
+               options.transfer.families.push_back(ensemble);
+             }
+             return !options.transfer.families.empty();
+           }},
+          {"--models",
+           [&](const char* v) {
+             options.transfer.models.clear();
+             for (const std::string& name : split_list(v)) {
+               options.transfer.models.push_back(
+                   qaoaml::ml::regressor_from_string(name));  // throws on typo
+             }
+             return !options.transfer.models.empty();
+           }},
+          {"--nodes",
+           [&](const char* v) { return to_int(v, options.transfer.num_nodes); }},
+          {"--train-graphs",
+           [&](const char* v) {
+             return to_int(v, options.transfer.train_graphs);
+           }},
+          {"--depth",
+           [&](const char* v) { return to_int(v, options.transfer.max_depth); }},
+          {"--corpus-restarts",
+           [&](const char* v) {
+             return to_int(v, options.transfer.corpus_restarts);
+           }},
+          {"--eval-graphs",
+           [&](const char* v) {
+             return to_int(v, options.transfer.eval_graphs);
+           }},
+          {"--target-depth",
+           [&](const char* v) {
+             return to_int(v, options.transfer.target_depth);
+           }},
+          {"--cold-restarts",
+           [&](const char* v) {
+             return to_int(v, options.transfer.cold_restarts);
+           }},
+          {"--warm-repeats",
+           [&](const char* v) {
+             return to_int(v, options.transfer.warm_repeats);
+           }},
+          {"--optimizer",
+           [&](const char* v) {
+             options.transfer.optimizer =
+                 qaoaml::optim::optimizer_from_string(v);  // throws on typo
+             return true;
+           }},
+          {"--seed",
+           [&](const char* v) { return to_u64(v, options.transfer.seed); }},
+          {"--dir",
+           [&](const char* v) {
+             options.directory = v;
+             return true;
+           }},
+          {"--shards", [&](const char* v) { return to_int(v, options.shards); }},
+          {"--shard", [&](const char* v) { return to_int(v, options.shard); }},
+          {"--out",
+           [&](const char* v) {
+             options.out = v;
+             return true;
+           }},
+      };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      std::exit(0);
+    } else if (arg == "--merge-only") {
+      options.merge_only = true;
+    } else if (arg == "--no-merge") {
+      options.no_merge = true;
+    } else {
+      const auto* entry = std::find_if(
+          std::begin(value_flags), std::end(value_flags),
+          [&](const auto& flag) { return arg == flag.first; });
+      if (entry == std::end(value_flags)) {
+        std::fprintf(stderr, "run_transfer: unknown option %s\n", arg.c_str());
+        return false;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "run_transfer: %s needs a value\n", arg.c_str());
+        return false;
+      }
+      if (!entry->second(argv[++i])) {
+        std::fprintf(stderr, "run_transfer: invalid value '%s' for %s\n",
+                     argv[i], arg.c_str());
+        return false;
+      }
+    }
+  }
+  if (options.merge_only && options.no_merge) {
+    std::fprintf(stderr, "run_transfer: --merge-only and --no-merge conflict\n");
+    return false;
+  }
+  if (options.merge_only && options.shard != -1) {
+    std::fprintf(stderr,
+                 "run_transfer: --merge-only merges every shard; --shard "
+                 "conflicts with it\n");
+    return false;
+  }
+  if (options.shards < 1) {
+    std::fprintf(stderr, "run_transfer: --shards must be >= 1\n");
+    return false;
+  }
+  if (options.shard != -1 &&
+      (options.shard < 0 || options.shard >= options.shards)) {
+    std::fprintf(stderr, "run_transfer: --shard must be in [0, --shards)\n");
+    return false;
+  }
+  return true;
+}
+
+void print_matrix(const TransferConfig& config,
+                  const std::vector<TransferCell>& cells) {
+  qaoaml::Table table({"train \\ eval", "model", "cold FC", "warm FC",
+                       "FC red %", "cold AR", "warm AR", "dAR"});
+  for (const TransferCell& cell : cells) {
+    table.add_row({to_string(config.families[cell.train_family].family) +
+                       " -> " +
+                       to_string(config.families[cell.eval_family].family),
+                   qaoaml::ml::to_string(cell.model),
+                   qaoaml::Table::num(cell.cold_fc_mean, 1),
+                   qaoaml::Table::num(cell.warm_fc_mean, 1),
+                   qaoaml::Table::num(cell.fc_reduction_percent, 1),
+                   qaoaml::Table::num(cell.cold_ar_mean, 4),
+                   qaoaml::Table::num(cell.warm_ar_mean, 4),
+                   qaoaml::Table::num(cell.ar_delta, 4)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  // A CI-friendly default matrix; scale up explicitly.
+  options.transfer.families.resize(2);
+  options.transfer.families[1].family = qaoaml::core::GraphFamily::kSmallWorld;
+  try {
+    if (!parse_args(argc, argv, options)) {
+      print_usage();
+      return 2;
+    }
+
+    if (!options.merge_only) {
+      std::vector<int> to_run;
+      if (options.shard >= 0) {
+        to_run.push_back(options.shard);
+      } else {
+        for (int s = 0; s < options.shards; ++s) to_run.push_back(s);
+      }
+      for (const int s : to_run) {
+        const ShardSpec shard{s, options.shards};
+        const TransferShardReport report = qaoaml::core::run_transfer_shard(
+            options.transfer, shard, options.directory);
+        std::printf(
+            "shard %d/%d: %zu units (%zu resumed, %zu generated), "
+            "%zu banks trained in %.2f s\n  data %s\n",
+            s, options.shards, report.units_owned, report.units_resumed,
+            report.units_generated, report.banks_trained, report.seconds,
+            report.data_path.c_str());
+      }
+      if (options.shard >= 0 && options.shards > 1) {
+        if (!options.no_merge) {
+          std::printf(
+              "merge skipped (ran only shard %d of %d); run --merge-only "
+              "once every shard is complete\n",
+              options.shard, options.shards);
+        }
+        return 0;
+      }
+    }
+
+    if (options.no_merge) return 0;
+    const std::vector<TransferCell> cells = qaoaml::core::merge_transfer_shards(
+        options.transfer, options.shards, options.directory);
+    print_matrix(options.transfer, cells);
+    if (!options.out.empty()) {
+      const std::string out_path =
+          (std::filesystem::path(options.directory) / options.out).string();
+      std::ofstream os(out_path);
+      qaoaml::require(os.good(), "run_transfer: cannot open " + out_path);
+      qaoaml::core::write_transfer_report(os, options.transfer, cells);
+      os.flush();  // surface buffered write failures here, not in ~ofstream
+      qaoaml::require(os.good(), "run_transfer: write failed: " + out_path);
+      std::printf("report -> %s\n", out_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run_transfer: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

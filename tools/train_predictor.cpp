@@ -1,0 +1,300 @@
+// Command-line driver for training and serving predictor banks — the
+// train-once / serve-many half of the ML layer.
+//
+// Train mode generates (or loads from a cache) a corpus of one graph
+// family, trains one bank of the chosen model kind on ALL of it (eval
+// instances live in separate experiments, so no split is held out
+// here), and optionally serializes the bank; load mode deserializes a
+// bank trained by any earlier process and serves predictions from it.
+// Because predictions are bit-identical after a reload (the
+// ml/serialize.hpp contract), the two modes are interchangeable
+// downstream — CI diffs their --predict output to prove it.
+//
+//   # train on a family and save the bank:
+//   train_predictor --train-family small-world --model GPR
+//       --graphs 64 --depth 4 --save bank.qpb --predict 0.6,0.4,3
+//
+//   # a different process serves the same predictions:
+//   train_predictor --load bank.qpb --predict 0.6,0.4,3
+//
+// Thread count comes from QAOAML_THREADS; see docs/CONFIGURATION.md
+// for every knob and docs/MODELS.md for the bank file format.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <iterator>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "core/parameter_dataset.hpp"
+#include "core/parameter_predictor.hpp"
+
+namespace {
+
+using qaoaml::cli::to_double;
+using qaoaml::cli::to_int;
+using qaoaml::cli::to_u64;
+using qaoaml::core::DatasetConfig;
+using qaoaml::core::ParameterDataset;
+using qaoaml::core::ParameterPredictor;
+using qaoaml::core::PredictorConfig;
+
+struct PredictRequest {
+  double gamma1 = 0.0;
+  double beta1 = 0.0;
+  int target_depth = 2;
+};
+
+struct CliOptions {
+  DatasetConfig dataset;
+  PredictorConfig predictor;
+  std::string corpus_cache;  // when set: load_or_generate through this path
+  std::string save_path;
+  std::string load_path;
+  std::vector<PredictRequest> predictions;
+};
+
+void print_usage() {
+  std::printf(
+      "usage: train_predictor [options]\n"
+      "\n"
+      "training corpus (ignored with --load):\n"
+      "  --train-family F  erdos-renyi (default) | regular |\n"
+      "                    weighted-erdos-renyi | small-world | mixed\n"
+      "  --graphs N        corpus size (default 64)\n"
+      "  --nodes N         nodes per graph (default 8)\n"
+      "  --depth D         corpus depths 1..D = predictable target depths\n"
+      "                    (default 4)\n"
+      "  --restarts R      multistart count per (graph, depth) (default 8)\n"
+      "  --optimizer S     L-BFGS-B | Nelder-Mead | SLSQP | COBYLA\n"
+      "  --seed S          master seed (default 42)\n"
+      "  --edge-prob F     ER edge probability (default 0.5)\n"
+      "  --degree D        regular-family degree (default 3)\n"
+      "  --weight S        weighted-ER law: uniform | gaussian\n"
+      "  --weight-low F    uniform lower bound     --weight-high F  upper\n"
+      "  --weight-mean F   gaussian mean           --weight-sd F    std dev\n"
+      "  --neighbors K     small-world ring degree --rewire-prob F  rewiring\n"
+      "  --corpus PATH     cache the corpus at PATH (resumable generation\n"
+      "                    belongs to generate_corpus; this caches whole\n"
+      "                    files)\n"
+      "\n"
+      "bank:\n"
+      "  --model M         GPR (default) | LM | RTREE | RSVM\n"
+      "  --save PATH       serialize the trained bank to PATH\n"
+      "  --load PATH       deserialize a bank instead of training\n"
+      "\n"
+      "serving:\n"
+      "  --predict G,B,P   print the predicted depth-P angles for the\n"
+      "                    depth-1 optimum (gamma1=G, beta1=B); repeatable\n"
+      "\n"
+      "Prediction lines print with 17 significant digits and are\n"
+      "byte-identical between a just-trained bank and a reloaded one.\n");
+}
+
+/// Parses "gamma1,beta1,depth".
+bool to_predict_request(const char* text, PredictRequest& out) {
+  const std::string s = text;
+  const auto c1 = s.find(',');
+  const auto c2 = s.find(',', c1 == std::string::npos ? c1 : c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos) return false;
+  return to_double(s.substr(0, c1).c_str(), out.gamma1) &&
+         to_double(s.substr(c1 + 1, c2 - c1 - 1).c_str(), out.beta1) &&
+         to_int(s.substr(c2 + 1).c_str(), out.target_depth);
+}
+
+bool parse_args(int argc, char** argv, CliOptions& options) {
+  const std::pair<const char*, std::function<bool(const char*)>>
+      value_flags[] = {
+          {"--train-family",
+           [&](const char* v) {
+             options.dataset.ensemble.family =
+                 qaoaml::core::family_from_string(v);  // throws on typo
+             return true;
+           }},
+          {"--graphs",
+           [&](const char* v) { return to_int(v, options.dataset.num_graphs); }},
+          {"--nodes",
+           [&](const char* v) { return to_int(v, options.dataset.num_nodes); }},
+          {"--depth",
+           [&](const char* v) { return to_int(v, options.dataset.max_depth); }},
+          {"--restarts",
+           [&](const char* v) { return to_int(v, options.dataset.restarts); }},
+          {"--optimizer",
+           [&](const char* v) {
+             options.dataset.optimizer =
+                 qaoaml::optim::optimizer_from_string(v);  // throws on typo
+             return true;
+           }},
+          {"--seed",
+           [&](const char* v) { return to_u64(v, options.dataset.seed); }},
+          {"--edge-prob",
+           [&](const char* v) {
+             return to_double(v, options.dataset.ensemble.edge_probability);
+           }},
+          {"--degree",
+           [&](const char* v) {
+             return to_int(v, options.dataset.ensemble.degree);
+           }},
+          {"--weight",
+           [&](const char* v) {
+             const std::string kind = v;
+             if (kind == "uniform") {
+               options.dataset.ensemble.weight =
+                   qaoaml::core::WeightKind::kUniform;
+             } else if (kind == "gaussian") {
+               options.dataset.ensemble.weight =
+                   qaoaml::core::WeightKind::kGaussian;
+             } else {
+               return false;
+             }
+             return true;
+           }},
+          {"--weight-low",
+           [&](const char* v) {
+             return to_double(v, options.dataset.ensemble.weight_low);
+           }},
+          {"--weight-high",
+           [&](const char* v) {
+             return to_double(v, options.dataset.ensemble.weight_high);
+           }},
+          {"--weight-mean",
+           [&](const char* v) {
+             return to_double(v, options.dataset.ensemble.weight_mean);
+           }},
+          {"--weight-sd",
+           [&](const char* v) {
+             return to_double(v, options.dataset.ensemble.weight_sd);
+           }},
+          {"--neighbors",
+           [&](const char* v) {
+             return to_int(v, options.dataset.ensemble.neighbors);
+           }},
+          {"--rewire-prob",
+           [&](const char* v) {
+             return to_double(v, options.dataset.ensemble.rewire_probability);
+           }},
+          {"--corpus",
+           [&](const char* v) {
+             options.corpus_cache = v;
+             return true;
+           }},
+          {"--model",
+           [&](const char* v) {
+             options.predictor.model =
+                 qaoaml::ml::regressor_from_string(v);  // throws on typo
+             return true;
+           }},
+          {"--save",
+           [&](const char* v) {
+             options.save_path = v;
+             return true;
+           }},
+          {"--load",
+           [&](const char* v) {
+             options.load_path = v;
+             return true;
+           }},
+          {"--predict",
+           [&](const char* v) {
+             PredictRequest request;
+             if (!to_predict_request(v, request)) return false;
+             options.predictions.push_back(request);
+             return true;
+           }},
+      };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      std::exit(0);
+    }
+    const auto* entry = std::find_if(
+        std::begin(value_flags), std::end(value_flags),
+        [&](const auto& flag) { return arg == flag.first; });
+    if (entry == std::end(value_flags)) {
+      std::fprintf(stderr, "train_predictor: unknown option %s\n", arg.c_str());
+      return false;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "train_predictor: %s needs a value\n", arg.c_str());
+      return false;
+    }
+    if (!entry->second(argv[++i])) {
+      std::fprintf(stderr, "train_predictor: invalid value '%s' for %s\n",
+                   argv[i], arg.c_str());
+      return false;
+    }
+  }
+  if (!options.load_path.empty() && !options.save_path.empty()) {
+    std::fprintf(stderr,
+                 "train_predictor: --load and --save conflict (a loaded bank "
+                 "is already on disk)\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  // A serving-friendly default scale (the paper's 330-graph corpus is
+  // generate_corpus territory).
+  options.dataset.num_graphs = 64;
+  options.dataset.max_depth = 4;
+  options.dataset.restarts = 8;
+  try {
+    if (!parse_args(argc, argv, options)) {
+      print_usage();
+      return 2;
+    }
+
+    ParameterPredictor bank(options.predictor);
+    if (!options.load_path.empty()) {
+      bank = ParameterPredictor::load(options.load_path);
+      std::printf("loaded %s bank (max depth %d) from %s\n",
+                  qaoaml::ml::to_string(bank.config().model).c_str(),
+                  bank.max_depth(), options.load_path.c_str());
+    } else {
+      const ParameterDataset corpus =
+          options.corpus_cache.empty()
+              ? ParameterDataset::generate(options.dataset)
+              : ParameterDataset::load_or_generate(options.dataset,
+                                                   options.corpus_cache);
+      std::vector<std::size_t> all(corpus.size());
+      std::iota(all.begin(), all.end(), std::size_t{0});
+      bank.train(corpus, all);
+      std::printf(
+          "trained %s bank on %zu %s instances (%zu optimal parameters, "
+          "max depth %d)\n",
+          qaoaml::ml::to_string(bank.config().model).c_str(), corpus.size(),
+          to_string(options.dataset.ensemble.family).c_str(),
+          corpus.total_parameter_count(), bank.max_depth());
+      if (!options.save_path.empty()) {
+        bank.save(options.save_path);
+        std::printf("saved bank -> %s\n", options.save_path.c_str());
+      }
+    }
+
+    for (const PredictRequest& request : options.predictions) {
+      const std::vector<double> angles =
+          bank.predict(request.gamma1, request.beta1, request.target_depth);
+      // 17 significant digits: byte-comparable across train/load runs.
+      std::printf("predict %.17g %.17g %d:", request.gamma1, request.beta1,
+                  request.target_depth);
+      for (const double a : angles) std::printf(" %.17g", a);
+      std::printf("\n");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "train_predictor: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
