@@ -4,6 +4,8 @@
 #include <sys/file.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -11,6 +13,60 @@
 #include "common/error.hpp"
 
 namespace qaoaml {
+namespace {
+
+/// RAII close() so every early exit below releases the descriptor.
+struct Fd {
+  int fd = -1;
+  explicit Fd(int value) : fd(value) {}
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// fsyncs the directory containing `path`, so the rename that just put
+/// a file there is itself durable (POSIX: rename alone only becomes
+/// persistent once the directory entry reaches disk).  Filesystems
+/// that cannot sync a directory handle (EINVAL/ENOTSUP on some network
+/// mounts) are tolerated — the rename already happened, and refusing
+/// to return the committed state would be worse than a weaker
+/// durability guarantee the mount never offered.
+void fsync_parent_directory(const std::string& path) {
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  const Fd fd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
+  if (fd.fd < 0) return;  // same tolerance as a non-syncable mount
+  ::fsync(fd.fd);
+}
+
+/// Writes `content` to `tmp` in binary (no translation, matching the
+/// binary-mode no-op comparison in replace_file_atomic) and fsyncs it,
+/// so the bytes are on disk BEFORE the caller renames the file into
+/// place.  Throws on any short write or failed sync.
+void write_file_synced(const std::string& tmp, const std::string& content) {
+  const Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                     0644));
+  require(fd.fd >= 0, "replace_file_atomic: cannot open " + tmp + " (" +
+                          std::strerror(errno) + ")");
+  const char* data = content.data();
+  std::size_t remaining = content.size();
+  while (remaining > 0) {
+    const ssize_t written = ::write(fd.fd, data, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      throw InvalidArgument("replace_file_atomic: write failed: " + tmp +
+                            " (" + std::strerror(errno) + ")");
+    }
+    data += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+  require(::fsync(fd.fd) == 0, "replace_file_atomic: fsync failed: " + tmp +
+                                   " (" + std::strerror(errno) + ")");
+}
+
+}  // namespace
 
 FileLock::FileLock(const std::string& path)
     : fd_(::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644)) {
@@ -28,6 +84,14 @@ FileLock::~FileLock() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+bool is_locked(const std::string& path) {
+  const Fd fd(::open(path.c_str(), O_RDWR | O_CLOEXEC));
+  if (fd.fd < 0) return false;  // no lock file -> nobody holds it
+  if (::flock(fd.fd, LOCK_EX | LOCK_NB) != 0) return true;
+  ::flock(fd.fd, LOCK_UN);
+  return false;
+}
+
 void replace_file_atomic(const std::string& path, const std::string& content) {
   {
     std::ifstream is(path, std::ios::binary);
@@ -41,19 +105,23 @@ void replace_file_atomic(const std::string& path, const std::string& content) {
   // processes rewriting the same path never collide on the temp file.
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
   try {
-    std::ofstream os(tmp, std::ios::trunc);
-    require(os.good(), "replace_file_atomic: cannot open " + tmp);
-    os << content;
-    os.flush();
-    require(os.good(), "replace_file_atomic: write failed: " + tmp);
+    // The temp bytes must be durable before the rename publishes them:
+    // rename-then-crash with an unsynced source can leave an empty or
+    // truncated file under the final name, which is exactly the data
+    // loss this function exists to rule out.
+    write_file_synced(tmp, content);
+    std::filesystem::rename(tmp, path);
   } catch (...) {
     // Don't strand .tmp.<pid> litter in a shared directory on a failed
-    // write (disk full); the retry runs under a new PID.
+    // write (disk full) OR a failed rename (target became a directory,
+    // cross-device move); the retry runs under a new PID.
     std::error_code ignored;
     std::filesystem::remove(tmp, ignored);
     throw;
   }
-  std::filesystem::rename(tmp, path);
+  // Make the rename itself durable: the new directory entry has to
+  // reach disk, or a power cut can resurrect the old file.
+  fsync_parent_directory(path);
 }
 
 }  // namespace qaoaml

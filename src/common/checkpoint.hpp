@@ -33,12 +33,23 @@ class FileLock {
   int fd_;
 };
 
-/// Writes `content` to `path` atomically (PID-suffixed temp file +
-/// rename), so a kill mid-rewrite can never leave the file shorter than
-/// before.  A file that already holds exactly `content` is left
+/// True when another process currently holds the FileLock at `path`
+/// (non-blocking probe; acquires and immediately releases on a free
+/// lock).  A missing lock file counts as unlocked.  The orchestrator
+/// uses this to tell a dead worker (lock released by the kernel) from
+/// a live-but-silent one before retrying its shard.
+bool is_locked(const std::string& path);
+
+/// Writes `content` to `path` atomically AND durably: the bytes go to a
+/// PID-suffixed temp file (binary mode, matching the binary-mode no-op
+/// comparison below) which is fsync'd before the rename, and the
+/// parent directory is fsync'd after it — so neither a kill mid-rewrite
+/// nor a power cut right after the call can leave the file shorter
+/// than before.  A file that already holds exactly `content` is left
 /// untouched — the common no-op resume of a complete shard then costs a
 /// read, not a rewrite (which matters on shared storage).  On a failed
-/// write (e.g. disk full) the temp file is removed before rethrowing.
+/// write (e.g. disk full) or a failed rename the temp file is removed
+/// before rethrowing.
 void replace_file_atomic(const std::string& path, const std::string& content);
 
 }  // namespace qaoaml

@@ -1,13 +1,33 @@
 #include "common/cli.hpp"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <limits>
 #include <sstream>
 
 namespace qaoaml::cli {
+namespace {
+
+/// The strto* family silently skips leading whitespace and accepts a
+/// leading '+' — and strtoull even accepts a '-' and WRAPS the value
+/// (" -5" becomes 18446744073709551611).  The CLI contract wants none
+/// of that: a value must start with a digit, or with '-' exactly where
+/// a negative number is meaningful ('.' additionally for doubles, via
+/// `extra`).  Checking the first byte up front keeps all three parsers
+/// consistent and leaves strto* to validate the rest.
+bool strict_start(const char* text, bool allow_minus, char extra = '\0') {
+  if (text == nullptr || text[0] == '\0') return false;
+  const char c = text[0];
+  if (std::isdigit(static_cast<unsigned char>(c))) return true;
+  if (c == '-' && allow_minus) return true;
+  return extra != '\0' && c == extra;
+}
+
+}  // namespace
 
 bool to_int(const char* text, int& out) {
+  if (!strict_start(text, /*allow_minus=*/true)) return false;
   char* end = nullptr;
   errno = 0;
   const long value = std::strtol(text, &end, 10);
@@ -21,7 +41,7 @@ bool to_int(const char* text, int& out) {
 }
 
 bool to_u64(const char* text, std::uint64_t& out) {
-  if (text[0] == '-') return false;
+  if (!strict_start(text, /*allow_minus=*/false)) return false;
   char* end = nullptr;
   errno = 0;
   const unsigned long long value = std::strtoull(text, &end, 10);
@@ -31,6 +51,7 @@ bool to_u64(const char* text, std::uint64_t& out) {
 }
 
 bool to_double(const char* text, double& out) {
+  if (!strict_start(text, /*allow_minus=*/true, '.')) return false;
   char* end = nullptr;
   errno = 0;
   const double value = std::strtod(text, &end);

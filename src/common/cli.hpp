@@ -15,14 +15,25 @@
 
 namespace qaoaml::cli {
 
-/// Parses a base-10 int; false on garbage, overflow or trailing bytes.
+// All three parsers are strict at the front as well as the back: the
+// value must start with a digit (or a '-' where negatives make sense,
+// or '.' for doubles) — leading whitespace and a leading '+', which
+// the strto* family silently accepts, are rejected.  " -5" in
+// particular must never reach strtoull, which would wrap it to
+// 18446744073709551611.
+
+/// Parses a base-10 int; false on garbage, leading whitespace/'+',
+/// overflow or trailing bytes.
 bool to_int(const char* text, int& out);
 
-/// Parses a non-negative base-10 u64; false on garbage, a leading '-'
-/// (strtoull would silently wrap) or trailing bytes.
+/// Parses a non-negative base-10 u64; false on garbage, leading
+/// whitespace, any sign (strtoull would silently wrap a '-') or
+/// trailing bytes.
 bool to_u64(const char* text, std::uint64_t& out);
 
-/// Parses a double; false on garbage, overflow or trailing bytes.
+/// Parses a double; false on garbage, leading whitespace/'+', overflow
+/// or trailing bytes.  Only numeric spellings are accepted ("inf" and
+/// "nan" are garbage here — no CLI knob wants them).
 bool to_double(const char* text, double& out);
 
 /// Splits "a,b,c" into {"a","b","c"}, dropping empty items.

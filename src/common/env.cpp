@@ -2,24 +2,29 @@
 
 #include <cstdlib>
 
+#include "common/cli.hpp"
+
 namespace qaoaml {
+
+// Env values share the strict cli::to_* semantics: range-checked,
+// whole-string, no leading whitespace or '+'.  Before this,
+// QAOAML_THREADS=99999999999 passed strtol's long range, was
+// static_cast down to an arbitrary int thread count and silently
+// honored; now any value that doesn't round-trip as the target type
+// falls back to the default.
 
 int env_int(const char* name, int fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr) return fallback;
-  char* end = nullptr;
-  const long value = std::strtol(raw, &end, 10);
-  if (end == raw || *end != '\0') return fallback;
-  return static_cast<int>(value);
+  int value = 0;
+  return cli::to_int(raw, value) ? value : fallback;
 }
 
 double env_double(const char* name, double fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr) return fallback;
-  char* end = nullptr;
-  const double value = std::strtod(raw, &end);
-  if (end == raw || *end != '\0') return fallback;
-  return value;
+  double value = 0.0;
+  return cli::to_double(raw, value) ? value : fallback;
 }
 
 std::string env_string(const char* name, const std::string& fallback) {

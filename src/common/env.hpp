@@ -11,11 +11,15 @@
 namespace qaoaml {
 
 /// Returns the integer value of environment variable `name`, or
-/// `fallback` when unset or unparsable.
+/// `fallback` when unset or unparsable.  Parsing follows the strict
+/// cli::to_int contract: out-of-int-range values (QAOAML_THREADS=
+/// 99999999999), trailing garbage, leading whitespace and a leading
+/// '+' all fall back instead of silently truncating.
 int env_int(const char* name, int fallback);
 
 /// Returns the double value of environment variable `name`, or
-/// `fallback` when unset or unparsable.
+/// `fallback` when unset or unparsable (strict cli::to_double
+/// semantics, like env_int).
 double env_double(const char* name, double fallback);
 
 /// Returns the string value of environment variable `name`, or

@@ -1,0 +1,95 @@
+#include "common/shard_protocol.hpp"
+
+#include <sstream>
+
+namespace qaoaml::proto {
+namespace {
+
+/// Extracts exactly the expected operands (and nothing after them).
+template <typename... Fields>
+bool scan(std::istringstream& is, Fields&... fields) {
+  (is >> ... >> fields);
+  if (is.fail()) return false;
+  std::string excess;
+  return !(is >> excess);
+}
+
+}  // namespace
+
+Event parse_line(const std::string& line) {
+  Event event;
+  std::istringstream is(line);
+  std::string sentinel;
+  if (!(is >> sentinel) || sentinel != kSentinel) return event;  // kNone
+
+  event.kind = Event::Kind::kMalformed;
+  std::string verb;
+  if (!(is >> verb)) return event;
+
+  if (verb == "start") {
+    if (scan(is, event.shard, event.total)) event.kind = Event::Kind::kStart;
+  } else if (verb == "progress") {
+    if (scan(is, event.done, event.total, event.units_per_sec)) {
+      event.kind = Event::Kind::kProgress;
+    }
+  } else if (verb == "heartbeat") {
+    std::string excess;
+    if (!(is >> excess)) event.kind = Event::Kind::kHeartbeat;
+  } else if (verb == "done") {
+    if (scan(is, event.generated, event.resumed, event.seconds)) {
+      event.kind = Event::Kind::kDone;
+    }
+  }
+  return event;
+}
+
+void emit_start(std::FILE* out, int shard, std::size_t total_units) {
+  if (out == nullptr) return;
+  std::fprintf(out, "%s start %d %zu\n", kSentinel, shard, total_units);
+  std::fflush(out);
+}
+
+void emit_progress(std::FILE* out, std::size_t done, std::size_t total,
+                   double units_per_sec) {
+  if (out == nullptr) return;
+  std::fprintf(out, "%s progress %zu %zu %.6g\n", kSentinel, done, total,
+               units_per_sec);
+  std::fflush(out);
+}
+
+void emit_heartbeat(std::FILE* out) {
+  if (out == nullptr) return;
+  std::fprintf(out, "%s heartbeat\n", kSentinel);
+  std::fflush(out);
+}
+
+void emit_done(std::FILE* out, std::size_t generated, std::size_t resumed,
+               double seconds) {
+  if (out == nullptr) return;
+  std::fprintf(out, "%s done %zu %zu %.6g\n", kSentinel, generated, resumed,
+               seconds);
+  std::fflush(out);
+}
+
+HeartbeatEmitter::HeartbeatEmitter(std::FILE* out, double interval_s) {
+  if (out == nullptr || interval_s <= 0.0) return;
+  thread_ = std::thread([this, out, interval_s] {
+    const auto interval = std::chrono::duration<double>(interval_s);
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!cv_.wait_for(lock, interval, [&] { return stopping_; })) {
+      emit_heartbeat(out);
+    }
+  });
+}
+
+HeartbeatEmitter::~HeartbeatEmitter() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+}  // namespace qaoaml::proto

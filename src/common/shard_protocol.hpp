@@ -1,0 +1,84 @@
+// The line-framed progress protocol between shard workers and the
+// orchestrator (tools/launch -> core/shard_orchestrator.hpp).
+//
+// Workers run with --progress-stream and interleave protocol lines
+// with their normal human-readable output on stdout:
+//
+//   @qshard start <shard> <total-units>
+//   @qshard progress <done-units> <total-units> <units-per-sec>
+//   @qshard heartbeat
+//   @qshard done <generated> <resumed> <seconds>
+//
+// Every protocol line is flushed immediately (the orchestrator's stall
+// detector counts ANY line as liveness), starts with the "@qshard"
+// sentinel so it can never collide with pipeline chatter, and is
+// self-contained — which is what lets the same frames later travel a
+// TCP socket unchanged when shards move off-box: the transport only
+// has to preserve line boundaries.
+//
+// Parsing is deliberately forgiving: a line that doesn't start with
+// the sentinel is kNone (ordinary worker output, passed through); a
+// sentinel line that fails to parse is kMalformed (a protocol bug
+// worth surfacing, not silently dropping).
+#ifndef QAOAML_COMMON_SHARD_PROTOCOL_HPP
+#define QAOAML_COMMON_SHARD_PROTOCOL_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace qaoaml::proto {
+
+/// The sentinel every protocol line starts with.
+inline constexpr const char* kSentinel = "@qshard";
+
+struct Event {
+  enum class Kind { kNone, kMalformed, kStart, kProgress, kHeartbeat, kDone };
+  Kind kind = Kind::kNone;
+
+  int shard = -1;              ///< kStart
+  std::size_t done = 0;        ///< kProgress
+  std::size_t total = 0;       ///< kStart, kProgress
+  double units_per_sec = 0.0;  ///< kProgress
+  std::size_t generated = 0;   ///< kDone
+  std::size_t resumed = 0;     ///< kDone
+  double seconds = 0.0;        ///< kDone
+};
+
+/// Classifies one worker output line.  Never throws.
+Event parse_line(const std::string& line);
+
+// Emitters: one protocol line + fflush.  `out` may be null (emission
+// disabled), so call sites don't need to branch.
+void emit_start(std::FILE* out, int shard, std::size_t total_units);
+void emit_progress(std::FILE* out, std::size_t done, std::size_t total,
+                   double units_per_sec);
+void emit_heartbeat(std::FILE* out);
+void emit_done(std::FILE* out, std::size_t generated, std::size_t resumed,
+               double seconds);
+
+/// Emits "@qshard heartbeat" every `interval_s` on a background thread
+/// for as long as the object lives — shard units can legitimately take
+/// minutes, and without a heartbeat the orchestrator could not tell
+/// "long unit" from "wedged worker".  A null `out` makes it a no-op.
+class HeartbeatEmitter {
+ public:
+  HeartbeatEmitter(std::FILE* out, double interval_s);
+  ~HeartbeatEmitter();
+  HeartbeatEmitter(const HeartbeatEmitter&) = delete;
+  HeartbeatEmitter& operator=(const HeartbeatEmitter&) = delete;
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace qaoaml::proto
+
+#endif  // QAOAML_COMMON_SHARD_PROTOCOL_HPP

@@ -1,0 +1,232 @@
+#include "common/subprocess.hpp"
+
+#include <csignal>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace qaoaml {
+
+std::string Subprocess::ExitStatus::describe() const {
+  if (exited) return "exit " + std::to_string(code);
+  if (signaled) {
+    const char* name = ::strsignal(code);
+    return "signal " + std::to_string(code) +
+           (name != nullptr ? " (" + std::string(name) + ")" : "");
+  }
+  return "unknown status";
+}
+
+Subprocess Subprocess::spawn(
+    const std::vector<std::string>& argv,
+    const std::vector<std::pair<std::string, std::string>>& env) {
+  require(!argv.empty(), "Subprocess::spawn: empty argv");
+
+  int fds[2];
+  require(::pipe2(fds, O_CLOEXEC) == 0,
+          "Subprocess::spawn: pipe failed (" + std::string(strerror(errno)) +
+              ")");
+
+  // The exec arguments must be materialized BEFORE fork: the child may
+  // not allocate (a fork of a multithreaded parent only guarantees
+  // async-signal-safe calls, and malloc is not one).
+  std::vector<char*> args;
+  args.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    args.push_back(const_cast<char*>(arg.c_str()));
+  }
+  args.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw InvalidArgument("Subprocess::spawn: fork failed (" +
+                          std::string(strerror(errno)) + ")");
+  }
+
+  if (pid == 0) {
+    // Child: stdout and stderr both feed the parent's pipe; the read
+    // end and the original write end close via O_CLOEXEC on exec.
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::dup2(fds[1], STDERR_FILENO);
+    for (const auto& [name, value] : env) {
+      ::setenv(name.c_str(), value.c_str(), 1);
+    }
+    ::execvp(args[0], args.data());
+    // Only reached when exec failed; report through the pipe and use
+    // the shell's "command not found" convention.
+    const char* msg = "exec failed: ";
+    (void)!::write(STDERR_FILENO, msg, strlen(msg));
+    (void)!::write(STDERR_FILENO, args[0], strlen(args[0]));
+    (void)!::write(STDERR_FILENO, "\n", 1);
+    ::_exit(127);
+  }
+
+  ::close(fds[1]);
+  Subprocess child;
+  child.pid_ = pid;
+  child.stdout_fd_ = fds[0];
+  return child;
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept { *this = std::move(other); }
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    this->~Subprocess();
+    pid_ = other.pid_;
+    stdout_fd_ = other.stdout_fd_;
+    reaped_ = other.reaped_;
+    status_ = other.status_;
+    buffer_ = std::move(other.buffer_);
+    saw_eof_ = other.saw_eof_;
+    other.pid_ = -1;
+    other.stdout_fd_ = -1;
+    other.reaped_ = true;
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() {
+  if (valid() && !reaped_) {
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+    }
+    reaped_ = true;
+  }
+  close_stdout();
+}
+
+void Subprocess::close_stdout() {
+  if (stdout_fd_ >= 0) {
+    ::close(stdout_fd_);
+    stdout_fd_ = -1;
+  }
+}
+
+bool Subprocess::pop_buffered_line(std::string& line) {
+  const std::size_t newline = buffer_.find('\n');
+  if (newline == std::string::npos) return false;
+  line.assign(buffer_, 0, newline);
+  buffer_.erase(0, newline + 1);
+  return true;
+}
+
+Subprocess::ReadResult Subprocess::read_line(std::string& line,
+                                             int timeout_ms) {
+  require(valid(), "Subprocess::read_line: no child");
+  if (pop_buffered_line(line)) return ReadResult::kLine;
+  if (saw_eof_ || stdout_fd_ < 0) {
+    // Deliver a final line the child never newline-terminated (its
+    // last words before a crash) exactly once.
+    if (!buffer_.empty()) {
+      line = std::move(buffer_);
+      buffer_.clear();
+      return ReadResult::kLine;
+    }
+    return ReadResult::kEof;
+  }
+
+  struct pollfd pfd {};
+  pfd.fd = stdout_fd_;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw InvalidArgument("Subprocess::read_line: poll failed (" +
+                            std::string(strerror(errno)) + ")");
+    }
+    if (ready == 0) return ReadResult::kTimeout;
+
+    char chunk[4096];
+    const ssize_t n = ::read(stdout_fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw InvalidArgument("Subprocess::read_line: read failed (" +
+                            std::string(strerror(errno)) + ")");
+    }
+    if (n == 0) {
+      saw_eof_ = true;
+      close_stdout();
+      if (!buffer_.empty()) {
+        line = std::move(buffer_);
+        buffer_.clear();
+        return ReadResult::kLine;
+      }
+      return ReadResult::kEof;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    if (pop_buffered_line(line)) return ReadResult::kLine;
+    // A partial line arrived; poll again within the SAME call.  The
+    // timeout restarts, which is fine — callers use it as an activity
+    // bound, and bytes arriving IS activity.
+  }
+}
+
+Subprocess::ExitStatus Subprocess::wait() {
+  require(valid(), "Subprocess::wait: no child");
+  if (reaped_) return status_;
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid_, &status, 0);
+    if (r >= 0) break;
+    if (errno != EINTR) {
+      throw InvalidArgument("Subprocess::wait: waitpid failed (" +
+                            std::string(strerror(errno)) + ")");
+    }
+  }
+  reaped_ = true;
+  if (WIFEXITED(status)) {
+    status_.exited = true;
+    status_.code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    status_.signaled = true;
+    status_.code = WTERMSIG(status);
+  }
+  return status_;
+}
+
+bool Subprocess::try_wait(ExitStatus& status) {
+  require(valid(), "Subprocess::try_wait: no child");
+  if (reaped_) {
+    status = status_;
+    return true;
+  }
+  int raw = 0;
+  const pid_t r = ::waitpid(pid_, &raw, WNOHANG);
+  if (r == 0) return false;
+  if (r < 0) {
+    if (errno == EINTR) return false;
+    throw InvalidArgument("Subprocess::try_wait: waitpid failed (" +
+                          std::string(strerror(errno)) + ")");
+  }
+  reaped_ = true;
+  if (WIFEXITED(raw)) {
+    status_.exited = true;
+    status_.code = WEXITSTATUS(raw);
+  } else if (WIFSIGNALED(raw)) {
+    status_.signaled = true;
+    status_.code = WTERMSIG(raw);
+  }
+  status = status_;
+  return true;
+}
+
+void Subprocess::kill(int signum) {
+  if (valid() && !reaped_) ::kill(pid_, signum);
+}
+
+void Subprocess::kill() { kill(SIGKILL); }
+
+}  // namespace qaoaml

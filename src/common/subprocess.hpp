@@ -1,0 +1,97 @@
+// Child-process primitive for the multi-process shard orchestrator
+// (core/shard_orchestrator.hpp, tools/launch).
+//
+// A Subprocess is fork+execvp with the child's stdout AND stderr
+// multiplexed into one pipe the parent reads line by line — the shard
+// workers speak a line-framed protocol (common/shard_protocol.hpp), so
+// lines are the natural unit, and folding stderr in means a worker's
+// error text arrives through the same ordered stream instead of racing
+// it.  Reads take a timeout (poll(2)) so a monitor can interleave
+// "did it say anything?" with heartbeat/stall bookkeeping without
+// dedicating a thread per pipe.
+#ifndef QAOAML_COMMON_SUBPROCESS_HPP
+#define QAOAML_COMMON_SUBPROCESS_HPP
+
+#include <sys/types.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qaoaml {
+
+class Subprocess {
+ public:
+  /// How a child ended.  `code` is the exit status when `exited`, the
+  /// terminating signal number when `signaled`.
+  struct ExitStatus {
+    bool exited = false;
+    bool signaled = false;
+    int code = 0;
+
+    bool success() const { return exited && code == 0; }
+    /// "exit 3" / "signal 9 (SIGKILL)" — for failure messages.
+    std::string describe() const;
+  };
+
+  enum class ReadResult {
+    kLine,     ///< a complete line was returned (newline stripped)
+    kTimeout,  ///< nothing arrived within the timeout
+    kEof       ///< pipe closed and buffer drained; wait() next
+  };
+
+  /// Spawns argv[0] (PATH-resolved) with the given arguments.  `env`
+  /// entries are setenv'd in the child between fork and exec, on top
+  /// of the inherited environment.  Throws InvalidArgument when the
+  /// pipe or fork fails; an unexecutable binary surfaces as exit code
+  /// 127 from wait() (the exec error text arrives through the pipe).
+  static Subprocess spawn(
+      const std::vector<std::string>& argv,
+      const std::vector<std::pair<std::string, std::string>>& env = {});
+
+  Subprocess() = default;
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// Kills (SIGKILL) and reaps a child still running — a dropped
+  /// handle must not leak a worker process.
+  ~Subprocess();
+
+  bool valid() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+
+  /// Returns the next complete output line within `timeout_ms`
+  /// (newline stripped; a final unterminated line is delivered before
+  /// kEof so a crashing child's last words are not lost).
+  ReadResult read_line(std::string& line, int timeout_ms);
+
+  /// Blocks until the child exits and reaps it.  Idempotent: after the
+  /// first call the stored status is returned.
+  ExitStatus wait();
+
+  /// Non-blocking reap; true (with `status` filled) once the child has
+  /// exited.
+  bool try_wait(ExitStatus& status);
+
+  /// Sends `signum` (default SIGKILL).  No-op after the child has been
+  /// reaped.
+  void kill(int signum);
+  void kill();
+
+ private:
+  pid_t pid_ = -1;
+  int stdout_fd_ = -1;
+  bool reaped_ = false;
+  ExitStatus status_{};
+  std::string buffer_;   ///< bytes read but not yet returned as lines
+  bool saw_eof_ = false;
+
+  void close_stdout();
+  bool pop_buffered_line(std::string& line);
+};
+
+}  // namespace qaoaml
+
+#endif  // QAOAML_COMMON_SUBPROCESS_HPP

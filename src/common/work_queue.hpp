@@ -1,0 +1,102 @@
+// Bounded multi-producer / multi-consumer work queue — the feeding
+// primitive of the multi-process shard orchestrator
+// (core/shard_orchestrator.hpp, tools/launch).
+//
+// Semantics:
+//  - push() blocks while the queue is full (backpressure: a producer
+//    can enumerate millions of work items without materializing them),
+//    and throws QueueClosed once close() has been called.
+//  - pop() blocks while the queue is empty and returns false only when
+//    the queue is closed AND drained — consumers therefore process
+//    every item that was ever accepted, in FIFO order.
+//  - close() wakes every blocked producer and consumer.  It is the
+//    only shutdown signal; there is no poison-pill item.
+//
+// The queue is deliberately dumb: no priorities, no stealing, no
+// unbounded mode.  Orchestration policy (retries, backoff, stall
+// detection) lives in the consumer, not here.
+#ifndef QAOAML_COMMON_WORK_QUEUE_HPP
+#define QAOAML_COMMON_WORK_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qaoaml {
+
+/// Thrown by push() on a closed queue — a producer bug, not a normal
+/// shutdown path (consumers see close() as pop() returning false).
+class QueueClosed : public Error {
+ public:
+  QueueClosed() : Error("BoundedWorkQueue: push on a closed queue") {}
+};
+
+template <typename T>
+class BoundedWorkQueue {
+ public:
+  explicit BoundedWorkQueue(std::size_t capacity) : capacity_(capacity) {
+    require(capacity >= 1, "BoundedWorkQueue: capacity must be >= 1");
+  }
+
+  BoundedWorkQueue(const BoundedWorkQueue&) = delete;
+  BoundedWorkQueue& operator=(const BoundedWorkQueue&) = delete;
+
+  /// Blocks until there is room (or the queue closes, which throws).
+  void push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) throw QueueClosed();
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+  }
+
+  /// Blocks until an item is available (true) or the queue is closed
+  /// and drained (false).
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Irreversible; wakes all waiters.  Items already queued still
+  /// drain through pop().
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace qaoaml
+
+#endif  // QAOAML_COMMON_WORK_QUEUE_HPP

@@ -264,6 +264,7 @@ ShardReport CorpusPipeline::run_shard(const CorpusShardConfig& config) {
     ++resume_count;
   }
   report.units_resumed = resume_count;
+  if (config.progress) config.progress(resume_count, owned.size());
 
   // Rewrite both files down to the validated prefix — atomically, via
   // temp + rename, so a kill mid-rewrite cannot lose units that were
@@ -296,6 +297,9 @@ ShardReport CorpusPipeline::run_shard(const CorpusShardConfig& config) {
   const std::vector<std::size_t> pending(owned.begin() + resume_count,
                                          owned.end());
   std::vector<InstanceRecord> slots(pending.size());
+  // Commits are serialized by run_units_in_order, so the plain counter
+  // feeding the progress hook needs no synchronization of its own.
+  std::size_t committed = resume_count;
   run_units_in_order(
       pending,
       [&](std::size_t unit, std::size_t slot) {
@@ -314,6 +318,7 @@ ShardReport CorpusPipeline::run_shard(const CorpusShardConfig& config) {
         require(data.good() && manifest.good(),
                 "CorpusPipeline::run_shard: write failed at unit " +
                     std::to_string(unit));
+        if (config.progress) config.progress(++committed, owned.size());
       });
   require(data.good() && manifest.good(),
           "CorpusPipeline::run_shard: write failed");

@@ -70,6 +70,17 @@ struct ShardSpec {
 /// Ascending list of the units in [0, total) that `shard` owns.
 std::vector<std::size_t> shard_units(std::size_t total, const ShardSpec& shard);
 
+/// Progress hook shared by all three shard pipelines (corpus, Table-I,
+/// transfer): invoked with (units committed so far, units owned) —
+/// once right after the resume prefix is validated, then after every
+/// commit.  Calls are serialized (they ride the in-order commit path)
+/// but arrive on worker threads, so the callback must be cheap and
+/// must not re-enter the pipeline.  tools wire this to the line-framed
+/// stdout protocol (common/shard_protocol.hpp) that tools/launch
+/// parses for %-complete / rate / ETA and stall detection.
+using ShardProgressFn =
+    std::function<void(std::size_t done, std::size_t total)>;
+
 /// Asynchronous in-order unit scheduler, the pipeline's core primitive.
 ///
 /// Runs `run(unit, slot)` for every entry of `units` (slot = position in
@@ -95,6 +106,7 @@ struct CorpusShardConfig {
   DatasetConfig dataset;      ///< the full corpus being generated
   ShardSpec shard;            ///< which slice this process owns
   std::string directory = "."; ///< where shard data + manifest files live
+  ShardProgressFn progress;   ///< optional per-commit progress hook
 };
 
 /// What one run_shard call did.

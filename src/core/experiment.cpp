@@ -279,7 +279,8 @@ Table1ShardReport run_table1_shard(const ParameterDataset& dataset,
                                    const ParameterPredictor& predictor,
                                    const ExperimentConfig& config,
                                    const ShardSpec& shard,
-                                   const std::string& directory) {
+                                   const std::string& directory,
+                                   const ShardProgressFn& progress) {
   require(predictor.trained(), "run_table1_shard: predictor not trained");
   validate_sweep(dataset, test_records, config);
 
@@ -310,6 +311,7 @@ Table1ShardReport run_table1_shard(const ParameterDataset& dataset,
     ++resume_count;
   }
   report.units_resumed = resume_count;
+  if (progress) progress(resume_count, owned.size());
 
   {
     std::ostringstream prefix;
@@ -328,6 +330,8 @@ Table1ShardReport run_table1_shard(const ParameterDataset& dataset,
   const std::vector<std::size_t> pending(owned.begin() + resume_count,
                                          owned.end());
   std::vector<GraphStats> slots(pending.size());
+  // Commits are serialized, so the progress counter needs no lock.
+  std::size_t committed = resume_count;
   run_units_in_order(
       pending,
       [&](std::size_t unit, std::size_t slot) {
@@ -342,6 +346,7 @@ Table1ShardReport run_table1_shard(const ParameterDataset& dataset,
         require(data.good(),
                 "run_table1_shard: write failed at unit " +
                     std::to_string(unit));
+        if (progress) progress(++committed, owned.size());
       });
   require(data.good(), "run_table1_shard: write failed");
 

@@ -107,12 +107,16 @@ std::string table1_shard_path(const std::string& directory,
 /// CorpusPipeline::run_shard: stale configs are discarded, a truncated
 /// trailing line is regenerated, prefix rewrites are atomic, and a
 /// flock sidecar makes concurrent duplicate invocations fail fast.
+/// `progress` (optional) follows the ShardProgressFn contract of
+/// core/corpus_pipeline.hpp: serialized (done, owned) calls after the
+/// resume scan and after every commit.
 Table1ShardReport run_table1_shard(const ParameterDataset& dataset,
                                    const std::vector<std::size_t>& test_records,
                                    const ParameterPredictor& predictor,
                                    const ExperimentConfig& config,
                                    const ShardSpec& shard,
-                                   const std::string& directory);
+                                   const std::string& directory,
+                                   const ShardProgressFn& progress = {});
 
 /// Merges the complete shard files of a `shard_count`-way Table-I run
 /// into the aggregated rows.  Throws if any shard is missing units or

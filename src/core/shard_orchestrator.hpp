@@ -1,0 +1,107 @@
+// The multi-process shard orchestrator behind tools/launch.
+//
+// Process model: one orchestrator process, K monitor threads
+// (std::jthread), at most K live worker processes.  Shard indices flow
+// through a BoundedWorkQueue (common/work_queue.hpp) — monitors pop a
+// shard, spawn its worker (common/subprocess.hpp), and follow the
+// worker's line-framed stdout protocol (common/shard_protocol.hpp)
+// until exit.  A dedicated scheduler thread owns admission: it feeds
+// the initial shards, holds failed shards through their exponential
+// backoff, and closes the queue once every shard is terminal — so a
+// monitor never blocks pushing a retry into a full queue (that
+// self-feeding deadlock is the classic bounded-queue bug).
+//
+// Failure policy, per shard attempt:
+//  - nonzero exit / death by signal  -> failed
+//  - no output (not even a heartbeat) for stall_timeout_s -> SIGKILL,
+//    failed.  The shard's flock sidecar is probed first purely for the
+//    error message: a free lock means the worker is already dead, a
+//    held lock means it was alive but wedged.
+// A failed shard retries after backoff_initial_s * backoff_factor^n
+// (capped at backoff_max_s) until retry_budget retries are spent; the
+// checkpoint/resume contract of the pipelines makes a retry cheap — it
+// resumes from the last committed unit, it does not start over.
+//
+// The orchestrator only supervises; it never touches shard files.
+// Merging stays with the worker CLIs' --merge-only mode (tools/launch
+// runs it once every shard succeeds), which is what keeps the merged
+// artifact bit-identical to a single-process run.
+#ifndef QAOAML_CORE_SHARD_ORCHESTRATOR_HPP
+#define QAOAML_CORE_SHARD_ORCHESTRATOR_HPP
+
+#include <cstddef>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/shard_protocol.hpp"
+
+namespace qaoaml::core {
+
+struct OrchestratorConfig {
+  int shard_count = 1;
+  int workers = 1;      ///< max concurrent worker processes
+  int retry_budget = 3; ///< retries per shard AFTER its first attempt
+
+  double backoff_initial_s = 0.5;
+  double backoff_factor = 2.0;
+  double backoff_max_s = 30.0;
+
+  /// A worker that emits nothing (no progress, no heartbeat, no
+  /// chatter) for this long is killed and the attempt fails.  <= 0
+  /// disables stall detection.  Workers heartbeat every ~1 s
+  /// (QAOAML_HEARTBEAT_S), so the default only fires on a genuinely
+  /// wedged or dead process.
+  double stall_timeout_s = 60.0;
+
+  /// Queue bound between the scheduler and the monitors; 0 picks
+  /// max(2 * workers, 2).  Deliberately small: admission order is the
+  /// scheduler's job, the queue only decouples it from spawn latency.
+  std::size_t queue_capacity = 0;
+
+  /// argv for shard s's worker process (required).  Called once per
+  /// attempt, from a monitor thread.
+  std::function<std::vector<std::string>(int shard)> worker_argv;
+
+  /// Path of shard s's flock sidecar, probed on a stall to sharpen the
+  /// error message (optional).
+  std::function<std::string(int shard)> lock_path;
+
+  /// Aggregated progress + per-worker chatter sink; null = quiet.
+  std::FILE* progress_out = nullptr;
+
+  /// Failure-injection hook for tests and CI: invoked on every
+  /// protocol event a live worker emits; returning true SIGKILLs that
+  /// worker, and the attempt fails (and retries) through the normal
+  /// path.  Null = never.
+  std::function<bool(int shard, int attempt, const proto::Event& event)>
+      kill_injector;
+};
+
+/// Terminal state of one shard after orchestration.
+struct ShardOutcome {
+  int shard = 0;
+  int attempts = 0;        ///< total attempts (>= 1 once scheduled)
+  bool succeeded = false;
+  std::string error;       ///< last failure ("" when the shard never failed)
+  std::size_t units_done = 0;
+  std::size_t units_total = 0;
+  std::size_t units_generated = 0;  ///< from the worker's `done` frame
+  std::size_t units_resumed = 0;    ///< from the worker's `done` frame
+};
+
+struct OrchestratorReport {
+  std::vector<ShardOutcome> shards;  ///< indexed by shard
+  double seconds = 0.0;
+  bool succeeded = false;  ///< every shard succeeded
+};
+
+/// Drives every shard to a terminal state (success, or retry budget
+/// exhausted).  Blocks until done; throws InvalidArgument on a
+/// malformed config.
+OrchestratorReport run_shards(const OrchestratorConfig& config);
+
+}  // namespace qaoaml::core
+
+#endif  // QAOAML_CORE_SHARD_ORCHESTRATOR_HPP

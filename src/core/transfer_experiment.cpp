@@ -443,7 +443,8 @@ std::string transfer_shard_path(const std::string& directory,
 
 TransferShardReport run_transfer_shard(const TransferConfig& config,
                                        const ShardSpec& shard,
-                                       const std::string& directory) {
+                                       const std::string& directory,
+                                       const ShardProgressFn& progress) {
   validate(config);
 
   Timer timer;
@@ -474,6 +475,7 @@ TransferShardReport run_transfer_shard(const TransferConfig& config,
     ++resume_count;
   }
   report.units_resumed = resume_count;
+  if (progress) progress(resume_count, owned.size());
 
   {
     std::ostringstream prefix;
@@ -515,6 +517,8 @@ TransferShardReport run_transfer_shard(const TransferConfig& config,
           "run_transfer_shard: cannot open " + report.data_path);
 
   std::vector<TransferUnitStats> slots(pending.size());
+  // Commits are serialized, so the progress counter needs no lock.
+  std::size_t committed = resume_count;
   run_units_in_order(
       pending,
       [&](std::size_t unit, std::size_t slot) {
@@ -536,6 +540,7 @@ TransferShardReport run_transfer_shard(const TransferConfig& config,
         // keep burning CPU while its commits silently no-op.
         require(data.good(), "run_transfer_shard: write failed at unit " +
                                  std::to_string(unit));
+        if (progress) progress(++committed, owned.size());
       });
   require(data.good(), "run_transfer_shard: write failed");
 

@@ -179,10 +179,13 @@ std::string transfer_shard_path(const std::string& directory,
 /// the shard file in unit order.  Stale configs are discarded, a
 /// truncated trailing line is regenerated, prefix rewrites are atomic,
 /// and a flock sidecar makes concurrent duplicate invocations fail
-/// fast.
+/// fast.  `progress` (optional) follows the ShardProgressFn contract
+/// of core/corpus_pipeline.hpp: serialized (done, owned) calls after
+/// the resume scan and after every commit.
 TransferShardReport run_transfer_shard(const TransferConfig& config,
                                        const ShardSpec& shard,
-                                       const std::string& directory);
+                                       const std::string& directory,
+                                       const ShardProgressFn& progress = {});
 
 /// Merges the complete shard files of a `shard_count`-way run into the
 /// aggregated cells.  Throws if any shard is missing units or was

@@ -1,16 +1,23 @@
-// Tests for the common substrate: RNG, env knobs, table printer,
-// parallel_for.
+// Tests for the common substrate: RNG, env knobs, strict CLI parsing,
+// crash-safe file primitives, table printer, parallel_for.
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <cstdint>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <vector>
 
+#include "common/checkpoint.hpp"
+#include "common/cli.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/subprocess.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 
@@ -158,6 +165,184 @@ TEST(Env, StringFallsBackAndParses) {
   ::setenv("QAOAML_TEST_STR", "value", 1);
   EXPECT_EQ(env_string("QAOAML_TEST_STR", "dflt"), "value");
   ::unsetenv("QAOAML_TEST_STR");
+}
+
+TEST(Cli, ToIntParsesPlainDecimals) {
+  int value = 0;
+  EXPECT_TRUE(cli::to_int("17", value));
+  EXPECT_EQ(value, 17);
+  EXPECT_TRUE(cli::to_int("-5", value));
+  EXPECT_EQ(value, -5);
+  EXPECT_TRUE(cli::to_int("0", value));
+  EXPECT_EQ(value, 0);
+}
+
+TEST(Cli, ToIntRejectsLooseSpellingsStrtolWouldAccept) {
+  // strtol quietly skips leading whitespace and accepts '+'; the CLI
+  // grammar must not.
+  int value = 0;
+  EXPECT_FALSE(cli::to_int(" 5", value));
+  EXPECT_FALSE(cli::to_int("\t5", value));
+  EXPECT_FALSE(cli::to_int("+5", value));
+  EXPECT_FALSE(cli::to_int(" -5", value));
+}
+
+TEST(Cli, ToIntRejectsGarbageOverflowAndTrailingBytes) {
+  int value = 0;
+  EXPECT_FALSE(cli::to_int("", value));
+  EXPECT_FALSE(cli::to_int("two", value));
+  EXPECT_FALSE(cli::to_int("12x", value));
+  EXPECT_FALSE(cli::to_int("0x2a", value));
+  EXPECT_FALSE(cli::to_int("12 ", value));
+  EXPECT_FALSE(cli::to_int("99999999999", value));  // > INT_MAX
+}
+
+TEST(Cli, ToU64RejectsEverySignedSpelling) {
+  // " -5" through strtoull wraps to 18446744073709551611 — the exact
+  // bug class these parsers exist to stop.
+  std::uint64_t value = 0;
+  EXPECT_FALSE(cli::to_u64("-5", value));
+  EXPECT_FALSE(cli::to_u64(" -5", value));
+  EXPECT_FALSE(cli::to_u64("+5", value));
+  EXPECT_FALSE(cli::to_u64(" 5", value));
+}
+
+TEST(Cli, ToU64CoversTheFullRange) {
+  std::uint64_t value = 0;
+  EXPECT_TRUE(cli::to_u64("18446744073709551615", value));
+  EXPECT_EQ(value, UINT64_MAX);
+  EXPECT_FALSE(cli::to_u64("18446744073709551616", value));  // overflow
+}
+
+TEST(Cli, ToDoubleIsStrictAtBothEnds) {
+  double value = 0.0;
+  EXPECT_TRUE(cli::to_double("2.5", value));
+  EXPECT_DOUBLE_EQ(value, 2.5);
+  EXPECT_TRUE(cli::to_double("-0.25", value));
+  EXPECT_TRUE(cli::to_double(".5", value));
+  EXPECT_TRUE(cli::to_double("1e-3", value));
+  EXPECT_FALSE(cli::to_double(" 2.5", value));
+  EXPECT_FALSE(cli::to_double("+2.5", value));
+  EXPECT_FALSE(cli::to_double("2.5x", value));
+  EXPECT_FALSE(cli::to_double("", value));
+}
+
+TEST(Cli, ToDoubleRejectsNonNumericSpellings) {
+  // strtod accepts "inf"/"nan"; no knob in this repo wants either.
+  double value = 0.0;
+  EXPECT_FALSE(cli::to_double("inf", value));
+  EXPECT_FALSE(cli::to_double("nan", value));
+  EXPECT_FALSE(cli::to_double("1e999", value));  // overflow
+}
+
+TEST(Checkpoint, ReplaceFileAtomicRoundTripsBinaryContent) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "checkpoint_binary";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "data.txt").string();
+  // CRLF and NUL bytes must survive exactly: a text-mode write would
+  // mangle them and break the merge's bit-identical guarantee.
+  const std::string content("line1\r\nline2\0line3\n", 19);
+  replace_file_atomic(path, content);
+  std::ifstream in(path, std::ios::binary);
+  std::string read_back((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_EQ(read_back, content);
+  // A second identical call is a no-op and must not corrupt anything.
+  replace_file_atomic(path, content);
+  std::ifstream again(path, std::ios::binary);
+  read_back.assign((std::istreambuf_iterator<char>(again)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(read_back, content);
+}
+
+TEST(Checkpoint, ReplaceFileAtomicCleansUpWhenRenameFails) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "checkpoint_rename";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  // rename(2) onto a non-empty directory fails — the temp file must not
+  // be left behind (the original bug leaked one per failed rewrite).
+  const std::filesystem::path target = dir / "occupied";
+  std::filesystem::create_directories(target / "child");
+  // The original failure (here EISDIR) propagates as-is.
+  EXPECT_THROW(replace_file_atomic(target.string(), "payload"),
+               std::exception);
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(entry.path(), target) << "leaked temp file: " << entry.path();
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(Checkpoint, FileLockExcludesARealSecondProcess) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "checkpoint_lock";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "shard.lock").string();
+  EXPECT_FALSE(is_locked(path));
+  {
+    FileLock lock(path);
+    EXPECT_TRUE(is_locked(path));
+    // A genuinely separate process must fail to take the lock while we
+    // hold it — flock(1) -n exits nonzero on contention.
+    Subprocess probe = Subprocess::spawn(
+        {"/usr/bin/flock", "-n", path, "/bin/true"});
+    EXPECT_FALSE(probe.wait().success());
+  }
+  EXPECT_FALSE(is_locked(path));
+  Subprocess probe = Subprocess::spawn(
+      {"/usr/bin/flock", "-n", path, "/bin/true"});
+  EXPECT_TRUE(probe.wait().success());
+}
+
+TEST(Checkpoint, FileLockFailsFastWhenAnotherProcessHoldsIt) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "checkpoint_lock2";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "shard.lock").string();
+  // The child takes the flock on its own fd 9, announces it, then
+  // holds it until killed — exactly a concurrent duplicate shard
+  // invocation.  The sleep runs with fd 9 closed so the shell is the
+  // lock's ONLY holder (flock(1)'s command-mode forks the command with
+  // the lock fd inherited, which would keep the lock alive past the
+  // kill).
+  Subprocess holder = Subprocess::spawn(
+      {"/bin/sh", "-c",
+       "exec 9>\"$0\" && /usr/bin/flock -n 9 && echo held && sleep 30 9>&-",
+       path});
+  std::string line;
+  ASSERT_EQ(holder.read_line(line, 10000), Subprocess::ReadResult::kLine);
+  ASSERT_EQ(line, "held");
+  EXPECT_TRUE(is_locked(path));
+  EXPECT_THROW(FileLock second(path), InvalidArgument);
+  // SIGKILL on the holder releases the flock in the kernel — the
+  // crash-resume property the pipelines rely on.
+  holder.kill();
+  holder.wait();
+  EXPECT_FALSE(is_locked(path));
+  EXPECT_NO_THROW(FileLock reclaimed(path));
+}
+
+TEST(Env, IntFallsBackOnOutOfRangeAndLooseSpellings) {
+  ::setenv("QAOAML_TEST_INT", "99999999999", 1);
+  EXPECT_EQ(env_int("QAOAML_TEST_INT", 5), 5);
+  ::setenv("QAOAML_TEST_INT", " 7", 1);
+  EXPECT_EQ(env_int("QAOAML_TEST_INT", 5), 5);
+  ::setenv("QAOAML_TEST_INT", "+7", 1);
+  EXPECT_EQ(env_int("QAOAML_TEST_INT", 5), 5);
+  ::setenv("QAOAML_TEST_INT", "7 ", 1);
+  EXPECT_EQ(env_int("QAOAML_TEST_INT", 5), 5);
+  ::unsetenv("QAOAML_TEST_INT");
+}
+
+TEST(Env, DoubleFallsBackOnGarbage) {
+  ::setenv("QAOAML_TEST_DBL", "fast", 1);
+  EXPECT_DOUBLE_EQ(env_double("QAOAML_TEST_DBL", 1.5), 1.5);
+  ::setenv("QAOAML_TEST_DBL", "inf", 1);
+  EXPECT_DOUBLE_EQ(env_double("QAOAML_TEST_DBL", 1.5), 1.5);
+  ::unsetenv("QAOAML_TEST_DBL");
 }
 
 TEST(Table, RendersAlignedColumns) {

@@ -1,0 +1,194 @@
+// core::run_shards against scripted fake workers: clean fan-out,
+// retry-with-backoff after worker failure, retry-budget exhaustion,
+// stall detection (silent worker, dead-but-pipe-held worker), and the
+// kill-injection hook that CI's mid-shard SIGKILL job rides on.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/shard_orchestrator.hpp"
+
+namespace qaoaml::core {
+namespace {
+
+std::string unique_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "orchestrator" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// A worker that runs `script` through /bin/sh with $1 = shard index.
+std::function<std::vector<std::string>(int)> shell_worker(
+    const std::string& script) {
+  return [script](int shard) {
+    return std::vector<std::string>{"/bin/sh", "-c", script, "worker",
+                                    std::to_string(shard)};
+  };
+}
+
+/// Protocol frames of a well-behaved worker that owns 2 units.
+const char* kCleanBody =
+    "echo \"@qshard start $1 2\";"
+    "echo \"@qshard progress 1 2 10\";"
+    "echo \"@qshard progress 2 2 10\";"
+    "echo \"@qshard done 2 0 0.01\";";
+
+/// Short backoffs so retry tests stay fast.
+OrchestratorConfig fast_config(int shards, int workers) {
+  OrchestratorConfig config;
+  config.shard_count = shards;
+  config.workers = workers;
+  config.backoff_initial_s = 0.05;
+  config.backoff_factor = 2.0;
+  config.stall_timeout_s = 0.0;  // individual tests opt in
+  return config;
+}
+
+TEST(Orchestrator, ValidatesConfig) {
+  OrchestratorConfig config;  // worker_argv missing
+  config.shard_count = 1;
+  EXPECT_THROW(run_shards(config), InvalidArgument);
+  config.worker_argv = shell_worker("true");
+  config.shard_count = 0;
+  EXPECT_THROW(run_shards(config), InvalidArgument);
+}
+
+TEST(Orchestrator, RunsEveryShardAndAggregatesFrames) {
+  OrchestratorConfig config = fast_config(3, 2);
+  config.worker_argv = shell_worker(std::string(kCleanBody));
+  const OrchestratorReport report = run_shards(config);
+  EXPECT_TRUE(report.succeeded);
+  ASSERT_EQ(report.shards.size(), 3u);
+  for (int s = 0; s < 3; ++s) {
+    const ShardOutcome& shard = report.shards[static_cast<std::size_t>(s)];
+    EXPECT_EQ(shard.shard, s);
+    EXPECT_TRUE(shard.succeeded);
+    EXPECT_EQ(shard.attempts, 1);
+    EXPECT_EQ(shard.error, "");
+    EXPECT_EQ(shard.units_done, 2u);
+    EXPECT_EQ(shard.units_total, 2u);
+    EXPECT_EQ(shard.units_generated, 2u);
+    EXPECT_EQ(shard.units_resumed, 0u);
+  }
+}
+
+TEST(Orchestrator, RetriesAFailedShardUntilItSucceeds) {
+  const std::string dir = unique_dir("retry");
+  // First attempt of every shard fails (after leaving a marker); the
+  // retry sees the marker and completes cleanly.
+  OrchestratorConfig config = fast_config(2, 2);
+  config.retry_budget = 3;
+  config.worker_argv = shell_worker(
+      "if [ -f '" + dir + "/tried.'$1 ]; then " + kCleanBody +
+      " else touch '" + dir + "/tried.'$1; echo boom >&2; exit 3; fi");
+  const OrchestratorReport report = run_shards(config);
+  EXPECT_TRUE(report.succeeded);
+  for (const ShardOutcome& shard : report.shards) {
+    EXPECT_TRUE(shard.succeeded);
+    EXPECT_EQ(shard.attempts, 2);
+    // The last error sticks for post-mortems even after the retry won.
+    EXPECT_NE(shard.error.find("exit 3"), std::string::npos) << shard.error;
+  }
+}
+
+TEST(Orchestrator, StopsRetryingWhenTheBudgetIsExhausted) {
+  OrchestratorConfig config = fast_config(2, 2);
+  config.retry_budget = 1;
+  // Shard 0 always fails; shard 1 is clean.
+  config.worker_argv = shell_worker(
+      "if [ \"$1\" = 0 ]; then exit 9; fi;" + std::string(kCleanBody));
+  const OrchestratorReport report = run_shards(config);
+  EXPECT_FALSE(report.succeeded);
+  EXPECT_FALSE(report.shards[0].succeeded);
+  EXPECT_EQ(report.shards[0].attempts, 2);  // 1 try + 1 retry
+  EXPECT_NE(report.shards[0].error.find("exit 9"), std::string::npos);
+  EXPECT_TRUE(report.shards[1].succeeded);
+}
+
+TEST(Orchestrator, KillsAndRetriesASilentlyStalledWorker) {
+  const std::string dir = unique_dir("stall");
+  OrchestratorConfig config = fast_config(1, 1);
+  config.retry_budget = 2;
+  config.stall_timeout_s = 0.4;
+  // First attempt hangs without a single heartbeat; the retry is clean.
+  config.worker_argv = shell_worker(
+      "if [ -f '" + dir + "/tried' ]; then " + kCleanBody +
+      " else touch '" + dir + "/tried'; sleep 30; fi");
+  const OrchestratorReport report = run_shards(config);
+  EXPECT_TRUE(report.succeeded);
+  EXPECT_EQ(report.shards[0].attempts, 2);
+  EXPECT_NE(report.shards[0].error.find("stalled"), std::string::npos)
+      << report.shards[0].error;
+}
+
+TEST(Orchestrator, StallDiagnosisReportsAFreeLockAsADeadWorker) {
+  const std::string dir = unique_dir("dead");
+  OrchestratorConfig config = fast_config(1, 1);
+  config.retry_budget = 0;
+  config.stall_timeout_s = 0.4;
+  // Nobody ever takes the sidecar lock, so the stall diagnosis must
+  // conclude the real worker process is gone.
+  config.lock_path = [dir](int) { return dir + "/shard.lock"; };
+  config.worker_argv =
+      shell_worker("echo \"@qshard start $1 2\"; sleep 30");
+  const OrchestratorReport report = run_shards(config);
+  EXPECT_FALSE(report.succeeded);
+  EXPECT_NE(report.shards[0].error.find("dead"), std::string::npos)
+      << report.shards[0].error;
+}
+
+TEST(Orchestrator, StallDiagnosisReportsAHeldLockAsAWedgedWorker) {
+  const std::string dir = unique_dir("wedged");
+  OrchestratorConfig config = fast_config(1, 1);
+  config.retry_budget = 0;
+  config.stall_timeout_s = 0.4;
+  config.lock_path = [dir](int) { return dir + "/shard.lock"; };
+  // The worker holds its flock sidecar the whole time it hangs — the
+  // signature of a live-but-wedged process.
+  config.worker_argv = shell_worker(
+      "exec /usr/bin/flock '" + dir +
+      "/shard.lock' /bin/sh -c 'echo \"@qshard start 0 2\"; sleep 30'");
+  const OrchestratorReport report = run_shards(config);
+  EXPECT_FALSE(report.succeeded);
+  EXPECT_NE(report.shards[0].error.find("wedged"), std::string::npos)
+      << report.shards[0].error;
+}
+
+TEST(Orchestrator, KillInjectorForcesARetryOnTheChosenFrame) {
+  OrchestratorConfig config = fast_config(2, 2);
+  config.retry_budget = 2;
+  config.worker_argv = shell_worker(std::string(kCleanBody));
+  config.kill_injector = [](int shard, int attempt,
+                            const proto::Event& event) {
+    return shard == 1 && attempt == 0 &&
+           event.kind == proto::Event::Kind::kProgress && event.done > 0;
+  };
+  const OrchestratorReport report = run_shards(config);
+  EXPECT_TRUE(report.succeeded);
+  EXPECT_EQ(report.shards[0].attempts, 1);
+  EXPECT_EQ(report.shards[1].attempts, 2);
+  EXPECT_NE(report.shards[1].error.find("injected"), std::string::npos);
+}
+
+TEST(Orchestrator, ManyMoreShardsThanWorkersAllComplete) {
+  // Exercises the bounded queue's backpressure: 12 shards flow through
+  // 2 monitor slots and a capacity-4 queue.
+  OrchestratorConfig config = fast_config(12, 2);
+  config.queue_capacity = 4;
+  config.worker_argv = shell_worker(std::string(kCleanBody));
+  const OrchestratorReport report = run_shards(config);
+  EXPECT_TRUE(report.succeeded);
+  for (const ShardOutcome& shard : report.shards) {
+    EXPECT_TRUE(shard.succeeded);
+    EXPECT_EQ(shard.attempts, 1);
+  }
+}
+
+}  // namespace
+}  // namespace qaoaml::core

@@ -1,0 +1,136 @@
+// The @qshard line protocol: emit/parse round trips, tolerant
+// classification of non-protocol chatter, loud classification of
+// malformed sentinel lines, and the background heartbeat emitter.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/shard_protocol.hpp"
+
+namespace qaoaml::proto {
+namespace {
+
+/// Captures what the emitters write via a tmpfile, split into lines.
+class Capture {
+ public:
+  Capture() : file_(std::tmpfile()) {}
+  ~Capture() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  std::FILE* file() { return file_; }
+
+  std::vector<std::string> lines() {
+    std::vector<std::string> out;
+    std::rewind(file_);
+    char buffer[512];
+    while (std::fgets(buffer, sizeof(buffer), file_) != nullptr) {
+      std::string line(buffer);
+      if (!line.empty() && line.back() == '\n') line.pop_back();
+      out.push_back(line);
+    }
+    return out;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+TEST(ShardProtocol, StartRoundTrips) {
+  Capture capture;
+  emit_start(capture.file(), 3, 128);
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  const Event event = parse_line(lines[0]);
+  EXPECT_EQ(event.kind, Event::Kind::kStart);
+  EXPECT_EQ(event.shard, 3);
+  EXPECT_EQ(event.total, 128u);
+}
+
+TEST(ShardProtocol, ProgressRoundTrips) {
+  Capture capture;
+  emit_progress(capture.file(), 37, 128, 4.125);
+  const Event event = parse_line(capture.lines().at(0));
+  EXPECT_EQ(event.kind, Event::Kind::kProgress);
+  EXPECT_EQ(event.done, 37u);
+  EXPECT_EQ(event.total, 128u);
+  EXPECT_DOUBLE_EQ(event.units_per_sec, 4.125);
+}
+
+TEST(ShardProtocol, HeartbeatRoundTrips) {
+  Capture capture;
+  emit_heartbeat(capture.file());
+  EXPECT_EQ(parse_line(capture.lines().at(0)).kind, Event::Kind::kHeartbeat);
+}
+
+TEST(ShardProtocol, DoneRoundTrips) {
+  Capture capture;
+  emit_done(capture.file(), 100, 28, 12.5);
+  const Event event = parse_line(capture.lines().at(0));
+  EXPECT_EQ(event.kind, Event::Kind::kDone);
+  EXPECT_EQ(event.generated, 100u);
+  EXPECT_EQ(event.resumed, 28u);
+  EXPECT_DOUBLE_EQ(event.seconds, 12.5);
+}
+
+TEST(ShardProtocol, NullSinkDisablesEmission) {
+  emit_start(nullptr, 0, 1);
+  emit_progress(nullptr, 0, 1, 0.0);
+  emit_heartbeat(nullptr);
+  emit_done(nullptr, 0, 0, 0.0);  // must simply not crash
+}
+
+TEST(ShardProtocol, OrdinaryChatterIsNone) {
+  EXPECT_EQ(parse_line("").kind, Event::Kind::kNone);
+  EXPECT_EQ(parse_line("shard 0/3: 4 units ...").kind, Event::Kind::kNone);
+  EXPECT_EQ(parse_line("  data /tmp/x/corpus.shard0of3.txt").kind,
+            Event::Kind::kNone);
+  // The sentinel must be its own token, not a prefix.
+  EXPECT_EQ(parse_line("@qshardX progress 1 2 3").kind, Event::Kind::kNone);
+}
+
+TEST(ShardProtocol, MalformedSentinelLinesAreFlagged) {
+  // A sentinel line that does not parse is a protocol bug worth
+  // surfacing, not chatter to pass through.
+  EXPECT_EQ(parse_line("@qshard").kind, Event::Kind::kMalformed);
+  EXPECT_EQ(parse_line("@qshard bogus-verb 1").kind, Event::Kind::kMalformed);
+  EXPECT_EQ(parse_line("@qshard progress 1").kind, Event::Kind::kMalformed);
+  EXPECT_EQ(parse_line("@qshard progress one 2 3.0").kind,
+            Event::Kind::kMalformed);
+  // Excess operands are malformed too: forward compatibility is by
+  // new verbs, not by silently ignored fields.
+  EXPECT_EQ(parse_line("@qshard heartbeat extra").kind,
+            Event::Kind::kMalformed);
+  EXPECT_EQ(parse_line("@qshard done 1 2 3.0 4").kind,
+            Event::Kind::kMalformed);
+}
+
+TEST(ShardProtocol, HeartbeatEmitterTicksUntilDestroyed) {
+  Capture capture;
+  {
+    HeartbeatEmitter emitter(capture.file(), 0.02);
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  }
+  const auto lines = capture.lines();
+  // ~7 expected at 20 ms; demand a conservative >= 2 to stay robust on
+  // a loaded CI box.
+  ASSERT_GE(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(parse_line(line).kind, Event::Kind::kHeartbeat) << line;
+  }
+  const std::size_t count = lines.size();
+  // After destruction the background thread is gone: no new beats.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(capture.lines().size(), count);
+}
+
+TEST(ShardProtocol, HeartbeatEmitterWithNullSinkIsANoop) {
+  HeartbeatEmitter emitter(nullptr, 0.01);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+}
+
+}  // namespace
+}  // namespace qaoaml::proto

@@ -1,0 +1,148 @@
+// Subprocess: exit/kill/timeout handling, line framing (including a
+// crashing child's final unterminated line), stderr folding, and the
+// exec-failure convention.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/subprocess.hpp"
+
+namespace qaoaml {
+namespace {
+
+/// Convenience: sh -c <script>.
+Subprocess shell(const std::string& script) {
+  return Subprocess::spawn({"/bin/sh", "-c", script});
+}
+
+/// Drains every line until EOF (generous per-line timeout).
+std::vector<std::string> drain(Subprocess& child) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (child.read_line(line, 10000) == Subprocess::ReadResult::kLine) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(SubprocessTest, CapturesLinesAndCleanExit) {
+  Subprocess child = shell("echo one; echo two");
+  const std::vector<std::string> lines = drain(child);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[1], "two");
+  const Subprocess::ExitStatus status = child.wait();
+  EXPECT_TRUE(status.success());
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.code, 0);
+  EXPECT_EQ(status.describe(), "exit 0");
+}
+
+TEST(SubprocessTest, ReportsNonzeroExitCode) {
+  Subprocess child = shell("exit 7");
+  drain(child);
+  const Subprocess::ExitStatus status = child.wait();
+  EXPECT_FALSE(status.success());
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.code, 7);
+}
+
+TEST(SubprocessTest, FoldsStderrIntoTheStream) {
+  Subprocess child = shell("echo err-text 1>&2");
+  const std::vector<std::string> lines = drain(child);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "err-text");
+}
+
+TEST(SubprocessTest, DeliversFinalUnterminatedLine) {
+  // A crashing worker's last words rarely end in a newline.
+  Subprocess child = shell("printf last-words");
+  const std::vector<std::string> lines = drain(child);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "last-words");
+  EXPECT_TRUE(child.wait().success());
+}
+
+TEST(SubprocessTest, ReadTimesOutOnASilentChild) {
+  Subprocess child = shell("sleep 5");
+  std::string line;
+  EXPECT_EQ(child.read_line(line, 50), Subprocess::ReadResult::kTimeout);
+  child.kill();
+  const Subprocess::ExitStatus status = child.wait();
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.code, SIGKILL);
+  EXPECT_NE(status.describe().find("signal 9"), std::string::npos);
+}
+
+TEST(SubprocessTest, KillIsIdempotentAfterReap) {
+  Subprocess child = shell("true");
+  child.wait();
+  child.kill();  // must not signal a recycled pid
+  child.kill(SIGTERM);
+}
+
+TEST(SubprocessTest, ExecFailureSurfacesAs127WithErrorLine) {
+  Subprocess child =
+      Subprocess::spawn({"/nonexistent-binary-qaoaml-test"});
+  const std::vector<std::string> lines = drain(child);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("exec failed"), std::string::npos);
+  const Subprocess::ExitStatus status = child.wait();
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.code, 127);
+}
+
+TEST(SubprocessTest, ChildEnvironmentEntriesAreSet) {
+  Subprocess child = Subprocess::spawn(
+      {"/bin/sh", "-c", "echo \"$QAOAML_SUBPROCESS_TEST\""},
+      {{"QAOAML_SUBPROCESS_TEST", "injected-value"}});
+  const std::vector<std::string> lines = drain(child);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "injected-value");
+}
+
+TEST(SubprocessTest, DestructorKillsAndReapsARunningChild) {
+  pid_t pid = -1;
+  {
+    Subprocess child = shell("sleep 30");
+    pid = child.pid();
+    ASSERT_GT(pid, 0);
+  }
+  // After the destructor the child is killed AND reaped, so the pid no
+  // longer exists (kill(0) probes without signaling; ESRCH = gone).
+  EXPECT_NE(::kill(pid, 0), 0);
+}
+
+TEST(SubprocessTest, MoveTransfersOwnership) {
+  Subprocess child = shell("echo moved");
+  Subprocess stolen = std::move(child);
+  EXPECT_FALSE(child.valid());  // NOLINT(bugprone-use-after-move): contract
+  ASSERT_TRUE(stolen.valid());
+  const std::vector<std::string> lines = drain(stolen);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "moved");
+  EXPECT_TRUE(stolen.wait().success());
+}
+
+TEST(SubprocessTest, TryWaitTurnsTrueOnceTheChildExits) {
+  Subprocess child = shell("read _ignored");  // blocks until we kill it
+  Subprocess::ExitStatus status;
+  EXPECT_FALSE(child.try_wait(status));
+  child.kill();
+  // The kill is asynchronous; the blocking wait() observes it.
+  const Subprocess::ExitStatus final_status = child.wait();
+  EXPECT_TRUE(final_status.signaled);
+  // try_wait after the reap returns the stored status.
+  EXPECT_TRUE(child.try_wait(status));
+  EXPECT_TRUE(status.signaled);
+}
+
+TEST(SubprocessTest, SpawnRejectsEmptyArgv) {
+  EXPECT_THROW(Subprocess::spawn({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qaoaml

@@ -1,0 +1,169 @@
+// BoundedWorkQueue: FIFO order, blocking backpressure on a full
+// queue, close() semantics, and a multi-producer/multi-consumer drain
+// where every item is seen exactly once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/work_queue.hpp"
+
+namespace qaoaml {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(WorkQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedWorkQueue<int>(0), InvalidArgument);
+}
+
+TEST(WorkQueue, DeliversInFifoOrder) {
+  BoundedWorkQueue<int> queue(16);
+  for (int i = 0; i < 10; ++i) queue.push(i);
+  queue.close();
+  int item = -1;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(queue.pop(item));
+    EXPECT_EQ(item, i);
+  }
+  EXPECT_FALSE(queue.pop(item));  // closed and drained
+}
+
+TEST(WorkQueue, PushBlocksWhenFullUntilAPopMakesRoom) {
+  BoundedWorkQueue<int> queue(2);
+  queue.push(1);
+  queue.push(2);
+
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    queue.push(3);  // must block: capacity 2, both slots taken
+    third_pushed = true;
+  });
+
+  // Give the producer ample time to block on the full queue.
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(third_pushed.load());
+
+  int item = 0;
+  ASSERT_TRUE(queue.pop(item));
+  EXPECT_EQ(item, 1);
+  producer.join();  // the freed slot unblocks the push
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(WorkQueue, PopBlocksUntilAPushArrives) {
+  BoundedWorkQueue<int> queue(4);
+  std::atomic<bool> popped{false};
+  int item = 0;
+  std::thread consumer([&] {
+    EXPECT_TRUE(queue.pop(item));
+    popped = true;
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(popped.load());
+  queue.push(42);
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+  EXPECT_EQ(item, 42);
+}
+
+TEST(WorkQueue, CloseWakesBlockedConsumerWithFalse) {
+  BoundedWorkQueue<int> queue(4);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    int item = 0;
+    EXPECT_FALSE(queue.pop(item));
+    returned = true;
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(returned.load());
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(WorkQueue, CloseWakesBlockedProducerWithThrow) {
+  BoundedWorkQueue<int> queue(1);
+  queue.push(1);
+  std::atomic<bool> threw{false};
+  std::thread producer([&] {
+    try {
+      queue.push(2);  // blocks: full
+    } catch (const QueueClosed&) {
+      threw = true;
+    }
+  });
+  std::this_thread::sleep_for(50ms);
+  queue.close();
+  producer.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(WorkQueue, PushOnClosedQueueThrows) {
+  BoundedWorkQueue<int> queue(4);
+  queue.close();
+  EXPECT_THROW(queue.push(1), QueueClosed);
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(WorkQueue, QueuedItemsStillDrainAfterClose) {
+  BoundedWorkQueue<int> queue(4);
+  queue.push(7);
+  queue.push(8);
+  queue.close();
+  int item = 0;
+  ASSERT_TRUE(queue.pop(item));
+  EXPECT_EQ(item, 7);
+  ASSERT_TRUE(queue.pop(item));
+  EXPECT_EQ(item, 8);
+  EXPECT_FALSE(queue.pop(item));
+}
+
+TEST(WorkQueue, MpmcDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  // A small capacity forces constant backpressure, which is the
+  // interesting regime for lost-wakeup bugs.
+  BoundedWorkQueue<int> queue(3);
+
+  std::mutex seen_mutex;
+  std::multiset<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int item = 0;
+      while (queue.pop(item)) {
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        seen.insert(item);
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.close();
+  for (std::thread& t : consumers) t.join();
+
+  ASSERT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  for (int v = 0; v < kProducers * kPerProducer; ++v) {
+    EXPECT_EQ(seen.count(v), 1u) << "item " << v;
+  }
+}
+
+}  // namespace
+}  // namespace qaoaml

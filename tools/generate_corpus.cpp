@@ -33,7 +33,10 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/shard_protocol.hpp"
+#include "common/timer.hpp"
 #include "core/corpus_pipeline.hpp"
 
 namespace {
@@ -53,6 +56,7 @@ struct CliOptions {
   int shard = -1;          // -1: run every shard in this process
   bool merge_only = false; // skip generation, only merge existing shards
   bool no_merge = false;   // skip the merge step
+  bool progress_stream = false;  // emit the @qshard protocol on stdout
   std::string directory = ".";
   std::string out = "corpus.txt";  // merged dataset, relative to --dir
 };
@@ -92,6 +96,8 @@ void print_usage() {
       "  --no-merge       generate without merging (for multi-process runs)\n"
       "  --out PATH       merged dataset file, relative to --dir\n"
       "                   unless absolute (default corpus.txt)\n"
+      "  --progress-stream  emit the @qshard line protocol on stdout for\n"
+      "                   tools/launch (progress, heartbeats)\n"
       "\n"
       "QAOAML_THREADS controls worker threads; a killed run resumes from\n"
       "the last committed unit when re-invoked with the same arguments.\n");
@@ -196,6 +202,8 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.merge_only = true;
     } else if (arg == "--no-merge") {
       options.no_merge = true;
+    } else if (arg == "--progress-stream") {
+      options.progress_stream = true;
     } else {
       const auto* entry = std::find_if(
           std::begin(value_flags), std::end(value_flags),
@@ -260,6 +268,12 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    // The protocol stream drives tools/launch's liveness detector, so
+    // it stays alive (heartbeats) even between unit commits.
+    std::FILE* stream = options.progress_stream ? stdout : nullptr;
+    const qaoaml::proto::HeartbeatEmitter heartbeat(
+        stream, qaoaml::env_double("QAOAML_HEARTBEAT_S", 1.0));
+
     if (!options.merge_only) {
       std::vector<int> to_run;
       if (options.shard >= 0) {
@@ -272,7 +286,21 @@ int main(int argc, char** argv) {
         shard_config.dataset = options.dataset;
         shard_config.shard = ShardSpec{s, options.shards};
         shard_config.directory = options.directory;
+        qaoaml::proto::emit_start(stream, s, 0);
+        qaoaml::Timer timer;
+        std::size_t resumed_base = SIZE_MAX;
+        shard_config.progress = [&](std::size_t done, std::size_t total) {
+          if (resumed_base == SIZE_MAX) resumed_base = done;
+          const double elapsed = timer.seconds();
+          const double rate =
+              elapsed > 0.0
+                  ? static_cast<double>(done - resumed_base) / elapsed
+                  : 0.0;
+          qaoaml::proto::emit_progress(stream, done, total, rate);
+        };
         const ShardReport report = CorpusPipeline::run_shard(shard_config);
+        qaoaml::proto::emit_done(stream, report.units_generated,
+                                 report.units_resumed, report.seconds);
         print_report(report, shard_config.shard);
       }
       // A single-shard invocation of a multi-shard run leaves the merge

@@ -1,0 +1,346 @@
+// tools/launch — the multi-process shard orchestrator
+// (core/shard_orchestrator.hpp): takes a corpus / Table-I / transfer
+// spec and drives it from zero to merged artifact on an N-core box
+// with one command.
+//
+//   launch --spec corpus.spec --dir /tmp/run --shards 4 --workers 4
+//
+// spawns one worker process per shard (up to --workers at a time,
+// re-using the worker CLIs' shard modes + --progress-stream), streams
+// aggregated progress, SIGKILLs and retries stalled or failed shards
+// with exponential backoff, and — once every shard is complete — runs
+// the worker's own --merge-only mode, so the merged artifact is
+// bit-identical to a single-process run.
+//
+// The spec file is line-oriented:
+//
+//   # corpus.spec — everything after `kind` is passed to the worker
+//   kind corpus
+//   --graphs 64
+//   --nodes 8
+//   --depth 4
+//   --out corpus.txt
+//
+// `kind` selects the worker binary (corpus -> generate_corpus,
+// table1 -> run_table1, transfer -> run_transfer); every other
+// non-comment line is split on whitespace and forwarded verbatim.
+// launch itself appends --dir/--shards/--shard/--no-merge/
+// --progress-stream for shard runs and --dir/--shards/--merge-only for
+// the merge, so a spec must not set any of those.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/subprocess.hpp"
+#include "core/shard_orchestrator.hpp"
+
+namespace {
+
+using qaoaml::cli::to_double;
+using qaoaml::cli::to_int;
+
+struct Spec {
+  std::string kind;                // corpus | table1 | transfer
+  std::vector<std::string> args;   // forwarded to every worker invocation
+};
+
+struct CliOptions {
+  std::string spec_path;
+  std::string directory = ".";
+  std::string bin_dir;     // where the worker binaries live; default: ours
+  int shards = 1;
+  int workers = 0;         // 0 -> min(shards, hardware threads)
+  int retries = 3;
+  double backoff_s = 0.5;
+  double stall_timeout_s = 60.0;
+  bool no_merge = false;
+  int test_kill_shard = -1;  // failure injection for CI, see --help
+};
+
+void print_usage() {
+  std::printf(
+      "usage: launch --spec FILE [options]\n"
+      "\n"
+      "  --spec FILE        spec file: `kind corpus|table1|transfer`, then\n"
+      "                     worker CLI flags one or more per line (required)\n"
+      "  --dir PATH         shard + artifact directory (default .)\n"
+      "  --shards N         total shard count (default 1)\n"
+      "  --workers K        max concurrent worker processes\n"
+      "                     (default min(shards, hardware threads))\n"
+      "  --retries R        retry budget per shard (default 3)\n"
+      "  --backoff S        initial retry backoff seconds, doubling per\n"
+      "                     failure, capped at 30 (default 0.5)\n"
+      "  --stall-timeout S  kill a worker silent for S seconds (default 60;\n"
+      "                     0 disables)\n"
+      "  --bin-dir PATH     worker binary directory (default: launch's own)\n"
+      "  --no-merge         stop after the shards, skip the merge\n"
+      "  --test-kill-shard K  failure injection (CI): SIGKILL shard K's\n"
+      "                     first attempt at its first committed unit, so\n"
+      "                     the retry must resume mid-shard\n"
+      "\n"
+      "Workers inherit the environment (QAOAML_THREADS etc.); a re-run of\n"
+      "an interrupted launch resumes every shard from its checkpoint.\n");
+}
+
+bool parse_args(int argc, char** argv, CliOptions& options) {
+  const std::pair<const char*, std::function<bool(const char*)>>
+      value_flags[] = {
+          {"--spec",
+           [&](const char* v) {
+             options.spec_path = v;
+             return true;
+           }},
+          {"--dir",
+           [&](const char* v) {
+             options.directory = v;
+             return true;
+           }},
+          {"--bin-dir",
+           [&](const char* v) {
+             options.bin_dir = v;
+             return true;
+           }},
+          {"--shards", [&](const char* v) { return to_int(v, options.shards); }},
+          {"--workers",
+           [&](const char* v) { return to_int(v, options.workers); }},
+          {"--retries",
+           [&](const char* v) { return to_int(v, options.retries); }},
+          {"--backoff",
+           [&](const char* v) { return to_double(v, options.backoff_s); }},
+          {"--stall-timeout",
+           [&](const char* v) {
+             return to_double(v, options.stall_timeout_s);
+           }},
+          {"--test-kill-shard",
+           [&](const char* v) { return to_int(v, options.test_kill_shard); }},
+      };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      std::exit(0);
+    } else if (arg == "--no-merge") {
+      options.no_merge = true;
+    } else {
+      const auto* entry = std::find_if(
+          std::begin(value_flags), std::end(value_flags),
+          [&](const auto& flag) { return arg == flag.first; });
+      if (entry == std::end(value_flags)) {
+        std::fprintf(stderr, "launch: unknown option %s\n", arg.c_str());
+        return false;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "launch: %s needs a value\n", arg.c_str());
+        return false;
+      }
+      if (!entry->second(argv[++i])) {
+        std::fprintf(stderr, "launch: invalid value '%s' for %s\n", argv[i],
+                     arg.c_str());
+        return false;
+      }
+    }
+  }
+  if (options.spec_path.empty()) {
+    std::fprintf(stderr, "launch: --spec is required\n");
+    return false;
+  }
+  if (options.shards < 1) {
+    std::fprintf(stderr, "launch: --shards must be >= 1\n");
+    return false;
+  }
+  if (options.workers < 0) {
+    std::fprintf(stderr, "launch: --workers must be >= 1\n");
+    return false;
+  }
+  if (options.retries < 0) {
+    std::fprintf(stderr, "launch: --retries must be >= 0\n");
+    return false;
+  }
+  return true;
+}
+
+/// Parses the line-oriented spec: a required `kind` directive plus
+/// verbatim worker flags.  Lines are split on whitespace, `#` starts a
+/// comment line.
+Spec parse_spec(const std::string& path) {
+  std::ifstream is(path);
+  qaoaml::require(is.good(), "launch: cannot open spec " + path);
+  Spec spec;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream tokens(line);
+    std::string token;
+    if (!(tokens >> token) || token[0] == '#') continue;
+    if (token == "kind") {
+      qaoaml::require(spec.kind.empty(),
+                      "launch: spec has more than one kind line");
+      qaoaml::require(static_cast<bool>(tokens >> spec.kind),
+                      "launch: spec kind line needs a value");
+      qaoaml::require(spec.kind == "corpus" || spec.kind == "table1" ||
+                          spec.kind == "transfer",
+                      "launch: unknown kind '" + spec.kind +
+                          "' (want corpus | table1 | transfer)");
+      continue;
+    }
+    // Forbid flags launch owns: the shard layout and protocol flags
+    // must come from launch itself or the merge would not line up.
+    do {
+      for (const char* reserved :
+           {"--dir", "--shards", "--shard", "--merge-only", "--no-merge",
+            "--progress-stream"}) {
+        qaoaml::require(token != reserved,
+                        "launch: spec must not set " + std::string(reserved) +
+                            " (launch passes it per invocation)");
+      }
+      spec.args.push_back(token);
+    } while (tokens >> token);
+  }
+  qaoaml::require(!spec.kind.empty(), "launch: spec is missing a kind line");
+  return spec;
+}
+
+std::string worker_binary(const Spec& spec) {
+  if (spec.kind == "corpus") return "generate_corpus";
+  if (spec.kind == "table1") return "run_table1";
+  return "run_transfer";
+}
+
+/// Per-kind shard data file, whose `.lock` sidecar the stall detector
+/// probes (mirrors the *_shard_path conventions in src/core/).
+std::string shard_data_path(const Spec& spec, const std::string& directory,
+                            int shard, int shards) {
+  const std::string stem = spec.kind == "corpus"    ? "corpus"
+                           : spec.kind == "table1" ? "table1"
+                                                    : "transfer";
+  return (std::filesystem::path(directory) /
+          (stem + ".shard" + std::to_string(shard) + "of" +
+           std::to_string(shards) + ".txt"))
+      .string();
+}
+
+/// Directory of this very executable (the worker binaries are built
+/// next to it); falls back to argv[0]'s directory.
+std::string own_binary_dir(const char* argv0) {
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) return self.parent_path().string();
+  return std::filesystem::absolute(argv0).parent_path().string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  try {
+    if (!parse_args(argc, argv, options)) {
+      print_usage();
+      return 2;
+    }
+    const Spec spec = parse_spec(options.spec_path);
+    const std::string bin_dir =
+        options.bin_dir.empty() ? own_binary_dir(argv[0]) : options.bin_dir;
+    const std::string binary =
+        (std::filesystem::path(bin_dir) / worker_binary(spec)).string();
+    qaoaml::require(std::filesystem::exists(binary),
+                    "launch: worker binary not found: " + binary +
+                        " (use --bin-dir)");
+    std::filesystem::create_directories(options.directory);
+
+    qaoaml::core::OrchestratorConfig config;
+    config.shard_count = options.shards;
+    config.workers =
+        options.workers > 0
+            ? options.workers
+            : std::max(1, std::min<int>(options.shards,
+                                        static_cast<int>(
+                                            std::thread::hardware_concurrency())));
+    config.retry_budget = options.retries;
+    config.backoff_initial_s = options.backoff_s;
+    config.stall_timeout_s = options.stall_timeout_s;
+    config.progress_out = stdout;
+    config.worker_argv = [&](int shard) {
+      std::vector<std::string> worker{binary};
+      worker.insert(worker.end(), spec.args.begin(), spec.args.end());
+      const std::vector<std::string> tail{
+          "--dir",    options.directory,
+          "--shards", std::to_string(options.shards),
+          "--shard",  std::to_string(shard),
+          "--no-merge", "--progress-stream"};
+      worker.insert(worker.end(), tail.begin(), tail.end());
+      return worker;
+    };
+    config.lock_path = [&](int shard) {
+      return shard_data_path(spec, options.directory, shard, options.shards) +
+             ".lock";
+    };
+    if (options.test_kill_shard >= 0) {
+      // CI failure injection: kill the target shard's FIRST attempt as
+      // soon as it has committed a unit (progress done > 0), so the
+      // retry must exercise mid-shard resume, not a fresh start.
+      config.kill_injector = [&](int shard, int attempt,
+                                 const qaoaml::proto::Event& event) {
+        return shard == options.test_kill_shard && attempt == 0 &&
+               event.kind == qaoaml::proto::Event::Kind::kProgress &&
+               event.done > 0;
+      };
+    }
+
+    std::printf("[launch] %s: %d shards, %d workers, retry budget %d -> %s\n",
+                spec.kind.c_str(), options.shards, config.workers,
+                options.retries, options.directory.c_str());
+    const qaoaml::core::OrchestratorReport report =
+        qaoaml::core::run_shards(config);
+    for (const qaoaml::core::ShardOutcome& shard : report.shards) {
+      std::printf("[launch] shard %d: %s after %d attempt%s%s%s\n",
+                  shard.shard, shard.succeeded ? "ok" : "FAILED",
+                  shard.attempts, shard.attempts == 1 ? "" : "s",
+                  shard.error.empty() ? "" : " — last error: ",
+                  shard.error.c_str());
+    }
+    std::printf("[launch] %zu shards in %.2f s\n", report.shards.size(),
+                report.seconds);
+    if (!report.succeeded) {
+      std::fprintf(stderr, "launch: shards failed; artifact not merged\n");
+      return 1;
+    }
+    if (options.no_merge) return 0;
+
+    // Merge through the worker's own --merge-only path: the artifact
+    // stays bit-identical to a single-process run because the merge
+    // code IS the single-process merge code.
+    std::vector<std::string> merge_argv{binary};
+    merge_argv.insert(merge_argv.end(), spec.args.begin(), spec.args.end());
+    const std::vector<std::string> tail{"--dir", options.directory, "--shards",
+                                        std::to_string(options.shards),
+                                        "--merge-only"};
+    merge_argv.insert(merge_argv.end(), tail.begin(), tail.end());
+    qaoaml::Subprocess merge = qaoaml::Subprocess::spawn(merge_argv);
+    std::string line;
+    while (merge.read_line(line, -1) == qaoaml::Subprocess::ReadResult::kLine) {
+      std::printf("[merge] %s\n", line.c_str());
+    }
+    const qaoaml::Subprocess::ExitStatus status = merge.wait();
+    qaoaml::require(status.success(),
+                    "launch: merge failed (" + status.describe() + ")");
+    std::printf("[launch] merged artifact complete\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "launch: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -35,8 +35,11 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/shard_protocol.hpp"
 #include "common/table.hpp"
+#include "common/timer.hpp"
 #include "core/transfer_experiment.hpp"
 
 namespace {
@@ -55,6 +58,7 @@ struct CliOptions {
   int shard = -1;          // -1: run every shard in this process
   bool merge_only = false; // skip generation, only merge existing shards
   bool no_merge = false;   // skip the merge step
+  bool progress_stream = false;  // emit the @qshard protocol on stdout
   std::string directory = ".";
   std::string out;         // machine-readable report, relative to --dir
 };
@@ -95,6 +99,8 @@ void print_usage() {
       "  --out PATH       write the machine-readable report here (relative\n"
       "                   to --dir unless absolute); bytes are identical\n"
       "                   for every shard/thread count\n"
+      "  --progress-stream  emit the @qshard line protocol on stdout for\n"
+      "                   tools/launch (progress, heartbeats)\n"
       "\n"
       "QAOAML_THREADS controls worker threads; a killed run resumes from\n"
       "the last committed unit when re-invoked with the same arguments.\n");
@@ -182,6 +188,8 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.merge_only = true;
     } else if (arg == "--no-merge") {
       options.no_merge = true;
+    } else if (arg == "--progress-stream") {
+      options.progress_stream = true;
     } else {
       const auto* entry = std::find_if(
           std::begin(value_flags), std::end(value_flags),
@@ -255,6 +263,13 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    // The protocol stream drives tools/launch's liveness detector, so
+    // it stays alive (heartbeats) even while bank training keeps the
+    // shard loop from committing units.
+    std::FILE* stream = options.progress_stream ? stdout : nullptr;
+    const qaoaml::proto::HeartbeatEmitter heartbeat(
+        stream, qaoaml::env_double("QAOAML_HEARTBEAT_S", 1.0));
+
     if (!options.merge_only) {
       std::vector<int> to_run;
       if (options.shard >= 0) {
@@ -264,8 +279,22 @@ int main(int argc, char** argv) {
       }
       for (const int s : to_run) {
         const ShardSpec shard{s, options.shards};
+        qaoaml::proto::emit_start(stream, s, 0);
+        qaoaml::Timer timer;
+        std::size_t resumed_base = SIZE_MAX;
         const TransferShardReport report = qaoaml::core::run_transfer_shard(
-            options.transfer, shard, options.directory);
+            options.transfer, shard, options.directory,
+            [&](std::size_t done, std::size_t total) {
+              if (resumed_base == SIZE_MAX) resumed_base = done;
+              const double elapsed = timer.seconds();
+              const double rate =
+                  elapsed > 0.0
+                      ? static_cast<double>(done - resumed_base) / elapsed
+                      : 0.0;
+              qaoaml::proto::emit_progress(stream, done, total, rate);
+            });
+        qaoaml::proto::emit_done(stream, report.units_generated,
+                                 report.units_resumed, report.seconds);
         std::printf(
             "shard %d/%d: %zu units (%zu resumed, %zu generated), "
             "%zu banks trained in %.2f s\n  data %s\n",
