@@ -15,11 +15,14 @@
 //
 //   bench_ci --repeats 3 --out BENCH_ci.json
 //   bench_ci --repeats 3 --out BENCH_ci.json --baseline bench/baseline_ci.json
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <numeric>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -28,7 +31,11 @@
 #include "common/timer.hpp"
 #include "core/batch_evaluator.hpp"
 #include "core/corpus_pipeline.hpp"
+#include "core/parameter_dataset.hpp"
+#include "core/parameter_predictor.hpp"
 #include "core/qaoa_solver.hpp"
+#include "core/serving.hpp"
+#include "core/serving_client.hpp"
 #include "graph/generators.hpp"
 
 using namespace qaoaml;
@@ -94,6 +101,51 @@ double time_batched_multistart() {
   return seconds;
 }
 
+/// Seconds for a fixed number of predict round trips through an
+/// in-process serving daemon (Unix socket + wire framing + scheduler +
+/// bank lookup — the serving layer's pure overhead path).  The tiny
+/// bank trains once and is shared across repeats; setup stays outside
+/// the timed region.
+double time_serving_predict() {
+  static const std::string bank_path = [] {
+    const std::string path = "/tmp/qaoaml_bench_ci_" +
+                             std::to_string(::getpid()) + ".qpb";
+    core::DatasetConfig config;
+    config.num_graphs = 6;
+    config.num_nodes = 6;
+    config.max_depth = 2;
+    config.restarts = 2;
+    config.seed = 5;
+    const core::ParameterDataset corpus =
+        core::ParameterDataset::generate(config);
+    core::ParameterPredictor bank;
+    std::vector<std::size_t> all(corpus.size());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    bank.train(corpus, all);
+    bank.save(path);
+    return path;
+  }();
+
+  core::serving::ServerConfig config;
+  config.socket_path =
+      "/tmp/qaoaml_bench_ci_" + std::to_string(::getpid()) + ".sock";
+  config.banks = {{"erdos-renyi", bank_path}};
+  config.workers = 1;
+  core::serving::Server server(config);
+  core::serving::Client client(config.socket_path);
+
+  int failures = 0;
+  Timer timer;
+  for (int i = 0; i < 400; ++i) {
+    const core::serving::Response response = client.predict(
+        "erdos-renyi", 0.01 * (i % 90), 0.01 * (i % 60), 2);
+    if (!response.ok) ++failures;
+  }
+  const double seconds = timer.seconds();
+  if (failures != 0) std::printf("# serving errors: %d\n", failures);
+  return seconds;
+}
+
 /// Minimal flat-JSON number extraction ("key": value), tolerant of
 /// everything else in the file — enough for the baseline format this
 /// tool itself writes.
@@ -149,6 +201,7 @@ int main(int argc, char** argv) {
       {"fused_objective_s", &time_fused_objective},
       {"corpus_pipeline_s", &time_corpus_pipeline},
       {"multistart_batched_s", &time_batched_multistart},
+      {"serving_predict_s", &time_serving_predict},
   };
 
   std::map<std::string, double> medians;

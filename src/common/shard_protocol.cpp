@@ -1,17 +1,35 @@
 #include "common/shard_protocol.hpp"
 
+#include <cmath>
 #include <sstream>
+#include <vector>
+
+#include "common/cli.hpp"
 
 namespace qaoaml::proto {
 namespace {
 
-/// Extracts exactly the expected operands (and nothing after them).
-template <typename... Fields>
-bool scan(std::istringstream& is, Fields&... fields) {
-  (is >> ... >> fields);
-  if (is.fail()) return false;
-  std::string excess;
-  return !(is >> excess);
+// Field parsers built on the strict cli grammar: istream extraction
+// into an unsigned field silently WRAPS a negative token ("-5" becomes
+// 18446744073709551611 units done), and accepts "inf"/"nan" for
+// doubles — a corrupted or adversarial worker line must classify as
+// kMalformed, never as a wildly wrong but well-formed frame.
+
+bool parse_count(const std::string& token, std::size_t& out) {
+  std::uint64_t value = 0;
+  if (!cli::to_u64(token.c_str(), value)) return false;
+  out = static_cast<std::size_t>(value);
+  return true;
+}
+
+/// Non-negative finite double (rates, seconds).  cli::to_double already
+/// rejects the "inf"/"nan" spellings; the sign check is ours.
+bool parse_rate(const std::string& token, double& out) {
+  double value = 0.0;
+  if (!cli::to_double(token.c_str(), value)) return false;
+  if (!std::isfinite(value) || value < 0.0) return false;
+  out = value;
+  return true;
 }
 
 }  // namespace
@@ -19,24 +37,37 @@ bool scan(std::istringstream& is, Fields&... fields) {
 Event parse_line(const std::string& line) {
   Event event;
   std::istringstream is(line);
-  std::string sentinel;
-  if (!(is >> sentinel) || sentinel != kSentinel) return event;  // kNone
+  std::vector<std::string> tokens;
+  std::string token;
+  while (is >> token) tokens.push_back(std::move(token));
+  if (tokens.empty() || tokens[0] != kSentinel) return event;  // kNone
 
+  // Sentinel line: anything that fails below is a protocol bug worth
+  // flagging.  That includes an absurdly long line — the emitters
+  // produce tens of bytes, so a runaway length means a corrupted or
+  // misbehaving worker, and bounding it here keeps a single line from
+  // bloating every buffer downstream.
   event.kind = Event::Kind::kMalformed;
-  std::string verb;
-  if (!(is >> verb)) return event;
+  if (line.size() > kMaxLineBytes || tokens.size() < 2) return event;
+  const std::string& verb = tokens[1];
 
   if (verb == "start") {
-    if (scan(is, event.shard, event.total)) event.kind = Event::Kind::kStart;
+    if (tokens.size() == 4 && cli::to_int(tokens[2].c_str(), event.shard) &&
+        event.shard >= 0 && parse_count(tokens[3], event.total)) {
+      event.kind = Event::Kind::kStart;
+    }
   } else if (verb == "progress") {
-    if (scan(is, event.done, event.total, event.units_per_sec)) {
+    if (tokens.size() == 5 && parse_count(tokens[2], event.done) &&
+        parse_count(tokens[3], event.total) && event.done <= event.total &&
+        parse_rate(tokens[4], event.units_per_sec)) {
       event.kind = Event::Kind::kProgress;
     }
   } else if (verb == "heartbeat") {
-    std::string excess;
-    if (!(is >> excess)) event.kind = Event::Kind::kHeartbeat;
+    if (tokens.size() == 2) event.kind = Event::Kind::kHeartbeat;
   } else if (verb == "done") {
-    if (scan(is, event.generated, event.resumed, event.seconds)) {
+    if (tokens.size() == 5 && parse_count(tokens[2], event.generated) &&
+        parse_count(tokens[3], event.resumed) &&
+        parse_rate(tokens[4], event.seconds)) {
       event.kind = Event::Kind::kDone;
     }
   }
@@ -52,6 +83,11 @@ void emit_start(std::FILE* out, int shard, std::size_t total_units) {
 void emit_progress(std::FILE* out, std::size_t done, std::size_t total,
                    double units_per_sec) {
   if (out == nullptr) return;
+  // Emit only what the parser accepts: a timer glitch must not turn
+  // into an "inf" token that every consumer then flags as malformed.
+  if (!std::isfinite(units_per_sec) || units_per_sec < 0.0) {
+    units_per_sec = 0.0;
+  }
   std::fprintf(out, "%s progress %zu %zu %.6g\n", kSentinel, done, total,
                units_per_sec);
   std::fflush(out);

@@ -16,10 +16,14 @@
 // TCP socket unchanged when shards move off-box: the transport only
 // has to preserve line boundaries.
 //
-// Parsing is deliberately forgiving: a line that doesn't start with
-// the sentinel is kNone (ordinary worker output, passed through); a
-// sentinel line that fails to parse is kMalformed (a protocol bug
-// worth surfacing, not silently dropping).
+// Parsing is forgiving about what a line IS and strict about what a
+// frame SAYS: a line that doesn't start with the sentinel is kNone
+// (ordinary worker output, passed through), while a sentinel line that
+// fails to parse is kMalformed (a protocol bug worth surfacing, not
+// silently dropping).  Malformed includes negative counts (istream
+// would silently wrap them into huge unsigned values), done > total,
+// non-finite or negative rates, excess operands, and lines longer than
+// kMaxLineBytes.
 #ifndef QAOAML_COMMON_SHARD_PROTOCOL_HPP
 #define QAOAML_COMMON_SHARD_PROTOCOL_HPP
 
@@ -35,6 +39,10 @@ namespace qaoaml::proto {
 
 /// The sentinel every protocol line starts with.
 inline constexpr const char* kSentinel = "@qshard";
+
+/// Upper bound on a valid protocol line.  The emitters produce tens of
+/// bytes; a sentinel line beyond this classifies as kMalformed.
+inline constexpr std::size_t kMaxLineBytes = 512;
 
 struct Event {
   enum class Kind { kNone, kMalformed, kStart, kProgress, kHeartbeat, kDone };

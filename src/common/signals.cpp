@@ -1,0 +1,79 @@
+#include "common/signals.hpp"
+
+#include <csignal>
+#include <ctime>
+
+#include <cerrno>
+
+namespace qaoaml {
+
+void ignore_sigpipe() {
+  // Thread-safe via the static-local initialization guarantee; the
+  // disposition is process-wide so once is enough.
+  static const bool installed = [] {
+    struct sigaction action {};
+    action.sa_handler = SIG_IGN;
+    ::sigemptyset(&action.sa_mask);
+    ::sigaction(SIGPIPE, &action, nullptr);
+    return true;
+  }();
+  (void)installed;
+}
+
+const char* signal_name(int signum) {
+  switch (signum) {
+    case SIGHUP: return "SIGHUP";
+    case SIGINT: return "SIGINT";
+    case SIGQUIT: return "SIGQUIT";
+    case SIGILL: return "SIGILL";
+    case SIGTRAP: return "SIGTRAP";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGKILL: return "SIGKILL";
+    case SIGUSR1: return "SIGUSR1";
+    case SIGSEGV: return "SIGSEGV";
+    case SIGUSR2: return "SIGUSR2";
+    case SIGPIPE: return "SIGPIPE";
+    case SIGALRM: return "SIGALRM";
+    case SIGTERM: return "SIGTERM";
+    case SIGCHLD: return "SIGCHLD";
+    case SIGCONT: return "SIGCONT";
+    case SIGSTOP: return "SIGSTOP";
+    case SIGTSTP: return "SIGTSTP";
+    case SIGTTIN: return "SIGTTIN";
+    case SIGTTOU: return "SIGTTOU";
+    case SIGXCPU: return "SIGXCPU";
+    case SIGXFSZ: return "SIGXFSZ";
+    default: return nullptr;
+  }
+}
+
+SignalWaiter::SignalWaiter(const std::vector<int>& signals,
+                           std::function<void(int)> handler)
+    : handler_(std::move(handler)) {
+  sigset_t set;
+  ::sigemptyset(&set);
+  for (const int signum : signals) ::sigaddset(&set, signum);
+  ::pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  // sigtimedwait (not sigwait) so destruction does not need a private
+  // wake-up signal: the thread polls the stop flag every 200 ms.
+  thread_ = std::thread([this, set] {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      struct timespec timeout {};
+      timeout.tv_nsec = 200 * 1000 * 1000;
+      const int signum = ::sigtimedwait(&set, nullptr, &timeout);
+      if (signum < 0) continue;  // EAGAIN (timeout) or EINTR
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      handler_(signum);
+    }
+  });
+}
+
+SignalWaiter::~SignalWaiter() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace qaoaml

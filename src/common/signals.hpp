@@ -1,0 +1,62 @@
+// Process-wide signal plumbing shared by the serving daemon
+// (tools/qaoad), the orchestrator's subprocess layer (common/subprocess)
+// and the wire clients.
+//
+// Three concerns live here:
+//  - ignore_sigpipe(): any process that writes to a pipe or socket whose
+//    peer can vanish at any moment (the orchestrator writing toward a
+//    dead worker, qaoad answering a client that already disconnected)
+//    must not be killed by SIGPIPE; the write has to fail with EPIPE so
+//    the caller can handle it per-connection.  Idempotent and
+//    thread-safe — every spawn/serve entry point just calls it.
+//  - signal_name(): ::strsignal is allowed to format into a static
+//    buffer and is therefore not thread-safe; the orchestrator's K
+//    concurrent monitor threads describe dead workers concurrently, so
+//    they need this static table instead.
+//  - SignalWaiter: sigwait-style delivery of chosen signals to a
+//    callback on a dedicated thread.  The daemon uses it for SIGHUP
+//    (hot bank reload) and SIGTERM/SIGINT (drain + exit): the handler
+//    runs as ordinary code on the waiter thread, not in async-signal
+//    context, so it may lock, allocate and log.
+#ifndef QAOAML_COMMON_SIGNALS_HPP
+#define QAOAML_COMMON_SIGNALS_HPP
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace qaoaml {
+
+/// Installs SIG_IGN for SIGPIPE process-wide (writes to dead peers then
+/// fail with EPIPE instead of killing the process).  Idempotent,
+/// thread-safe, never fails.
+void ignore_sigpipe();
+
+/// Static, thread-safe signal-name lookup ("SIGKILL" for 9); nullptr
+/// for numbers outside the portable table.  Unlike ::strsignal, safe to
+/// call from many threads at once.
+const char* signal_name(int signum);
+
+/// Blocks `signals` in the constructing thread (threads created
+/// afterwards inherit the mask) and delivers each arrival to `handler`
+/// from one dedicated thread.  Construct BEFORE spawning worker
+/// threads, or the signals may be delivered to a thread that does not
+/// have them blocked and bypass the waiter.
+class SignalWaiter {
+ public:
+  SignalWaiter(const std::vector<int>& signals,
+               std::function<void(int)> handler);
+  ~SignalWaiter();
+  SignalWaiter(const SignalWaiter&) = delete;
+  SignalWaiter& operator=(const SignalWaiter&) = delete;
+
+ private:
+  std::function<void(int)> handler_;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace qaoaml
+
+#endif  // QAOAML_COMMON_SIGNALS_HPP

@@ -1,0 +1,128 @@
+#include "common/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/signals.hpp"
+
+namespace qaoaml::net {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + " (" + std::strerror(errno) + ")");
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  require(path.size() < sizeof(address.sun_path),
+          "socket: path too long for a Unix socket: " + path);
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset(other.fd_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+Fd unix_listen(const std::string& path, int backlog) {
+  ignore_sigpipe();
+  const sockaddr_un address = unix_address(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket: cannot create Unix socket");
+  // A stale socket file from a previous daemon instance would make
+  // bind fail with EADDRINUSE even though nobody is listening.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    throw_errno("socket: cannot bind " + path);
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw_errno("socket: cannot listen on " + path);
+  }
+  return fd;
+}
+
+Fd unix_connect(const std::string& path) {
+  ignore_sigpipe();
+  const sockaddr_un address = unix_address(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket: cannot create Unix socket");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    throw_errno("socket: cannot connect to " + path);
+  }
+  return fd;
+}
+
+Fd accept_client(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) return Fd(fd);
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    // The server's shutdown path closes or shuts down the listener out
+    // from under this call.
+    if (errno == EBADF || errno == EINVAL) return Fd();
+    throw_errno("socket: accept failed");
+  }
+}
+
+bool send_all(int fd, const void* data, std::size_t size) {
+  const char* at = static_cast<const char*>(data);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::send(fd, at, remaining, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw_errno("socket: send failed");
+    }
+    at += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+RecvStatus recv_exact(int fd, void* data, std::size_t size) {
+  char* at = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, at + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) {
+        return got == 0 ? RecvStatus::kEof : RecvStatus::kEofMidway;
+      }
+      throw_errno("socket: recv failed");
+    }
+    if (n == 0) {
+      return got == 0 ? RecvStatus::kEof : RecvStatus::kEofMidway;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return RecvStatus::kOk;
+}
+
+}  // namespace qaoaml::net

@@ -1,0 +1,70 @@
+// Unix-domain socket helpers for the serving daemon and its clients
+// (common/wire.hpp frames ride on these).
+//
+// Deliberately minimal: RAII fd ownership, listen/connect/accept with
+// EINTR handling, and exact-count send/recv loops that never raise
+// SIGPIPE (MSG_NOSIGNAL; a vanished peer surfaces as a return value,
+// not a process-killing signal).  Protocol framing lives in
+// common/wire.hpp, serving policy in core/serving.hpp.
+#ifndef QAOAML_COMMON_SOCKET_HPP
+#define QAOAML_COMMON_SOCKET_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace qaoaml::net {
+
+/// Owning file-descriptor handle (close-on-destroy, move-only).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Closes the current fd (if any) and takes ownership of `fd`.
+  void reset(int fd = -1);
+  /// Releases ownership without closing.
+  int release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on a Unix-domain socket at `path`, removing a
+/// stale socket file first.  Throws Error on failure (path too long for
+/// sockaddr_un, bind/listen errors).
+Fd unix_listen(const std::string& path, int backlog);
+
+/// Connects to the Unix-domain socket at `path`.  Throws Error when the
+/// daemon is not there or the path is invalid.
+Fd unix_connect(const std::string& path);
+
+/// Accepts one connection; retries EINTR.  Returns an invalid Fd once
+/// the listening socket has been closed or shut down (the server's
+/// shutdown path), throws Error on other failures.
+Fd accept_client(int listen_fd);
+
+/// Writes exactly `size` bytes (MSG_NOSIGNAL).  Returns false when the
+/// peer is gone (EPIPE/ECONNRESET); throws Error on other failures.
+bool send_all(int fd, const void* data, std::size_t size);
+
+enum class RecvStatus {
+  kOk,        ///< exactly `size` bytes read
+  kEof,       ///< clean EOF before the first byte
+  kEofMidway  ///< EOF after some bytes — the peer died mid-message
+};
+
+/// Reads exactly `size` bytes.  Throws Error on I/O failure; a peer
+/// reset (ECONNRESET) is reported as EOF, not an error — a vanished
+/// client is routine for a long-lived daemon.
+RecvStatus recv_exact(int fd, void* data, std::size_t size);
+
+}  // namespace qaoaml::net
+
+#endif  // QAOAML_COMMON_SOCKET_HPP

@@ -12,13 +12,17 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/signals.hpp"
 
 namespace qaoaml {
 
 std::string Subprocess::ExitStatus::describe() const {
   if (exited) return "exit " + std::to_string(code);
   if (signaled) {
-    const char* name = ::strsignal(code);
+    // signal_name, not ::strsignal: describe() runs concurrently on the
+    // orchestrator's K monitor threads, and strsignal may format into a
+    // shared static buffer.
+    const char* name = signal_name(code);
     return "signal " + std::to_string(code) +
            (name != nullptr ? " (" + std::string(name) + ")" : "");
   }
@@ -29,6 +33,11 @@ Subprocess Subprocess::spawn(
     const std::vector<std::string>& argv,
     const std::vector<std::pair<std::string, std::string>>& env) {
   require(!argv.empty(), "Subprocess::spawn: empty argv");
+
+  // Any process that spawns workers ends up writing toward pipes whose
+  // reader can die at any moment; a SIGPIPE there must surface as EPIPE
+  // on the write, not kill the whole orchestrator.
+  ignore_sigpipe();
 
   int fds[2];
   require(::pipe2(fds, O_CLOEXEC) == 0,
@@ -61,6 +70,10 @@ Subprocess Subprocess::spawn(
     for (const auto& [name, value] : env) {
       ::setenv(name.c_str(), value.c_str(), 1);
     }
+    // SIG_IGN survives execvp; the parent's SIGPIPE immunity must not
+    // leak into arbitrary child programs (a shell pipeline in a worker
+    // relies on SIGPIPE to terminate early producers).
+    ::signal(SIGPIPE, SIG_DFL);
     ::execvp(args[0], args.data());
     // Only reached when exec failed; report through the pipe and use
     // the shell's "command not found" convention.

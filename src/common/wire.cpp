@@ -1,0 +1,226 @@
+#include "common/wire.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/signals.hpp"
+#include "common/socket.hpp"
+
+namespace qaoaml::wire {
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'W', 'R', 'E'};
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(const unsigned char* bytes) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t get_u64(const unsigned char* bytes) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+/// Validates the 28-byte header; returns (type, payload size, checksum).
+struct Header {
+  std::uint32_t type = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checksum = 0;
+};
+
+Header parse_header(const unsigned char* raw) {
+  if (std::memcmp(raw, kMagic, sizeof(kMagic)) != 0) {
+    throw InvalidArgument("wire: bad frame magic (not a QWRE stream)");
+  }
+  const std::uint32_t version = get_u32(raw + 4);
+  if (version != kVersion) {
+    throw InvalidArgument("wire: unsupported frame version " +
+                          std::to_string(version) + " (want " +
+                          std::to_string(kVersion) + ")");
+  }
+  Header header;
+  header.type = get_u32(raw + 8);
+  header.payload_bytes = get_u64(raw + 12);
+  header.checksum = get_u64(raw + 20);
+  if (header.payload_bytes > kMaxPayloadBytes) {
+    throw InvalidArgument("wire: frame payload of " +
+                          std::to_string(header.payload_bytes) +
+                          " bytes exceeds the " +
+                          std::to_string(kMaxPayloadBytes) + "-byte bound");
+  }
+  return header;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string encode_frame(std::uint32_t type, std::string_view payload) {
+  require(payload.size() <= kMaxPayloadBytes,
+          "wire: refusing to encode an oversized frame");
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kVersion);
+  put_u32(out, type);
+  put_u64(out, payload.size());
+  put_u64(out, fnv1a(payload));
+  out.append(payload);
+  return out;
+}
+
+Frame decode_frame(std::string_view bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    throw InvalidArgument("wire: truncated frame header");
+  }
+  const Header header =
+      parse_header(reinterpret_cast<const unsigned char*>(bytes.data()));
+  if (bytes.size() < kHeaderBytes + header.payload_bytes) {
+    throw InvalidArgument("wire: truncated frame payload");
+  }
+  Frame frame;
+  frame.type = header.type;
+  frame.payload.assign(bytes.substr(kHeaderBytes, header.payload_bytes));
+  if (fnv1a(frame.payload) != header.checksum) {
+    throw InvalidArgument("wire: frame checksum mismatch (corrupt payload)");
+  }
+  return frame;
+}
+
+bool send_frame(int fd, std::uint32_t type, std::string_view payload) {
+  // Belt and braces: MSG_NOSIGNAL covers send(2) on Linux, the ignored
+  // disposition covers any exotic path that still raises.
+  ignore_sigpipe();
+  const std::string frame = encode_frame(type, payload);
+  return net::send_all(fd, frame.data(), frame.size());
+}
+
+RecvResult recv_frame(int fd, Frame& out) {
+  unsigned char header_raw[kHeaderBytes];
+  switch (net::recv_exact(fd, header_raw, sizeof(header_raw))) {
+    case net::RecvStatus::kOk:
+      break;
+    case net::RecvStatus::kEof:
+      return RecvResult::kEof;
+    case net::RecvStatus::kEofMidway:
+      throw Error("wire: peer closed mid-header");
+  }
+  const Header header = parse_header(header_raw);
+  out.type = header.type;
+  out.payload.assign(header.payload_bytes, '\0');
+  if (header.payload_bytes > 0 &&
+      net::recv_exact(fd, out.payload.data(), out.payload.size()) !=
+          net::RecvStatus::kOk) {
+    throw Error("wire: peer closed mid-payload");
+  }
+  if (fnv1a(out.payload) != header.checksum) {
+    throw InvalidArgument("wire: frame checksum mismatch (corrupt payload)");
+  }
+  return RecvResult::kFrame;
+}
+
+void PayloadWriter::u32(std::uint32_t value) { put_u32(bytes_, value); }
+void PayloadWriter::u64(std::uint64_t value) { put_u64(bytes_, value); }
+
+void PayloadWriter::i32(std::int32_t value) {
+  put_u32(bytes_, static_cast<std::uint32_t>(value));
+}
+
+void PayloadWriter::f64(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  put_u64(bytes_, bits);
+}
+
+void PayloadWriter::str(std::string_view value) {
+  put_u64(bytes_, value.size());
+  bytes_.append(value);
+}
+
+void PayloadWriter::vec_f64(const std::vector<double>& values) {
+  put_u64(bytes_, values.size());
+  for (const double v : values) f64(v);
+}
+
+const unsigned char* PayloadReader::take(std::size_t count) {
+  if (at_ + count > bytes_.size()) {
+    throw InvalidArgument("wire: truncated payload");
+  }
+  const auto* at = reinterpret_cast<const unsigned char*>(bytes_.data()) + at_;
+  at_ += count;
+  return at;
+}
+
+std::uint32_t PayloadReader::u32() { return get_u32(take(4)); }
+std::uint64_t PayloadReader::u64() { return get_u64(take(8)); }
+
+std::int32_t PayloadReader::i32() {
+  return static_cast<std::int32_t>(get_u32(take(4)));
+}
+
+double PayloadReader::f64() {
+  const std::uint64_t bits = get_u64(take(8));
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::string PayloadReader::str(std::uint64_t max_bytes) {
+  const std::uint64_t count = u64();
+  if (count > max_bytes) {
+    throw InvalidArgument("wire: string length " + std::to_string(count) +
+                          " exceeds the bound of " + std::to_string(max_bytes));
+  }
+  const unsigned char* at = take(static_cast<std::size_t>(count));
+  return std::string(reinterpret_cast<const char*>(at),
+                     static_cast<std::size_t>(count));
+}
+
+std::vector<double> PayloadReader::vec_f64(std::uint64_t max_elems) {
+  const std::uint64_t count = u64();
+  if (count > max_elems) {
+    throw InvalidArgument("wire: vector length " + std::to_string(count) +
+                          " exceeds the bound of " + std::to_string(max_elems));
+  }
+  std::vector<double> values(static_cast<std::size_t>(count));
+  for (double& v : values) v = f64();
+  return values;
+}
+
+void PayloadReader::expect_end() const {
+  if (at_ != bytes_.size()) {
+    throw InvalidArgument("wire: " + std::to_string(bytes_.size() - at_) +
+                          " trailing payload bytes after the last field");
+  }
+}
+
+}  // namespace qaoaml::wire

@@ -1,0 +1,127 @@
+// Length-prefixed binary framing for the serving protocol
+// (core/serving.hpp, tools/qaoad) — the socket sibling of the
+// ml/serialize.hpp file framing, with the same validate-before-trust
+// posture.
+//
+// Frame layout (all integers little-endian, doubles as IEEE-754 bit
+// patterns):
+//
+//   [0..3]   magic   "QWRE"
+//   [4..7]   u32     wire-format version (currently 1)
+//   [8..11]  u32     frame type (protocol-defined, opaque here)
+//   [12..19] u64     payload size in bytes
+//   [20..27] u64     FNV-1a checksum of the payload bytes
+//   [28.. ]          payload
+//
+// The header is validated before a single payload byte is interpreted:
+// wrong magic, unknown version, an oversized length or a checksum
+// mismatch each throw InvalidArgument naming the problem — a truncated
+// or corrupted frame can never be half-delivered as a valid request.
+//
+// Transport contract:
+//  - send_frame never raises SIGPIPE (MSG_NOSIGNAL) and reports a
+//    vanished peer (EPIPE/ECONNRESET) as `false`, so a server thread
+//    answering a disconnected client just drops the response;
+//  - recv_frame distinguishes a clean EOF on a frame boundary (kEof,
+//    the peer hung up between requests) from EOF mid-frame (an error:
+//    the peer died mid-send).
+//
+// PayloadWriter/PayloadReader build and parse payload bytes with the
+// endianness-pinned primitive layout of ml/serialize.hpp's io helpers;
+// every read is bounds-checked and throws on truncation, so a payload
+// parser never indexes past the frame.
+#ifndef QAOAML_COMMON_WIRE_HPP
+#define QAOAML_COMMON_WIRE_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qaoaml::wire {
+
+inline constexpr std::uint32_t kVersion = 1;
+/// Frames beyond this are rejected before allocation — a corrupt length
+/// field must surface as a protocol error, not a multi-GB allocation.
+inline constexpr std::uint64_t kMaxPayloadBytes = 16ull << 20;
+inline constexpr std::size_t kHeaderBytes = 28;
+
+struct Frame {
+  std::uint32_t type = 0;
+  std::string payload;
+};
+
+/// FNV-1a over the payload bytes (the header checksum).
+std::uint64_t fnv1a(std::string_view bytes);
+
+/// Header + payload as one contiguous byte string (pure; used by
+/// send_frame and directly testable without a socket).
+std::string encode_frame(std::uint32_t type, std::string_view payload);
+
+/// Validates and strips one complete frame from `bytes`.  Throws
+/// InvalidArgument on bad magic/version/length/checksum or when `bytes`
+/// is shorter than the frame it announces.
+Frame decode_frame(std::string_view bytes);
+
+/// Sends one frame on a socket fd.  Returns false when the peer is gone
+/// (EPIPE/ECONNRESET — never SIGPIPE); throws Error on any other send
+/// failure.
+bool send_frame(int fd, std::uint32_t type, std::string_view payload);
+
+enum class RecvResult {
+  kFrame,  ///< one complete validated frame in `out`
+  kEof,    ///< clean EOF on a frame boundary (peer hung up)
+};
+
+/// Reads exactly one frame.  Throws InvalidArgument on a malformed
+/// header or checksum mismatch, Error on EOF mid-frame or I/O failure.
+RecvResult recv_frame(int fd, Frame& out);
+
+/// Appends little-endian primitives to a payload byte string.
+class PayloadWriter {
+ public:
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  void i32(std::int32_t value);
+  void f64(double value);
+  /// u64 length prefix + raw bytes.
+  void str(std::string_view value);
+  /// u64 length prefix + elements.
+  void vec_f64(const std::vector<double>& values);
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked little-endian reads over a payload.  Every method
+/// throws InvalidArgument("wire: truncated payload") when the payload
+/// is shorter than the value it announces.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  double f64();
+  /// `max_bytes` bounds the length prefix (corrupt count -> error, not
+  /// a huge allocation).
+  std::string str(std::uint64_t max_bytes = kMaxPayloadBytes);
+  std::vector<double> vec_f64(std::uint64_t max_elems = 1u << 20);
+
+  /// Throws unless the payload was consumed exactly — trailing garbage
+  /// after the announced fields is a protocol bug, not padding.
+  void expect_end() const;
+
+ private:
+  const unsigned char* take(std::size_t count);
+
+  std::string_view bytes_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace qaoaml::wire
+
+#endif  // QAOAML_COMMON_WIRE_HPP

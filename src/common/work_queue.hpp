@@ -18,11 +18,13 @@
 #ifndef QAOAML_COMMON_WORK_QUEUE_HPP
 #define QAOAML_COMMON_WORK_QUEUE_HPP
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -65,6 +67,25 @@ class BoundedWorkQueue {
     items_.pop_front();
     not_full_.notify_one();
     return true;
+  }
+
+  /// Micro-batch pop: blocks for the FIRST item like pop(), then takes
+  /// whatever else is already queued, up to `max_items` — it never
+  /// waits for a batch to fill, so a lone item is served immediately
+  /// and batches only form under concurrent load (the serving daemon's
+  /// sweet spot).  Appends to `out` and returns the number taken; 0
+  /// only when the queue is closed and drained.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max_items) {
+    if (max_items == 0) return 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    const std::size_t count = std::min(max_items, items_.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    if (count > 0) not_full_.notify_all();
+    return count;
   }
 
   /// Irreversible; wakes all waiters.  Items already queued still

@@ -1,0 +1,284 @@
+// Online warm-start serving — the serve-many half of the paper's
+// train-once/serve-many pitch, behind the `qaoad` daemon (tools/).
+//
+// A trained predictor bank (core/parameter_predictor.hpp, "QPBK" files
+// from tools/train_predictor) maps a depth-1 optimum to near-optimal
+// depth-p QAOA angles in microseconds; this layer puts that lookup
+// behind a Unix-domain socket so one trained bank serves any number of
+// client processes:
+//
+//   request  = (family, target depth, mode, graph or depth-1 optimum)
+//   response = warm-start angles, or a full warm-started solve
+//
+// framed by common/wire.hpp (magic + version + checksum, mirroring the
+// serialize framing) over common/socket.hpp.
+//
+// Three request modes, by how much quantum simulation they buy:
+//  - kPredict: the client already has its depth-1 optimum; the server
+//    answers from the bank alone (no simulator).  Bit-identical to
+//    `train_predictor --predict` on the same bank — CI diffs the two.
+//  - kWarmStart: the client sends a graph; the server runs the cheap
+//    depth-1 optimization (2 parameters), feeds the bank, and returns
+//    the depth-1 optimum + predicted angles + the expectation at the
+//    prediction.
+//  - kSolve: the full two-level flow of core/two_level_solver.hpp —
+//    warm-started final optimization included.
+//
+// Concurrency model (the shard-orchestrator shape turned inward):
+// connection readers enqueue requests into a BoundedWorkQueue; K worker
+// jthreads pop *micro-batches* (pop_batch: never waits for a batch to
+// fill, so batches only form under concurrent load) and evaluate each
+// batch's predicted-angle expectations as ONE heterogeneous
+// core::BatchEvaluator batch.  Responses return on the request's own
+// connection, interleaved safely by a per-connection write lock.
+//
+// Hot reload: SIGHUP (tools/qaoad wires it via common/signals.hpp)
+// re-reads every bank file and atomically swaps the bank set.  In-flight
+// requests keep the shared_ptr they resolved at dispatch, so a reload
+// drops zero requests; a failed reload (corrupt file) keeps serving the
+// old banks and reports the error.
+//
+// Determinism contract: kPredict responses are a pure function of
+// (bank, request); kWarmStart/kSolve are a pure function of (bank,
+// request incl. seed) — micro-batching and worker count never change
+// the bits, because batching only groups independent evaluations.
+#ifndef QAOAML_CORE_SERVING_HPP
+#define QAOAML_CORE_SERVING_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/socket.hpp"
+#include "common/wire.hpp"
+#include "common/work_queue.hpp"
+#include "core/parameter_predictor.hpp"
+#include "core/two_level_solver.hpp"
+#include "graph/graph.hpp"
+
+namespace qaoaml::core::serving {
+
+// Frame types on the wire (wire::Frame::type).  Requests count up from
+// 1, responses from 101.
+inline constexpr std::uint32_t kPredictRequest = 1;
+inline constexpr std::uint32_t kWarmStartRequest = 2;
+inline constexpr std::uint32_t kSolveRequest = 3;
+inline constexpr std::uint32_t kPingRequest = 4;
+inline constexpr std::uint32_t kStatsRequest = 5;
+inline constexpr std::uint32_t kResultResponse = 101;
+inline constexpr std::uint32_t kPongResponse = 102;
+inline constexpr std::uint32_t kStatsResponse = 103;
+
+enum class Mode { kPredict, kWarmStart, kSolve };
+
+/// One serving request (the decoded form of the three *Request frames).
+struct Request {
+  Mode mode = Mode::kPredict;
+  std::uint64_t id = 0;       ///< echoed verbatim in the response
+  std::string family;         ///< bank key ("erdos-renyi", ...)
+  int target_depth = 2;
+  double gamma1 = 0.0;        ///< kPredict: the depth-1 optimum
+  double beta1 = 0.0;
+  graph::Graph problem;       ///< kWarmStart / kSolve
+  std::uint64_t seed = 0;     ///< level-1 RNG stream (determinism)
+  int level1_restarts = 1;    ///< level-1 multistart count
+};
+
+/// One serving response (kResultResponse).  `ok == false` carries the
+/// error text and no payload fields beyond `id`.
+struct Response {
+  std::uint64_t id = 0;
+  bool ok = false;
+  std::string error;
+  std::uint64_t bank_generation = 0;  ///< which reload served this
+  double gamma1 = 0.0;                ///< depth-1 optimum (echoed/computed)
+  double beta1 = 0.0;
+  std::vector<double> angles;         ///< predicted warm-start angles
+  double expectation = 0.0;           ///< <C> (at prediction / final)
+  double approximation_ratio = 0.0;   ///< kWarmStart / kSolve
+  int function_calls = 0;             ///< kWarmStart: level 1; kSolve: total
+};
+
+/// Aggregate daemon counters (kStatsResponse payload).
+struct ServerStats {
+  std::uint64_t served = 0;        ///< responses with ok == true
+  std::uint64_t errors = 0;        ///< responses with ok == false
+  std::uint64_t batches = 0;       ///< micro-batches processed
+  std::uint64_t max_batch = 0;     ///< largest micro-batch seen
+  std::uint64_t reloads = 0;       ///< successful bank reloads
+  std::uint64_t connections = 0;   ///< connections accepted
+  std::uint64_t bank_generation = 0;
+};
+
+// Codecs.  Every decode validates exhaustively (wire::PayloadReader
+// bounds checks + expect_end) and throws InvalidArgument on a malformed
+// payload; a daemon turns that into an error response, never a crash.
+std::uint32_t request_frame_type(Mode mode);
+std::string encode_request(const Request& request);
+Request decode_request(std::uint32_t frame_type, const std::string& payload);
+std::string encode_response(const Response& response);
+Response decode_response(const std::string& payload);
+std::string encode_stats(const ServerStats& stats);
+ServerStats decode_stats(const std::string& payload);
+
+/// Graph codec shared by requests (u32 nodes, u64 edges, u32/u32/f64
+/// per edge).  decode re-validates through Graph::add_edge, so
+/// self-loops and duplicate edges from a hostile client throw.
+void encode_graph(wire::PayloadWriter& writer, const graph::Graph& g);
+graph::Graph decode_graph(wire::PayloadReader& reader);
+
+/// The hot-reloadable set of predictor banks, keyed by family.
+/// lookup() hands out shared_ptr snapshots, so a reload never pulls a
+/// bank out from under an in-flight request.
+class BankSet {
+ public:
+  /// Loads every (family, path) bank now; throws on a missing/corrupt
+  /// file or a duplicate family.
+  explicit BankSet(
+      std::vector<std::pair<std::string, std::string>> family_paths);
+
+  struct Entry {
+    std::shared_ptr<const ParameterPredictor> bank;
+    std::uint64_t generation = 0;
+  };
+
+  /// Throws InvalidArgument naming the family (and the known ones) when
+  /// it is not loaded.
+  Entry lookup(const std::string& family) const;
+
+  /// Re-reads every bank file, then atomically swaps the whole set and
+  /// bumps the generation.  Strong guarantee: on any load failure the
+  /// old set keeps serving and the exception propagates.
+  void reload();
+
+  std::uint64_t generation() const;
+  std::vector<std::string> families() const;
+
+ private:
+  const std::vector<std::pair<std::string, std::string>> family_paths_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const ParameterPredictor>> banks_;
+  std::uint64_t generation_ = 1;
+};
+
+/// Scheduler + worker-pool configuration.
+struct SchedulerConfig {
+  int workers = 1;
+  std::size_t queue_capacity = 64;  ///< request backpressure bound
+  std::size_t batch_max = 8;        ///< micro-batch size cap
+  TwoLevelConfig solver;            ///< level-1/solve optimizer settings
+};
+
+/// Micro-batching request scheduler: submit() enqueues (blocking when
+/// the queue is full — backpressure reaches the client through unread
+/// socket bytes), worker jthreads pop batches and invoke each job's
+/// completion exactly once, including on shutdown (drained jobs run,
+/// never dropped).
+class Scheduler {
+ public:
+  Scheduler(const BankSet& banks, SchedulerConfig config);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  using Completion = std::function<void(const Response&)>;
+
+  /// Enqueues one request.  The completion runs on a worker thread.
+  /// Throws QueueClosed after stop().
+  void submit(Request request, Completion done);
+
+  /// Closes the queue, drains every accepted request, joins workers.
+  /// Idempotent.
+  void stop();
+
+  struct Stats {
+    std::uint64_t served = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t max_batch = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Job {
+    Request request;
+    Completion done;
+  };
+
+  void worker_loop();
+  void process_batch(std::vector<Job>& jobs);
+
+  const BankSet& banks_;
+  const SchedulerConfig config_;
+  BoundedWorkQueue<Job> queue_;
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+  bool stopped_ = false;
+  std::mutex stop_mutex_;
+  std::vector<std::jthread> workers_;
+};
+
+/// Everything qaoad is, minus CLI parsing and signal wiring: bind the
+/// socket, accept connections, pump frames through the scheduler,
+/// answer on the requesting connection.  Embeddable (tests and
+/// bench_ci run a Server in-process).
+struct ServerConfig {
+  std::string socket_path;
+  std::vector<std::pair<std::string, std::string>> banks;  ///< family, path
+  int workers = 1;
+  std::size_t batch_max = 8;
+  std::size_t queue_capacity = 64;
+  int backlog = 64;
+  TwoLevelConfig solver;
+  std::FILE* log = nullptr;  ///< connection/reload chatter; null = quiet
+};
+
+class Server {
+ public:
+  /// Loads the banks, binds the socket and starts serving; throws on
+  /// any failure (nothing half-started survives).
+  explicit Server(ServerConfig config);
+  /// stop()s if still running.
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Hot bank reload (the SIGHUP action).  Zero in-flight requests are
+  /// dropped; throws on a load failure (old banks keep serving).
+  void reload();
+
+  /// Stops accepting, lets every in-flight request complete and its
+  /// response flush, then joins all threads.  Idempotent.
+  void stop();
+
+  ServerStats stats() const;
+  const std::string& socket_path() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+
+  ServerConfig config_;
+  BankSet banks_;
+  Scheduler scheduler_;
+  net::Fd listener_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> open_connections_;
+  std::thread accept_thread_;
+};
+
+}  // namespace qaoaml::core::serving
+
+#endif  // QAOAML_CORE_SERVING_HPP

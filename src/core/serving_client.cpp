@@ -1,0 +1,108 @@
+#include "core/serving_client.hpp"
+
+#include "common/error.hpp"
+#include "common/signals.hpp"
+#include "common/wire.hpp"
+
+namespace qaoaml::core::serving {
+
+namespace {
+
+/// One request -> one response frame of the expected type, or throw.
+wire::Frame exchange(int fd, std::uint32_t request_type,
+                     const std::string& payload,
+                     std::uint32_t expected_response_type) {
+  if (!wire::send_frame(fd, request_type, payload)) {
+    throw Error("serving client: daemon hung up before the request");
+  }
+  wire::Frame frame;
+  if (wire::recv_frame(fd, frame) == wire::RecvResult::kEof) {
+    throw Error("serving client: daemon hung up before answering");
+  }
+  if (frame.type != expected_response_type) {
+    throw Error("serving client: unexpected response frame type " +
+                std::to_string(frame.type));
+  }
+  return frame;
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path)
+    : fd_(net::unix_connect(socket_path)) {
+  // send_all uses MSG_NOSIGNAL, but belt-and-braces for client code
+  // that links this into larger programs.
+  ignore_sigpipe();
+}
+
+Response Client::roundtrip(const Request& request) {
+  const wire::Frame frame =
+      exchange(fd_.get(), request_frame_type(request.mode),
+               encode_request(request), kResultResponse);
+  Response response = decode_response(frame.payload);
+  if (response.id != request.id) {
+    throw Error("serving client: response id mismatch (sent " +
+                std::to_string(request.id) + ", got " +
+                std::to_string(response.id) + ")");
+  }
+  return response;
+}
+
+Response Client::predict(const std::string& family, double gamma1,
+                         double beta1, int target_depth) {
+  Request request;
+  request.mode = Mode::kPredict;
+  request.id = next_id_++;
+  request.family = family;
+  request.target_depth = target_depth;
+  request.gamma1 = gamma1;
+  request.beta1 = beta1;
+  return roundtrip(request);
+}
+
+Response Client::warm_start(const std::string& family,
+                            const graph::Graph& problem, int target_depth,
+                            std::uint64_t seed, int level1_restarts) {
+  Request request;
+  request.mode = Mode::kWarmStart;
+  request.id = next_id_++;
+  request.family = family;
+  request.target_depth = target_depth;
+  request.problem = problem;
+  request.seed = seed;
+  request.level1_restarts = level1_restarts;
+  return roundtrip(request);
+}
+
+Response Client::solve(const std::string& family, const graph::Graph& problem,
+                       int target_depth, std::uint64_t seed,
+                       int level1_restarts) {
+  Request request;
+  request.mode = Mode::kSolve;
+  request.id = next_id_++;
+  request.family = family;
+  request.target_depth = target_depth;
+  request.problem = problem;
+  request.seed = seed;
+  request.level1_restarts = level1_restarts;
+  return roundtrip(request);
+}
+
+bool Client::ping(std::uint64_t token) {
+  wire::PayloadWriter writer;
+  writer.u64(token);
+  const wire::Frame frame =
+      exchange(fd_.get(), kPingRequest, writer.bytes(), kPongResponse);
+  wire::PayloadReader reader(frame.payload);
+  const std::uint64_t echoed = reader.u64();
+  reader.expect_end();
+  return echoed == token;
+}
+
+ServerStats Client::server_stats() {
+  const wire::Frame frame =
+      exchange(fd_.get(), kStatsRequest, std::string(), kStatsResponse);
+  return decode_stats(frame.payload);
+}
+
+}  // namespace qaoaml::core::serving

@@ -1,0 +1,67 @@
+// Synchronous client for the qaoad serving protocol (core/serving.hpp).
+//
+// One Client = one connection = one outstanding request at a time; the
+// pipelining unit is *clients*, not requests (bench_serving opens one
+// Client per load-generator thread).  Every call round-trips one frame
+// and validates the response exhaustively: frame type, response id echo
+// and payload shape all have to match, so a protocol skew fails loudly
+// at the call site instead of corrupting a measurement downstream.
+//
+// Not thread-safe: a Client serializes its socket; share nothing, open
+// one per thread.  Throws common/error.hpp errors when the daemon is
+// unreachable, hangs up mid-request, or answers malformed.
+#ifndef QAOAML_CORE_SERVING_CLIENT_HPP
+#define QAOAML_CORE_SERVING_CLIENT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/socket.hpp"
+#include "core/serving.hpp"
+#include "graph/graph.hpp"
+
+namespace qaoaml::core::serving {
+
+class Client {
+ public:
+  /// Connects to the daemon at `socket_path`; throws when it is not
+  /// there.
+  explicit Client(const std::string& socket_path);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Bank lookup only: predicted warm-start angles for a depth-1
+  /// optimum the caller already has.  Bit-identical to
+  /// `train_predictor --predict` on the same bank file.
+  Response predict(const std::string& family, double gamma1, double beta1,
+                   int target_depth);
+
+  /// Server-side level-1 optimization + prediction; the response also
+  /// carries <C> at the predicted angles.
+  Response warm_start(const std::string& family, const graph::Graph& problem,
+                      int target_depth, std::uint64_t seed,
+                      int level1_restarts = 1);
+
+  /// Full two-level solve (core/two_level_solver.hpp) on the server.
+  Response solve(const std::string& family, const graph::Graph& problem,
+                 int target_depth, std::uint64_t seed,
+                 int level1_restarts = 1);
+
+  /// Any prepared request (the generic path the helpers above wrap).
+  Response roundtrip(const Request& request);
+
+  /// Liveness check: the daemon echoes `token` back.
+  bool ping(std::uint64_t token = 1);
+
+  /// The daemon's aggregate counters.
+  ServerStats server_stats();
+
+ private:
+  net::Fd fd_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace qaoaml::core::serving
+
+#endif  // QAOAML_CORE_SERVING_CLIENT_HPP

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -55,9 +56,8 @@ double backoff_seconds(const OrchestratorConfig& config, int failures) {
   return std::min(delay, config.backoff_max_s);
 }
 
-/// Aggregated one-line progress ("37/128 units 28.9% | 4.1 units/s |
-/// ETA 22 s"), rate-limited to one print per second.  Caller holds the
-/// shared mutex.
+/// Aggregated one-line progress, rate-limited to one print per second.
+/// Caller holds the shared mutex.
 void print_progress(const OrchestratorConfig& config, Shared& shared,
                     bool force) {
   if (config.progress_out == nullptr) return;
@@ -68,26 +68,16 @@ void print_progress(const OrchestratorConfig& config, Shared& shared,
   }
   shared.last_progress_print_s = now;
 
-  std::size_t done = 0;
-  std::size_t total = 0;
-  int running = 0;
-  int finished = 0;
+  ProgressSnapshot snapshot;
+  snapshot.seconds = now;
   for (const ShardOutcome& s : shared.outcomes) {
-    done += s.units_done;
-    total += s.units_total;
-    if (s.succeeded) ++finished;
-    if (s.attempts > 0 && !s.succeeded) ++running;  // in flight or retrying
+    snapshot.done += s.units_done;
+    snapshot.total += s.units_total;
+    if (s.succeeded) ++snapshot.finished;
+    if (s.attempts > 0 && !s.succeeded) ++snapshot.active;  // or retrying
   }
-  const double pct =
-      total > 0 ? 100.0 * static_cast<double>(done) / static_cast<double>(total)
-                : 0.0;
-  const double rate = now > 0.0 ? static_cast<double>(done) / now : 0.0;
-  std::fprintf(config.progress_out,
-               "[launch] %zu/%zu units %.1f%% | %.2f units/s | ETA %.0f s | "
-               "shards %d done, %d active\n",
-               done, total, pct, rate,
-               rate > 0.0 ? static_cast<double>(total - done) / rate : 0.0,
-               finished, running);
+  std::fprintf(config.progress_out, "[launch] %s\n",
+               format_progress_line(snapshot).c_str());
   std::fflush(config.progress_out);
 }
 
@@ -216,6 +206,37 @@ bool run_attempt(const OrchestratorConfig& config, Shared& shared,
 }
 
 }  // namespace
+
+std::string format_progress_line(const ProgressSnapshot& snapshot) {
+  // Guard every division: before the first start frame total is 0, at
+  // t=0 the elapsed time is 0, and a worker re-basing its counters on
+  // resume can transiently report done > total.  None of those may
+  // print as inf, NaN, or a wrapped unsigned difference.
+  const std::size_t total = snapshot.total;
+  const std::size_t done = total > 0 ? std::min(snapshot.done, total)
+                                     : snapshot.done;
+  const double pct =
+      total > 0 ? 100.0 * static_cast<double>(done) / static_cast<double>(total)
+                : 0.0;
+  double rate = snapshot.seconds > 0.0
+                    ? static_cast<double>(done) / snapshot.seconds
+                    : 0.0;
+  if (!std::isfinite(rate) || rate < 0.0) rate = 0.0;
+
+  char eta[32] = "--";
+  if (total > 0 && rate > 0.0) {
+    const double eta_s = static_cast<double>(total - done) / rate;
+    if (std::isfinite(eta_s)) std::snprintf(eta, sizeof(eta), "%.0f", eta_s);
+  }
+
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%zu/%zu units %.1f%% | %.2f units/s | ETA %s s | "
+                "shards %d done, %d active",
+                done, total, pct, rate, eta, snapshot.finished,
+                snapshot.active);
+  return line;
+}
 
 OrchestratorReport run_shards(const OrchestratorConfig& config) {
   require(config.shard_count >= 1, "run_shards: shard_count must be >= 1");

@@ -102,6 +102,23 @@ struct OrchestratorReport {
 /// malformed config.
 OrchestratorReport run_shards(const OrchestratorConfig& config);
 
+/// Inputs of one aggregated progress line.
+struct ProgressSnapshot {
+  std::size_t done = 0;
+  std::size_t total = 0;
+  double seconds = 0.0;  ///< elapsed wall time
+  int finished = 0;      ///< shards succeeded
+  int active = 0;        ///< shards in flight or retrying
+};
+
+/// Formats the aggregated progress line ("37/128 units 28.9% | 4.10
+/// units/s | ETA 22 s | shards 1 done, 3 active").  Pure and total:
+/// zero totals (no start frame yet), zero elapsed time, zero rates and
+/// done > total (a resumed shard re-basing its counts) all format as
+/// finite output — the percentage clamps, and an unknowable rate or ETA
+/// prints as "--" rather than inf or NaN.
+std::string format_progress_line(const ProgressSnapshot& snapshot);
+
 }  // namespace qaoaml::core
 
 #endif  // QAOAML_CORE_SHARD_ORCHESTRATOR_HPP

@@ -190,5 +190,57 @@ TEST(Orchestrator, ManyMoreShardsThanWorkersAllComplete) {
   }
 }
 
+TEST(Orchestrator, ProgressLineIsFiniteForZeroTotals) {
+  // Before any start frame arrives both counters are zero; the old
+  // 0/0 division produced a NaN percentage and an inf ETA.
+  ProgressSnapshot snapshot;
+  snapshot.seconds = 1.0;
+  const std::string line = format_progress_line(snapshot);
+  EXPECT_NE(line.find("0/0 units 0.0%"), std::string::npos) << line;
+  EXPECT_NE(line.find("ETA -- s"), std::string::npos) << line;
+  EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+  EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+}
+
+TEST(Orchestrator, ProgressLineIsFiniteForZeroElapsedTime) {
+  // The first progress frame can land before the clock ticks: rate and
+  // ETA are unknowable, not infinite.
+  ProgressSnapshot snapshot;
+  snapshot.done = 5;
+  snapshot.total = 10;
+  snapshot.seconds = 0.0;
+  const std::string line = format_progress_line(snapshot);
+  EXPECT_NE(line.find("5/10 units 50.0%"), std::string::npos) << line;
+  EXPECT_NE(line.find("0.00 units/s"), std::string::npos) << line;
+  EXPECT_NE(line.find("ETA -- s"), std::string::npos) << line;
+}
+
+TEST(Orchestrator, ProgressLineClampsDoneBeyondTotal) {
+  // A resumed shard re-basing its counts can transiently report
+  // done > total; the unsigned subtraction in the old ETA math
+  // underflowed to ~2^64 seconds.
+  ProgressSnapshot snapshot;
+  snapshot.done = 12;
+  snapshot.total = 10;
+  snapshot.seconds = 2.0;
+  const std::string line = format_progress_line(snapshot);
+  EXPECT_NE(line.find("10/10 units 100.0%"), std::string::npos) << line;
+  EXPECT_NE(line.find("ETA 0 s"), std::string::npos) << line;
+}
+
+TEST(Orchestrator, ProgressLineReportsANormalRateAndEta) {
+  ProgressSnapshot snapshot;
+  snapshot.done = 30;
+  snapshot.total = 120;
+  snapshot.seconds = 10.0;
+  snapshot.finished = 1;
+  snapshot.active = 3;
+  const std::string line = format_progress_line(snapshot);
+  EXPECT_NE(line.find("30/120 units 25.0%"), std::string::npos) << line;
+  EXPECT_NE(line.find("3.00 units/s"), std::string::npos) << line;
+  EXPECT_NE(line.find("ETA 30 s"), std::string::npos) << line;
+  EXPECT_NE(line.find("shards 1 done, 3 active"), std::string::npos) << line;
+}
+
 }  // namespace
 }  // namespace qaoaml::core

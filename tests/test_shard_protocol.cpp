@@ -108,6 +108,55 @@ TEST(ShardProtocol, MalformedSentinelLinesAreFlagged) {
             Event::Kind::kMalformed);
 }
 
+TEST(ShardProtocol, AdversarialNumbersAreMalformedNotWrapped) {
+  // Negative counts: istream >> into an unsigned would silently wrap
+  // these into huge values; the strict parser must flag them instead.
+  EXPECT_EQ(parse_line("@qshard progress -1 10 1.0").kind,
+            Event::Kind::kMalformed);
+  EXPECT_EQ(parse_line("@qshard progress 1 -10 1.0").kind,
+            Event::Kind::kMalformed);
+  EXPECT_EQ(parse_line("@qshard start 0 -5").kind, Event::Kind::kMalformed);
+  EXPECT_EQ(parse_line("@qshard done -1 0 1.0").kind,
+            Event::Kind::kMalformed);
+
+  // done > total: a frame no correct worker can emit.
+  EXPECT_EQ(parse_line("@qshard progress 11 10 1.0").kind,
+            Event::Kind::kMalformed);
+  // done == total is the normal completion frame, though.
+  EXPECT_EQ(parse_line("@qshard progress 10 10 1.0").kind,
+            Event::Kind::kProgress);
+
+  // Non-finite or negative rates.
+  EXPECT_EQ(parse_line("@qshard progress 1 10 inf").kind,
+            Event::Kind::kMalformed);
+  EXPECT_EQ(parse_line("@qshard progress 1 10 nan").kind,
+            Event::Kind::kMalformed);
+  EXPECT_EQ(parse_line("@qshard progress 1 10 -3.0").kind,
+            Event::Kind::kMalformed);
+}
+
+TEST(ShardProtocol, TrailingGarbageIsMalformed) {
+  EXPECT_EQ(parse_line("@qshard progress 1 10 1.0 junk").kind,
+            Event::Kind::kMalformed);
+  EXPECT_EQ(parse_line("@qshard start 0 5 trailing").kind,
+            Event::Kind::kMalformed);
+  // Garbage fused onto a number is equally malformed.
+  EXPECT_EQ(parse_line("@qshard progress 1x 10 1.0").kind,
+            Event::Kind::kMalformed);
+  EXPECT_EQ(parse_line("@qshard progress 1 10 1.0garbage").kind,
+            Event::Kind::kMalformed);
+}
+
+TEST(ShardProtocol, OverlongSentinelLinesAreMalformed) {
+  // A sentinel line longer than any legitimate frame is rejected before
+  // tokenization; a non-sentinel line of any length stays kNone.
+  const std::string padding(kMaxLineBytes, '7');
+  EXPECT_EQ(parse_line("@qshard progress 1 10 " + padding).kind,
+            Event::Kind::kMalformed);
+  EXPECT_EQ(parse_line("plain worker chatter " + padding).kind,
+            Event::Kind::kNone);
+}
+
 TEST(ShardProtocol, HeartbeatEmitterTicksUntilDestroyed) {
   Capture capture;
   {

@@ -1,0 +1,134 @@
+// Signal plumbing (common/signals.hpp): the SIGPIPE regression (no code
+// path may die writing to a vanished peer), the thread-safe signal-name
+// table, the child-side SIG_DFL restore in Subprocess::spawn, and
+// SignalWaiter delivery.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/signals.hpp"
+#include "common/subprocess.hpp"
+
+namespace qaoaml {
+namespace {
+
+using namespace std::chrono_literals;
+
+// The regression the serving daemon depends on: after ignore_sigpipe(),
+// writing into a pipe whose read end closed mid-stream fails with EPIPE
+// instead of killing the process.  Without the fix this test does not
+// fail — it dies.
+TEST(Signals, WriteToClosedPipeSurvivesAfterIgnoreSigpipe) {
+  ignore_sigpipe();
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);  // the reader vanishes before we write
+
+  const char byte = 'x';
+  const ssize_t n = ::write(fds[1], &byte, 1);
+  const int err = errno;
+  ::close(fds[1]);
+  EXPECT_EQ(n, -1);
+  EXPECT_EQ(err, EPIPE);
+}
+
+// Subprocess::spawn writes toward children that may die at any moment,
+// so the spawn path itself must arm the parent against SIGPIPE.
+TEST(Signals, SpawnLeavesParentIgnoringSigpipe) {
+  Subprocess child = Subprocess::spawn({"/bin/echo", "hi"});
+  std::string line;
+  while (child.read_line(line, 5000) != Subprocess::ReadResult::kEof) {
+  }
+  (void)child.wait();
+
+  struct sigaction action {};
+  ASSERT_EQ(::sigaction(SIGPIPE, nullptr, &action), 0);
+  EXPECT_EQ(action.sa_handler, SIG_IGN);
+}
+
+// SIG_IGN for SIGPIPE must NOT leak into spawned children: a child that
+// expects the default disposition (e.g. `head` closing a pipe early in
+// a shell pipeline) would misbehave under an inherited SIG_IGN, because
+// ignored dispositions survive execvp.
+TEST(Signals, SpawnedChildGetsDefaultSigpipeDisposition) {
+  ignore_sigpipe();
+  // Bit 13 (SIGPIPE) of SigIgn in /proc/self/status, printed by the
+  // child itself.  SigIgn is a 64-bit hex mask; SIGPIPE contributes
+  // 0x1000.
+  Subprocess child = Subprocess::spawn(
+      {"/bin/sh", "-c", "grep SigIgn: /proc/self/status"});
+  std::string line;
+  std::string sig_ign;
+  while (child.read_line(line, 5000) != Subprocess::ReadResult::kEof) {
+    if (line.find("SigIgn:") != std::string::npos) sig_ign = line;
+  }
+  const Subprocess::ExitStatus status = child.wait();
+  ASSERT_TRUE(status.success());
+  ASSERT_FALSE(sig_ign.empty());
+  const std::string mask = sig_ign.substr(sig_ign.find(':') + 1);
+  const unsigned long long bits = std::stoull(mask, nullptr, 16);
+  EXPECT_EQ(bits & (1ull << (SIGPIPE - 1)), 0ull)
+      << "child inherited SIG_IGN for SIGPIPE: " << sig_ign;
+}
+
+TEST(Signals, SignalNameCoversThePortableTable) {
+  EXPECT_STREQ(signal_name(SIGKILL), "SIGKILL");
+  EXPECT_STREQ(signal_name(SIGTERM), "SIGTERM");
+  EXPECT_STREQ(signal_name(SIGHUP), "SIGHUP");
+  EXPECT_STREQ(signal_name(SIGPIPE), "SIGPIPE");
+  EXPECT_EQ(signal_name(0), nullptr);
+  EXPECT_EQ(signal_name(10000), nullptr);
+}
+
+// ::strsignal is allowed to use a static buffer; the table must be
+// usable from many threads at once without tearing.
+TEST(Signals, SignalNameIsStableUnderConcurrency) {
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (std::strcmp(signal_name(SIGKILL), "SIGKILL") != 0 ||
+            std::strcmp(signal_name(SIGSEGV), "SIGSEGV") != 0) {
+          ok = false;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Signals, SignalWaiterDeliversARaisedSignal) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<int> delivered;
+  SignalWaiter waiter({SIGHUP}, [&](int signum) {
+    std::lock_guard<std::mutex> lock(mutex);
+    delivered.push_back(signum);
+    cv.notify_all();
+  });
+
+  ASSERT_EQ(::kill(::getpid(), SIGHUP), 0);
+
+  std::unique_lock<std::mutex> lock(mutex);
+  const bool got = cv.wait_for(lock, 5s, [&] { return !delivered.empty(); });
+  ASSERT_TRUE(got) << "SIGHUP was not delivered to the waiter";
+  EXPECT_EQ(delivered.front(), SIGHUP);
+}
+
+}  // namespace
+}  // namespace qaoaml

@@ -1,0 +1,183 @@
+// Wire framing (common/wire.hpp): frame round trips (pure and over a
+// real socketpair), header validation (magic/version/length/checksum),
+// EOF semantics on a frame boundary vs mid-frame, and the
+// bounds-checked payload reader.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/socket.hpp"
+#include "common/wire.hpp"
+
+namespace qaoaml::wire {
+namespace {
+
+TEST(Wire, EncodeDecodeRoundTripsTypeAndPayload) {
+  const std::string payload("hello\0world", 11);  // embedded NUL survives
+  const std::string bytes = encode_frame(42, payload);
+  EXPECT_EQ(bytes.size(), kHeaderBytes + payload.size());
+  const Frame frame = decode_frame(bytes);
+  EXPECT_EQ(frame.type, 42u);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(Wire, EmptyPayloadRoundTrips) {
+  const Frame frame = decode_frame(encode_frame(7, ""));
+  EXPECT_EQ(frame.type, 7u);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(Wire, RejectsBadMagic) {
+  std::string bytes = encode_frame(1, "abc");
+  bytes[0] = 'X';
+  EXPECT_THROW(decode_frame(bytes), InvalidArgument);
+}
+
+TEST(Wire, RejectsUnknownVersion) {
+  std::string bytes = encode_frame(1, "abc");
+  bytes[4] = static_cast<char>(9);
+  EXPECT_THROW(decode_frame(bytes), InvalidArgument);
+}
+
+TEST(Wire, RejectsCorruptedPayload) {
+  std::string bytes = encode_frame(1, "abcdef");
+  bytes[kHeaderBytes + 2] ^= 0x40;  // flip a payload bit -> checksum fails
+  EXPECT_THROW(decode_frame(bytes), InvalidArgument);
+}
+
+TEST(Wire, RejectsCorruptedChecksumField) {
+  std::string bytes = encode_frame(1, "abcdef");
+  bytes[20] ^= 0x01;
+  EXPECT_THROW(decode_frame(bytes), InvalidArgument);
+}
+
+TEST(Wire, RejectsTruncatedFrame) {
+  const std::string bytes = encode_frame(1, "abcdef");
+  EXPECT_THROW(decode_frame(bytes.substr(0, bytes.size() - 1)),
+               InvalidArgument);
+  EXPECT_THROW(decode_frame(bytes.substr(0, kHeaderBytes - 1)),
+               InvalidArgument);
+}
+
+TEST(Wire, RejectsOversizedAnnouncedLength) {
+  // Hand-corrupt the size field to announce more than kMaxPayloadBytes;
+  // the header must be rejected before any allocation happens.
+  std::string bytes = encode_frame(1, "abc");
+  const std::uint64_t huge = kMaxPayloadBytes + 1;
+  for (int i = 0; i < 8; ++i) {
+    bytes[12 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  }
+  EXPECT_THROW(decode_frame(bytes), InvalidArgument);
+}
+
+TEST(Wire, SocketRoundTripAndCleanEof) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  net::Fd a(fds[0]);
+  net::Fd b(fds[1]);
+
+  ASSERT_TRUE(send_frame(a.get(), 5, "ping"));
+  ASSERT_TRUE(send_frame(a.get(), 6, std::string(100000, 'x')));
+  a.reset();  // close the write side: next read past the frames is EOF
+
+  Frame frame;
+  ASSERT_EQ(recv_frame(b.get(), frame), RecvResult::kFrame);
+  EXPECT_EQ(frame.type, 5u);
+  EXPECT_EQ(frame.payload, "ping");
+  ASSERT_EQ(recv_frame(b.get(), frame), RecvResult::kFrame);
+  EXPECT_EQ(frame.type, 6u);
+  EXPECT_EQ(frame.payload.size(), 100000u);
+  // EOF exactly on a frame boundary is a clean hang-up, not an error.
+  EXPECT_EQ(recv_frame(b.get(), frame), RecvResult::kEof);
+}
+
+TEST(Wire, EofMidFrameIsAnError) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  net::Fd a(fds[0]);
+  net::Fd b(fds[1]);
+
+  const std::string bytes = encode_frame(9, "abcdefgh");
+  // Send the header plus half the payload, then vanish.
+  ASSERT_TRUE(net::send_all(a.get(), bytes.data(), kHeaderBytes + 4));
+  a.reset();
+
+  Frame frame;
+  EXPECT_THROW(recv_frame(b.get(), frame), Error);
+}
+
+TEST(Wire, SendToClosedPeerReturnsFalseNotSigpipe) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  net::Fd a(fds[0]);
+  {
+    net::Fd b(fds[1]);
+  }  // peer closes immediately
+
+  // A large frame forces the kernel to notice the dead peer mid-write.
+  // If SIGPIPE were delivered the test binary would die here.
+  bool alive = true;
+  for (int i = 0; i < 4 && alive; ++i) {
+    alive = send_frame(a.get(), 1, std::string(1 << 20, 'y'));
+  }
+  EXPECT_FALSE(alive);
+}
+
+TEST(Wire, PayloadWriterReaderRoundTripsEveryPrimitive) {
+  PayloadWriter writer;
+  writer.u32(0xdeadbeefu);
+  writer.u64(0x0123456789abcdefull);
+  writer.i32(-42);
+  writer.f64(-0.1);
+  writer.str("family");
+  writer.vec_f64({1.5, -2.25, 0.0});
+
+  PayloadReader reader(writer.bytes());
+  EXPECT_EQ(reader.u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(reader.i32(), -42);
+  EXPECT_EQ(reader.f64(), -0.1);
+  EXPECT_EQ(reader.str(), "family");
+  EXPECT_EQ(reader.vec_f64(), (std::vector<double>{1.5, -2.25, 0.0}));
+  EXPECT_NO_THROW(reader.expect_end());
+}
+
+TEST(Wire, PayloadReaderThrowsOnTruncation) {
+  PayloadWriter writer;
+  writer.u64(7);
+  PayloadReader reader(writer.bytes());
+  EXPECT_EQ(reader.u64(), 7u);
+  EXPECT_THROW(reader.u32(), InvalidArgument);  // nothing left
+}
+
+TEST(Wire, PayloadReaderBoundsStringAndVectorCounts) {
+  PayloadWriter writer;
+  writer.str("abcdef");
+  {
+    PayloadReader reader(writer.bytes());
+    EXPECT_THROW(reader.str(3), InvalidArgument);  // announced 6 > max 3
+  }
+  PayloadWriter vec_writer;
+  vec_writer.vec_f64({1.0, 2.0, 3.0});
+  PayloadReader reader(vec_writer.bytes());
+  EXPECT_THROW(reader.vec_f64(2), InvalidArgument);
+}
+
+TEST(Wire, ExpectEndRejectsTrailingGarbage) {
+  PayloadWriter writer;
+  writer.u32(1);
+  writer.u32(2);
+  PayloadReader reader(writer.bytes());
+  reader.u32();
+  EXPECT_THROW(reader.expect_end(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qaoaml::wire

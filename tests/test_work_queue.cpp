@@ -165,5 +165,82 @@ TEST(WorkQueue, MpmcDeliversEveryItemExactlyOnce) {
   }
 }
 
+TEST(WorkQueue, PopBatchTakesWhatIsQueuedUpToTheCap) {
+  BoundedWorkQueue<int> queue(16);
+  for (int i = 0; i < 10; ++i) queue.push(i);
+
+  std::vector<int> batch;
+  EXPECT_EQ(queue.pop_batch(batch, 4), 4u);  // capped at max_items
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+
+  EXPECT_EQ(queue.pop_batch(batch, 100), 6u);  // takes the rest, appends
+  EXPECT_EQ(batch.size(), 10u);
+  EXPECT_EQ(batch.back(), 9);
+}
+
+TEST(WorkQueue, PopBatchNeverWaitsForABatchToFill) {
+  // A lone item must be served immediately — batches only form under
+  // load, they are never awaited.
+  BoundedWorkQueue<int> queue(16);
+  queue.push(42);
+  std::vector<int> batch;
+  EXPECT_EQ(queue.pop_batch(batch, 8), 1u);
+  EXPECT_EQ(batch, std::vector<int>{42});
+}
+
+TEST(WorkQueue, PopBatchBlocksForTheFirstItemLikePop) {
+  BoundedWorkQueue<int> queue(4);
+  std::vector<int> batch;
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    EXPECT_EQ(queue.pop_batch(batch, 8), 1u);
+    popped = true;
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(popped.load());  // empty queue: pop_batch is blocked
+  queue.push(7);
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+  EXPECT_EQ(batch, std::vector<int>{7});
+}
+
+TEST(WorkQueue, PopBatchDrainsAClosedQueueThenReturnsZero) {
+  BoundedWorkQueue<int> queue(8);
+  queue.push(1);
+  queue.push(2);
+  queue.close();
+  std::vector<int> batch;
+  EXPECT_EQ(queue.pop_batch(batch, 8), 2u);  // queued items still drain
+  EXPECT_EQ(queue.pop_batch(batch, 8), 0u);  // closed and drained
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(WorkQueue, PopBatchFreesRoomForBlockedProducers) {
+  BoundedWorkQueue<int> queue(2);
+  queue.push(1);
+  queue.push(2);
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    queue.push(3);  // blocked: the queue is full
+    third_pushed = true;
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(third_pushed.load());
+
+  std::vector<int> batch;
+  EXPECT_EQ(queue.pop_batch(batch, 2), 2u);  // frees both slots at once
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(WorkQueue, PopBatchWithZeroMaxItemsIsANoop) {
+  BoundedWorkQueue<int> queue(4);
+  queue.push(1);
+  std::vector<int> batch;
+  EXPECT_EQ(queue.pop_batch(batch, 0), 0u);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(queue.size(), 1u);  // nothing consumed
+}
+
 }  // namespace
 }  // namespace qaoaml
