@@ -70,6 +70,28 @@ double time_fused_objective() {
   return seconds;
 }
 
+/// Seconds for a fixed batch of shot-sampled objective evaluations
+/// through the workspace-reusing path (state prep + serial CDF + 2048
+/// CDF-inversion draws per call — the inner loop of every shot-noise
+/// experiment and of sampled serving requests).
+double time_sampled_expectation() {
+  Rng rng(13);
+  const graph::Graph g = graph::erdos_renyi_gnp(14, 0.5, rng);
+  const core::MaxCutQaoa instance(g, 2);
+  core::BatchEvaluator evaluator(instance);
+  const core::EvalSpec spec = core::EvalSpec::sampled_with(2048, 77);
+  std::vector<double> params(instance.num_parameters(), 0.3);
+  Timer timer;
+  double sink = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    params[0] = 0.01 * static_cast<double>(i % 100);
+    sink += evaluator.evaluate(params, spec);
+  }
+  const double seconds = timer.seconds();
+  if (sink == 42.123456) std::printf("#\n");
+  return seconds;
+}
+
 /// Seconds to generate a fixed small corpus through the pipeline
 /// scheduler (the offline data-generation hot path).
 double time_corpus_pipeline() {
@@ -199,6 +221,7 @@ int main(int argc, char** argv) {
   };
   const Metric metrics[] = {
       {"fused_objective_s", &time_fused_objective},
+      {"sampled_expectation_s", &time_sampled_expectation},
       {"corpus_pipeline_s", &time_corpus_pipeline},
       {"multistart_batched_s", &time_batched_multistart},
       {"serving_predict_s", &time_serving_predict},

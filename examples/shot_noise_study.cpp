@@ -3,12 +3,19 @@
 // exact statevector value (the paper's simulator is exact; real
 // hardware is not).
 //
+// Built on the first-class evaluation API (core/eval_spec.hpp): each
+// shot count becomes a sampled EvalSpec, and the EvalSpec solver
+// overloads supply what the hand-rolled version did manually — the
+// noisy ftol/xtol preset, a seeded measurement stream per trial, and
+// exact re-scoring of the final angles.
+//
 //   build/examples/shot_noise_study [shots...]
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
-#include "core/angles.hpp"
+#include "common/cli.hpp"
+#include "core/eval_spec.hpp"
 #include "core/qaoa_solver.hpp"
 #include "graph/generators.hpp"
 #include "stats/descriptive.hpp"
@@ -19,7 +26,19 @@ int main(int argc, char** argv) {
   std::vector<int> shot_counts{64, 256, 1024, 4096};
   if (argc > 1) {
     shot_counts.clear();
-    for (int i = 1; i < argc; ++i) shot_counts.push_back(std::atoi(argv[i]));
+    for (int i = 1; i < argc; ++i) {
+      int shots = 0;
+      // Strict grammar: "1024" parses, "1024x", "+64" and "" do not —
+      // a typo must fail loudly, not study atoi's idea of zero shots.
+      if (!cli::to_int(argv[i], shots) || shots < 1) {
+        std::fprintf(stderr,
+                     "shot_noise_study: invalid shot count '%s' "
+                     "(need a positive integer)\n",
+                     argv[i]);
+        return 2;
+      }
+      shot_counts.push_back(shots);
+    }
   }
 
   Rng rng(31);
@@ -40,23 +59,19 @@ int main(int argc, char** argv) {
               exact_runs.total_function_calls);
 
   for (const int shots : shot_counts) {
-    // The sampling objective: same circuit, Born-rule estimate of <C>.
-    Rng shot_rng(1000 + static_cast<std::uint64_t>(shots));
-    const optim::ObjectiveFn noisy = [&](std::span<const double> params) {
-      return -instance.sampled_expectation(params, shots, shot_rng);
-    };
+    const core::EvalSpec spec = core::EvalSpec::sampled_with(
+        shots, 1000 + static_cast<std::uint64_t>(shots));
+    Rng trial_rng(spec.seed);
 
     std::vector<double> final_ar;
     for (int trial = 0; trial < 5; ++trial) {
-      const std::vector<double> x0 = core::random_angles(depth, shot_rng);
-      optim::Options options;
-      options.ftol = 1e-3;  // resolving 1e-6 under shot noise is hopeless
-      options.xtol = 1e-2;
-      const optim::OptimResult result =
-          optim::minimize(optim::OptimizerKind::kNelderMead, noisy, x0,
-                          instance.bounds(), options);
-      // Score the returned angles with the *exact* expectation.
-      final_ar.push_back(instance.approximation_ratio(result.x));
+      // solve_random_init draws the start and the trial's measurement
+      // stream from trial_rng, applies the noisy ftol/xtol preset, and
+      // reports the exact expectation at the returned angles.
+      const core::QaoaRun run =
+          core::solve_random_init(instance, optim::OptimizerKind::kNelderMead,
+                                  trial_rng, spec);
+      final_ar.push_back(run.approximation_ratio);
     }
     std::printf("%5d shots/call:  mean final AR %.4f (SD %.4f)\n", shots,
                 stats::mean(final_ar), stats::stddev(final_ar));

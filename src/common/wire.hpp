@@ -115,6 +115,12 @@ class PayloadReader {
   /// after the announced fields is a protocol bug, not padding.
   void expect_end() const;
 
+  /// True once every payload byte has been consumed.  The hook for
+  /// versioned optional trailing blocks: a decoder reads the required
+  /// fields, then parses extensions only if bytes remain, so payloads
+  /// from older encoders (no block) stay valid on the same socket.
+  bool at_end() const { return at_ == bytes_.size(); }
+
  private:
   const unsigned char* take(std::size_t count);
 

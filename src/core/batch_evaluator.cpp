@@ -41,6 +41,14 @@ double BatchEvaluator::objective(std::span<const double> params) {
   return -expectation(params);
 }
 
+double BatchEvaluator::evaluate(std::span<const double> params,
+                                const EvalSpec& spec) {
+  if (!spec.sampled()) return expectation(params);
+  Rng rng(spec.seed);
+  return instance_->evaluate_using(workspace_, cdf_workspace_, params, spec,
+                                   rng);
+}
+
 std::vector<double> BatchEvaluator::expectations(
     std::span<const std::vector<double>> batch) const {
   std::vector<double> values(batch.size());
@@ -76,6 +84,29 @@ std::vector<double> BatchEvaluator::expectations(
     for (std::size_t i = begin; i < end; ++i) {
       values[i] =
           jobs[i].instance->expectation_using(workspace, jobs[i].params);
+    }
+  });
+  return values;
+}
+
+std::vector<double> BatchEvaluator::evaluations(
+    std::span<const BatchJob> jobs) {
+  for (const BatchJob& job : jobs) {
+    require(job.instance != nullptr,
+            "BatchEvaluator::evaluations: null instance in batch");
+    validate(job.eval);
+  }
+  std::vector<double> values(jobs.size());
+  for_each_chunk(jobs.size(), [&](std::size_t begin, std::size_t end) {
+    quantum::Statevector workspace =
+        quantum::Statevector::uniform(jobs[begin].instance->num_qubits());
+    std::vector<double> cdf;
+    for (std::size_t i = begin; i < end; ++i) {
+      // Each sampled job gets a fresh stream from its own spec seed, so
+      // the value never depends on chunk mates or batch position.
+      Rng rng(jobs[i].eval.seed);
+      values[i] = jobs[i].instance->evaluate_using(
+          workspace, cdf, jobs[i].params, jobs[i].eval, rng);
     }
   });
   return values;

@@ -43,9 +43,14 @@
 namespace qaoaml::core {
 
 /// One (instance, angles) evaluation request of a heterogeneous batch.
+/// `eval` defaults to exact; a sampled spec carries its own shot budget
+/// and measurement-stream seed (`eval.seed`), so the job's value is a
+/// pure function of the job — batch order, chunking and thread count
+/// can never change a bit.
 struct BatchJob {
   const MaxCutQaoa* instance = nullptr;
   std::vector<double> params;
+  EvalSpec eval{};
 };
 
 /// Evaluates the QAOA cost expectation for batches of angle vectors on
@@ -64,6 +69,12 @@ class BatchEvaluator {
   /// -<C>: the minimization objective the optimizers consume.
   double objective(std::span<const double> params);
 
+  /// <C> under `spec`, reusing the internal statevector and CDF
+  /// workspaces (no allocation after the first sampled call).  Sampled
+  /// mode draws from a fresh Rng(spec.seed) every call, so the value is
+  /// a pure function of (instance, params, spec).  Not thread-safe.
+  double evaluate(std::span<const double> params, const EvalSpec& spec);
+
   /// <C> for every angle vector in the batch, parallel across entries.
   std::vector<double> expectations(
       std::span<const std::vector<double>> batch) const;
@@ -74,12 +85,23 @@ class BatchEvaluator {
 
   /// <C> for every (instance, angles) job; instances may differ in size
   /// and depth.  Each worker chunk reuses one workspace, growing it only
-  /// when the qubit count changes.
+  /// when the qubit count changes.  Ignores the jobs' eval specs
+  /// (always exact) — the pre-EvalSpec entry point, kept for callers
+  /// that never sample.
   static std::vector<double> expectations(std::span<const BatchJob> jobs);
+
+  /// <C> for every job *under its own EvalSpec*: exact jobs evaluate
+  /// like expectations(); sampled jobs draw from a private
+  /// Rng(job.eval.seed) with the job's own shot budget.  Per-item
+  /// determinism: entry i is a pure function of job i, verified
+  /// bit-identical across thread counts and against the sequential
+  /// evaluate() path.
+  static std::vector<double> evaluations(std::span<const BatchJob> jobs);
 
  private:
   const MaxCutQaoa* instance_;
   quantum::Statevector workspace_;
+  std::vector<double> cdf_workspace_;
 };
 
 }  // namespace qaoaml::core

@@ -75,8 +75,8 @@ GraphStats compute_unit(const ParameterDataset& dataset,
   std::vector<double> naive_ar;
   std::vector<double> naive_fc;
   for (int run = 0; run < config.naive_runs; ++run) {
-    const QaoaRun r =
-        solve_random_init(instance, cell.optimizer, rng, config.options);
+    const QaoaRun r = solve_random_init(instance, cell.optimizer, rng,
+                                        config.eval, config.options);
     naive_ar.push_back(r.approximation_ratio);
     naive_fc.push_back(static_cast<double>(r.function_calls));
   }
@@ -85,6 +85,7 @@ GraphStats compute_unit(const ParameterDataset& dataset,
   TwoLevelConfig two_level;
   two_level.optimizer = cell.optimizer;
   two_level.options = config.options;
+  two_level.eval = config.eval;
   std::vector<double> ml_ar;
   std::vector<double> ml_fc;
   for (int run = 0; run < config.ml_repeats; ++run) {
@@ -177,7 +178,8 @@ std::string table1_config_line(const ParameterDataset& dataset,
      << " rho_end=" << config.options.rho_end
      << " max_evals=" << config.options.max_evaluations
      << " max_iters=" << config.options.max_iterations
-     << " seed=" << config.seed << " shard=" << shard.index << '/'
+     << " seed=" << config.seed << ' ' << to_string(config.eval)
+     << " shard=" << shard.index << '/'
      << shard.count;
   return os.str();
 }

@@ -56,6 +56,14 @@ struct ExperimentConfig {
   int ml_repeats = 3;    ///< two-level repeats per graph (level-1 noise)
   optim::Options options{};
   std::uint64_t seed = 7;
+
+  /// Objective evaluation for both arms (core/eval_spec.hpp).  Sampled
+  /// mode re-runs the sweep under shot noise: every solver stage
+  /// optimizes a finite-shot estimate (measurement streams drawn from
+  /// each unit's own rng stream, preserving shard purity) and reports
+  /// exact-rescored ARs.  Part of the shard config line, so changing it
+  /// invalidates stale shard files.
+  EvalSpec eval{};
 };
 
 /// Runs the full sweep.  Per-graph statistics are averaged first, then

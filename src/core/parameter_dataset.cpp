@@ -81,8 +81,9 @@ InstanceRecord generate_instance_record(const DatasetConfig& config,
 
   for (int p = 1; p <= config.max_depth; ++p) {
     const MaxCutQaoa instance(problem, p);
-    MultistartRuns runs = solve_multistart(
-        instance, config.optimizer, config.restarts, rng, config.options);
+    MultistartRuns runs =
+        solve_multistart(instance, config.optimizer, config.restarts, rng,
+                         config.eval, config.options);
     // Heuristic seeds on top of the random restarts: the linear ramp
     // and the INTERP bootstrap from the depth-(p-1) optimum (Zhou et
     // al., the paper's ref. [5]).  Pure random multistart frequently
@@ -97,8 +98,13 @@ InstanceRecord generate_instance_record(const DatasetConfig& config,
           interp_angles(record.optimal_params[static_cast<std::size_t>(p - 2)]));
     }
     for (const std::vector<double>& seed : seeds) {
-      QaoaRun run = solve_from(instance, config.optimizer, seed,
-                               config.options);
+      // Seed refinements sample too (when configured): their
+      // measurement streams come from the same per-graph rng, drawn
+      // only in sampled mode so exact corpora keep their exact bits.
+      const std::uint64_t stream_seed = config.eval.sampled() ? rng() : 0;
+      QaoaRun run = solve_from_seeded(instance, config.optimizer, seed,
+                                      config.eval, stream_seed,
+                                      config.options);
       runs.total_function_calls += run.function_calls;
       // ">= - eps": when a random restart found an exact symmetry copy
       // of the seeded optimum (equal energy up to the optimizer's own
@@ -170,7 +176,7 @@ std::string to_string(const DatasetConfig& config) {
      << " rho_end=" << config.options.rho_end
      << " max_evals=" << config.options.max_evaluations
      << " max_iters=" << config.options.max_iterations
-     << " seed=" << config.seed;
+     << " seed=" << config.seed << ' ' << to_string(config.eval);
   return os.str();
 }
 
@@ -323,6 +329,11 @@ ParameterDataset ParameterDataset::load(const std::string& path) {
       else if (key == "max_evals") config.options.max_evaluations = std::stoi(value);
       else if (key == "max_iters") config.options.max_iterations = std::stoi(value);
       else if (key == "seed") config.seed = static_cast<std::uint64_t>(std::stoull(value));
+      else if (key == "objective") config.eval.mode = objective_mode_from_string(value);
+      else if (key == "shots") config.eval.shots = std::stoi(value);
+      else if (key == "avg") config.eval.averaging = std::stoi(value);
+      else if (key == "seed_policy") config.eval.seed_policy = seed_policy_from_string(value);
+      else if (key == "mseed") config.eval.seed = static_cast<std::uint64_t>(std::stoull(value));
     }
   } catch (const std::exception&) {
     throw InvalidArgument("ParameterDataset::load: malformed config line: " +

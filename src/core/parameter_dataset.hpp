@@ -74,6 +74,15 @@ struct DatasetConfig {
   optim::OptimizerKind optimizer = optim::OptimizerKind::kLbfgsb;
   optim::Options options{};    ///< ftol defaults to 1e-6
   std::uint64_t seed = 42;
+
+  /// Objective evaluation during corpus optimization
+  /// (core/eval_spec.hpp).  Default exact — the paper's setting, and
+  /// what a corpus of true optima wants.  Sampled mode generates the
+  /// corpus a real device would have produced (every multistart and
+  /// heuristic-seed refinement optimizes a finite-shot estimate, with
+  /// measurement streams drawn from the per-graph rng, so records stay
+  /// pure functions of (config, index)).  Part of the config key.
+  EvalSpec eval{};
 };
 
 /// Immutable corpus of per-graph optimal parameters.

@@ -112,13 +112,47 @@ double MaxCutQaoa::expectation_gate_level(
 
 double MaxCutQaoa::sampled_expectation(std::span<const double> params,
                                        int shots, Rng& rng) const {
-  require(shots >= 1, "MaxCutQaoa::sampled_expectation: shots must be >= 1");
-  const quantum::Statevector sv = state(params);
+  quantum::Statevector workspace =
+      quantum::Statevector::uniform(num_qubits());
+  std::vector<double> cdf;
+  return sampled_expectation_using(workspace, cdf, params, shots, rng);
+}
+
+double MaxCutQaoa::sampled_expectation_using(quantum::Statevector& workspace,
+                                             std::vector<double>& cdf,
+                                             std::span<const double> params,
+                                             int shots, Rng& rng) const {
+  require(shots >= 1,
+          "MaxCutQaoa::sampled_expectation: shots must be >= 1, got " +
+              std::to_string(shots));
+  state_into(workspace, params);
+  workspace.cumulative_probabilities(cdf);
+  const std::vector<double>& diag = hamiltonian_.diagonal();
   double acc = 0.0;
   for (int s = 0; s < shots; ++s) {
-    acc += hamiltonian_.value(sv.sample(rng));
+    acc += diag[quantum::Statevector::sample_cdf(cdf, rng.uniform())];
   }
   return acc / static_cast<double>(shots);
+}
+
+double MaxCutQaoa::evaluate_using(quantum::Statevector& workspace,
+                                  std::vector<double>& cdf,
+                                  std::span<const double> params,
+                                  const EvalSpec& spec, Rng& rng) const {
+  if (!spec.sampled()) return expectation_using(workspace, params);
+  validate(spec);
+  // One state preparation + one CDF serve every averaging repeat; the
+  // mean of `averaging` equal-shot estimates is the mean of all draws.
+  state_into(workspace, params);
+  workspace.cumulative_probabilities(cdf);
+  const std::vector<double>& diag = hamiltonian_.diagonal();
+  const std::int64_t total =
+      static_cast<std::int64_t>(spec.shots) * spec.averaging;
+  double acc = 0.0;
+  for (std::int64_t s = 0; s < total; ++s) {
+    acc += diag[quantum::Statevector::sample_cdf(cdf, rng.uniform())];
+  }
+  return acc / static_cast<double>(total);
 }
 
 double MaxCutQaoa::approximation_ratio(std::span<const double> params) const {
@@ -136,6 +170,24 @@ optim::ObjectiveFn MaxCutQaoa::buffered_objective() const {
       quantum::Statevector::uniform(num_qubits()));
   return [this, workspace](std::span<const double> params) {
     return -expectation_using(*workspace, params);
+  };
+}
+
+optim::ObjectiveFn MaxCutQaoa::buffered_objective(
+    const EvalSpec& spec, std::uint64_t stream_seed) const {
+  if (!spec.sampled()) return buffered_objective();
+  validate(spec);
+  struct SampledState {
+    quantum::Statevector workspace;
+    std::vector<double> cdf;
+    Rng rng;
+  };
+  auto state = std::make_shared<SampledState>(SampledState{
+      quantum::Statevector::uniform(num_qubits()), {}, Rng(stream_seed)});
+  return [this, state, spec, stream_seed](std::span<const double> params) {
+    if (spec.seed_policy == SeedPolicy::kPerCall) state->rng = Rng(stream_seed);
+    return -evaluate_using(state->workspace, state->cdf, params, spec,
+                           state->rng);
   };
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/eval_spec.hpp"
 #include "graph/graph.hpp"
 #include "ising/diagonal_hamiltonian.hpp"
 #include "optim/types.hpp"
@@ -73,9 +74,32 @@ class MaxCutQaoa {
   /// <C> via explicit gate-by-gate simulation of the ansatz circuit.
   double expectation_gate_level(std::span<const double> params) const;
 
-  /// Finite-shot estimate of <C> (Born-rule sampling).
+  /// Finite-shot estimate of <C> (Born-rule sampling).  Convenience
+  /// wrapper over sampled_expectation_using with private workspaces —
+  /// one 2^n statevector + one 2^n CDF allocation per call.
   double sampled_expectation(std::span<const double> params, int shots,
                              Rng& rng) const;
+
+  /// Finite-shot estimate of <C> reusing caller-owned workspaces (no
+  /// allocation when capacities match): prepares |psi> in `workspace`,
+  /// builds the Born-rule CDF once in `cdf_workspace` (serial prefix
+  /// sum), then draws `shots` basis states by CDF inversion — O(2^n +
+  /// shots * n) instead of the naive O(shots * 2^n) scan.  The estimate
+  /// is a pure function of (params, shots, rng state): bit-identical
+  /// across QAOAML_THREADS, shard counts, and batch positions.
+  double sampled_expectation_using(quantum::Statevector& workspace,
+                                   std::vector<double>& cdf_workspace,
+                                   std::span<const double> params, int shots,
+                                   Rng& rng) const;
+
+  /// <C> under `spec`: expectation_using in exact mode (rng untouched);
+  /// in sampled mode, `spec.averaging` repeated `spec.shots`-shot
+  /// estimates averaged, drawn sequentially from `rng`.  Validates the
+  /// spec (hostile shot counts throw).
+  double evaluate_using(quantum::Statevector& workspace,
+                        std::vector<double>& cdf_workspace,
+                        std::span<const double> params, const EvalSpec& spec,
+                        Rng& rng) const;
 
   /// expectation / max_cut_value.
   double approximation_ratio(std::span<const double> params) const;
@@ -90,6 +114,16 @@ class MaxCutQaoa {
   /// returned callable share one workspace — create one callable per
   /// thread (optimizer run) instead of sharing across threads.
   optim::ObjectiveFn buffered_objective() const;
+
+  /// Minimization objective under `spec`.  Exact mode returns
+  /// buffered_objective().  Sampled mode owns private statevector/CDF
+  /// workspaces plus a private measurement stream seeded with
+  /// `stream_seed`: SeedPolicy::kStream advances the stream call to
+  /// call (fresh noise), kPerCall re-seeds every call (common random
+  /// numbers — a deterministic noisy surrogate).  Copies share state:
+  /// one callable per optimizer run, not across threads.
+  optim::ObjectiveFn buffered_objective(const EvalSpec& spec,
+                                        std::uint64_t stream_seed) const;
 
   /// The explicit ansatz circuit (built once, shared).
   const quantum::Circuit& ansatz() const { return circuit_; }

@@ -23,6 +23,32 @@ QaoaRun to_run(const MaxCutQaoa& instance, optim::OptimResult result) {
   return run;
 }
 
+/// Sampled-mode epilogue: the optimizer's best `fun` is a noisy
+/// estimate, so the final angles are re-scored with the exact
+/// expectation (in `evaluator`'s reusable workspace).  Canonicalization
+/// is an exact symmetry of <C>, so scoring the canonicalized params is
+/// scoring the optimizer's point.
+void rescore_exact(QaoaRun& run, BatchEvaluator& evaluator) {
+  run.expectation = evaluator.expectation(run.params);
+  run.approximation_ratio =
+      run.expectation / evaluator.instance().max_cut_value();
+}
+
+QaoaRun solve_from_sampled(const MaxCutQaoa& instance,
+                           optim::OptimizerKind optimizer,
+                           std::span<const double> x0, const EvalSpec& eval,
+                           std::uint64_t stream_seed,
+                           const optim::Options& options,
+                           BatchEvaluator& evaluator) {
+  const optim::ObjectiveFn objective =
+      instance.buffered_objective(eval, stream_seed);
+  optim::OptimResult result = optim::minimize(
+      optimizer, objective, x0, instance.bounds(), noisy_options(options));
+  QaoaRun run = to_run(instance, std::move(result));
+  rescore_exact(run, evaluator);
+  return run;
+}
+
 }  // namespace
 
 QaoaRun solve_from(const MaxCutQaoa& instance, optim::OptimizerKind optimizer,
@@ -37,11 +63,44 @@ QaoaRun solve_from(const MaxCutQaoa& instance, optim::OptimizerKind optimizer,
   return to_run(instance, std::move(result));
 }
 
+QaoaRun solve_from(const MaxCutQaoa& instance, optim::OptimizerKind optimizer,
+                   std::span<const double> x0, const EvalSpec& eval,
+                   const optim::Options& options) {
+  return solve_from_seeded(instance, optimizer, x0, eval, eval.seed, options);
+}
+
+QaoaRun solve_from_seeded(const MaxCutQaoa& instance,
+                          optim::OptimizerKind optimizer,
+                          std::span<const double> x0, const EvalSpec& eval,
+                          std::uint64_t stream_seed,
+                          const optim::Options& options) {
+  if (!eval.sampled()) return solve_from(instance, optimizer, x0, options);
+  require(x0.size() == instance.num_parameters(),
+          "solve_from: wrong parameter count");
+  validate(eval);
+  BatchEvaluator evaluator(instance);
+  return solve_from_sampled(instance, optimizer, x0, eval, stream_seed,
+                            options, evaluator);
+}
+
 QaoaRun solve_random_init(const MaxCutQaoa& instance,
                           optim::OptimizerKind optimizer, Rng& rng,
                           const optim::Options& options) {
   const std::vector<double> x0 = random_angles(instance.depth(), rng);
   return solve_from(instance, optimizer, x0, options);
+}
+
+QaoaRun solve_random_init(const MaxCutQaoa& instance,
+                          optim::OptimizerKind optimizer, Rng& rng,
+                          const EvalSpec& eval,
+                          const optim::Options& options) {
+  const std::vector<double> x0 = random_angles(instance.depth(), rng);
+  if (!eval.sampled()) return solve_from(instance, optimizer, x0, options);
+  // Drawn after the starting point: exact specs consume exactly the
+  // draws of the exact overload above.
+  const std::uint64_t stream_seed = rng();
+  return solve_from_seeded(instance, optimizer, x0, eval, stream_seed,
+                           options);
 }
 
 namespace {
@@ -119,6 +178,74 @@ MultistartRuns solve_multistart_sequential(const MaxCutQaoa& instance,
   std::vector<QaoaRun> runs(starts.size());
   for (std::size_t r = 0; r < starts.size(); ++r) {
     runs[r] = solve_from(instance, optimizer, starts[r], options);
+  }
+  return reduce_runs(std::move(runs));
+}
+
+namespace {
+
+/// Per-restart measurement-stream seeds, drawn in restart order right
+/// after the starting points — the shared derivation of both sampled
+/// multistart paths.
+std::vector<std::uint64_t> draw_stream_seeds(std::size_t restarts, Rng& rng) {
+  std::vector<std::uint64_t> seeds(restarts);
+  for (std::uint64_t& seed : seeds) seed = rng();
+  return seeds;
+}
+
+}  // namespace
+
+MultistartRuns solve_multistart(const MaxCutQaoa& instance,
+                                optim::OptimizerKind optimizer, int restarts,
+                                Rng& rng, const EvalSpec& eval,
+                                const optim::Options& options) {
+  if (!eval.sampled()) {
+    return solve_multistart(instance, optimizer, restarts, rng, options);
+  }
+  validate(eval);
+  const std::vector<std::vector<double>> starts =
+      draw_starts(instance, restarts, rng);
+  const std::vector<std::uint64_t> seeds = draw_stream_seeds(starts.size(), rng);
+
+  // Same chunking as the exact batched path; every restart is a pure
+  // function of (start, stream seed), both fixed up front in restart
+  // order, so thread count cannot change a bit.
+  const std::size_t count = starts.size();
+  const std::size_t chunks = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(default_thread_count(), 1)), count);
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+
+  std::vector<QaoaRun> runs(count);
+  parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * base + std::min(c, extra);
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    BatchEvaluator evaluator(instance);
+    for (std::size_t r = begin; r < end; ++r) {
+      runs[r] = solve_from_sampled(instance, optimizer, starts[r], eval,
+                                   seeds[r], options, evaluator);
+    }
+  });
+  return reduce_runs(std::move(runs));
+}
+
+MultistartRuns solve_multistart_sequential(const MaxCutQaoa& instance,
+                                           optim::OptimizerKind optimizer,
+                                           int restarts, Rng& rng,
+                                           const EvalSpec& eval,
+                                           const optim::Options& options) {
+  if (!eval.sampled()) {
+    return solve_multistart_sequential(instance, optimizer, restarts, rng,
+                                       options);
+  }
+  validate(eval);
+  const std::vector<std::vector<double>> starts =
+      draw_starts(instance, restarts, rng);
+  const std::vector<std::uint64_t> seeds = draw_stream_seeds(starts.size(), rng);
+  std::vector<QaoaRun> runs(starts.size());
+  for (std::size_t r = 0; r < starts.size(); ++r) {
+    runs[r] = solve_from_seeded(instance, optimizer, starts[r], eval, seeds[r],
+                                options);
   }
   return reduce_runs(std::move(runs));
 }

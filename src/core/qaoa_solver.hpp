@@ -30,10 +30,43 @@ QaoaRun solve_from(const MaxCutQaoa& instance, optim::OptimizerKind optimizer,
                    std::span<const double> x0,
                    const optim::Options& options = {});
 
+// EvalSpec-aware solving (ROADMAP item 4).  Exact specs reproduce the
+// exact overloads bit for bit (same rng draws, same options).  Sampled
+// specs optimize the finite-shot estimate under the noisy-objective
+// preset (effective_options: ftol/xtol floored), then re-score the
+// final angles with the EXACT expectation — expectation /
+// approximation_ratio report where the noisy loop actually landed,
+// while function_calls still counts the noisy objective calls.
+
+/// solve_from under `eval`.  The measurement stream is seeded with
+/// `eval.seed` (no caller Rng at this entry point).
+QaoaRun solve_from(const MaxCutQaoa& instance, optim::OptimizerKind optimizer,
+                   std::span<const double> x0, const EvalSpec& eval,
+                   const optim::Options& options = {});
+
+/// solve_from under `eval` with an explicit measurement-stream seed —
+/// for callers that manage substreams themselves (multistart, the
+/// two-level flow, pipelines).  Exact mode ignores the seed.
+QaoaRun solve_from_seeded(const MaxCutQaoa& instance,
+                          optim::OptimizerKind optimizer,
+                          std::span<const double> x0, const EvalSpec& eval,
+                          std::uint64_t stream_seed,
+                          const optim::Options& options = {});
+
 /// Runs the loop from one uniformly random initialization (the paper's
 /// QCR flow).
 QaoaRun solve_random_init(const MaxCutQaoa& instance,
                           optim::OptimizerKind optimizer, Rng& rng,
+                          const optim::Options& options = {});
+
+/// solve_random_init under `eval`.  In sampled mode the measurement
+/// stream seed is drawn from `rng` after the starting point, so exact
+/// specs consume exactly the draws of the exact overload (pipelines
+/// stay bit-compatible) and shard units stay pure functions of their
+/// own rng stream.
+QaoaRun solve_random_init(const MaxCutQaoa& instance,
+                          optim::OptimizerKind optimizer, Rng& rng,
+                          const EvalSpec& eval,
                           const optim::Options& options = {});
 
 /// Best-of-k multistart (the paper's data-generation setting: "optimal
@@ -57,6 +90,16 @@ MultistartRuns solve_multistart(const MaxCutQaoa& instance,
                                 optim::OptimizerKind optimizer, int restarts,
                                 Rng& rng, const optim::Options& options = {});
 
+/// solve_multistart under `eval`.  In sampled mode, per-restart
+/// measurement-stream seeds are drawn from `rng` up front in restart
+/// order (right after the starting points), so chunk boundaries and
+/// thread counts cannot change a bit and exact specs leave the rng
+/// sequence identical to the exact overload.
+MultistartRuns solve_multistart(const MaxCutQaoa& instance,
+                                optim::OptimizerKind optimizer, int restarts,
+                                Rng& rng, const EvalSpec& eval,
+                                const optim::Options& options = {});
+
 /// The plain one-restart-after-another reference path (one fresh
 /// buffered objective per restart, no batching).  Kept as the
 /// differential-testing oracle for the batched path — same restarts,
@@ -65,6 +108,12 @@ MultistartRuns solve_multistart(const MaxCutQaoa& instance,
 MultistartRuns solve_multistart_sequential(
     const MaxCutQaoa& instance, optim::OptimizerKind optimizer, int restarts,
     Rng& rng, const optim::Options& options = {});
+
+/// The sequential oracle under `eval` — same seed derivation as the
+/// batched EvalSpec overload, bit-identical results.
+MultistartRuns solve_multistart_sequential(
+    const MaxCutQaoa& instance, optim::OptimizerKind optimizer, int restarts,
+    Rng& rng, const EvalSpec& eval, const optim::Options& options = {});
 
 }  // namespace qaoaml::core
 

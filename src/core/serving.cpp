@@ -86,6 +86,11 @@ graph::Graph decode_graph(wire::PayloadReader& reader) {
   return g;
 }
 
+/// Version tag of the optional trailing eval block on kWarmStart /
+/// kSolve requests.  The block is appended only for sampled specs, so
+/// exact requests stay byte-identical to the pre-EvalSpec protocol.
+constexpr std::uint32_t kEvalBlockVersion = 1;
+
 std::string encode_request(const Request& request) {
   wire::PayloadWriter writer;
   writer.u64(request.id);
@@ -98,6 +103,13 @@ std::string encode_request(const Request& request) {
     encode_graph(writer, request.problem);
     writer.u64(request.seed);
     writer.i32(request.level1_restarts);
+    if (request.eval.sampled()) {
+      writer.u32(kEvalBlockVersion);
+      writer.i32(request.eval.shots);
+      writer.i32(request.eval.averaging);
+      writer.u32(request.eval.seed_policy == SeedPolicy::kPerCall ? 1 : 0);
+      writer.u64(request.eval.seed);
+    }
   }
   return writer.bytes();
 }
@@ -116,6 +128,23 @@ Request decode_request(std::uint32_t frame_type, const std::string& payload) {
     request.problem = decode_graph(reader);
     request.seed = reader.u64();
     request.level1_restarts = reader.i32();
+    if (!reader.at_end()) {
+      // Optional trailing eval block (new clients in sampled mode).
+      // Unknown versions throw: the checksum already passed, so this is
+      // a future client, not line noise, and a loud error response
+      // beats silently serving exact values for a sampled request.
+      const std::uint32_t version = reader.u32();
+      require(version == kEvalBlockVersion,
+              "decode_request: unsupported eval block version " +
+                  std::to_string(version));
+      request.eval.mode = ObjectiveMode::kSampled;
+      request.eval.shots = reader.i32();
+      request.eval.averaging = reader.i32();
+      request.eval.seed_policy =
+          reader.u32() == 1 ? SeedPolicy::kPerCall : SeedPolicy::kStream;
+      request.eval.seed = reader.u64();
+      validate(request.eval);  // hostile shot counts -> error response
+    }
   }
   reader.expect_end();
   return request;
@@ -318,16 +347,17 @@ void Scheduler::process_batch(std::vector<Job>& jobs) {
         case Mode::kWarmStart: {
           TwoLevelConfig solver = config_.solver;
           solver.level1_restarts = request.level1_restarts;
+          solver.eval = request.eval;
           Rng rng(request.seed);
           const QaoaRun level1 = [&] {
             const MaxCutQaoa level1_instance(request.problem, 1);
             if (solver.level1_restarts <= 1) {
               return solve_random_init(level1_instance, solver.optimizer, rng,
-                                       solver.options);
+                                       solver.eval, solver.options);
             }
-            MultistartRuns runs =
-                solve_multistart(level1_instance, solver.optimizer,
-                                 solver.level1_restarts, rng, solver.options);
+            MultistartRuns runs = solve_multistart(
+                level1_instance, solver.optimizer, solver.level1_restarts,
+                rng, solver.eval, solver.options);
             QaoaRun best = runs.best;
             best.function_calls = runs.total_function_calls;
             return best;
@@ -344,6 +374,7 @@ void Scheduler::process_batch(std::vector<Job>& jobs) {
         case Mode::kSolve: {
           TwoLevelConfig solver = config_.solver;
           solver.level1_restarts = request.level1_restarts;
+          solver.eval = request.eval;
           Rng rng(request.seed);
           const AcceleratedRun run = solve_two_level(
               request.problem, request.target_depth, *entry.bank, solver, rng);
@@ -369,10 +400,15 @@ void Scheduler::process_batch(std::vector<Job>& jobs) {
   if (!deferred.empty()) {
     eval_jobs.reserve(deferred.size());
     for (const Deferred& d : deferred) {
-      eval_jobs.push_back(BatchJob{&d.instance, responses[d.job].angles});
+      // The job carries the request's eval spec: a sampled warm-start
+      // reports the finite-shot estimate at the prediction, seeded by
+      // the spec itself (still a pure function of the request, so
+      // micro-batching never changes the bits).
+      eval_jobs.push_back(BatchJob{&d.instance, responses[d.job].angles,
+                                   jobs[d.job].request.eval});
     }
     try {
-      const std::vector<double> values = BatchEvaluator::expectations(
+      const std::vector<double> values = BatchEvaluator::evaluations(
           std::span<const BatchJob>(eval_jobs.data(), eval_jobs.size()));
       for (std::size_t k = 0; k < deferred.size(); ++k) {
         Response& response = responses[deferred[k].job];

@@ -90,6 +90,15 @@ struct Request {
   graph::Graph problem;       ///< kWarmStart / kSolve
   std::uint64_t seed = 0;     ///< level-1 RNG stream (determinism)
   int level1_restarts = 1;    ///< level-1 multistart count
+
+  /// Objective evaluation for kWarmStart / kSolve (core/eval_spec.hpp).
+  /// On the wire this is a versioned OPTIONAL trailing block, appended
+  /// only for sampled specs: exact requests are byte-identical to the
+  /// pre-EvalSpec protocol, so old clients keep working against new
+  /// servers (and new clients in exact mode against old servers) on the
+  /// same socket.  `eval.seed` seeds the measurement streams — part of
+  /// the request, so responses stay pure functions of (bank, request).
+  EvalSpec eval{};
 };
 
 /// One serving response (kResultResponse).  `ok == false` carries the

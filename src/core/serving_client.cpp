@@ -62,7 +62,8 @@ Response Client::predict(const std::string& family, double gamma1,
 
 Response Client::warm_start(const std::string& family,
                             const graph::Graph& problem, int target_depth,
-                            std::uint64_t seed, int level1_restarts) {
+                            std::uint64_t seed, int level1_restarts,
+                            const EvalSpec& eval) {
   Request request;
   request.mode = Mode::kWarmStart;
   request.id = next_id_++;
@@ -71,12 +72,13 @@ Response Client::warm_start(const std::string& family,
   request.problem = problem;
   request.seed = seed;
   request.level1_restarts = level1_restarts;
+  request.eval = eval;
   return roundtrip(request);
 }
 
 Response Client::solve(const std::string& family, const graph::Graph& problem,
                        int target_depth, std::uint64_t seed,
-                       int level1_restarts) {
+                       int level1_restarts, const EvalSpec& eval) {
   Request request;
   request.mode = Mode::kSolve;
   request.id = next_id_++;
@@ -85,6 +87,7 @@ Response Client::solve(const std::string& family, const graph::Graph& problem,
   request.problem = problem;
   request.seed = seed;
   request.level1_restarts = level1_restarts;
+  request.eval = eval;
   return roundtrip(request);
 }
 

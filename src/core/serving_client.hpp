@@ -38,15 +38,17 @@ class Client {
                    int target_depth);
 
   /// Server-side level-1 optimization + prediction; the response also
-  /// carries <C> at the predicted angles.
+  /// carries <C> at the predicted angles.  The default (exact) `eval`
+  /// emits the pre-EvalSpec wire bytes, so this client speaks to old
+  /// servers too; a sampled spec appends the optional eval block.
   Response warm_start(const std::string& family, const graph::Graph& problem,
                       int target_depth, std::uint64_t seed,
-                      int level1_restarts = 1);
+                      int level1_restarts = 1, const EvalSpec& eval = {});
 
   /// Full two-level solve (core/two_level_solver.hpp) on the server.
   Response solve(const std::string& family, const graph::Graph& problem,
                  int target_depth, std::uint64_t seed,
-                 int level1_restarts = 1);
+                 int level1_restarts = 1, const EvalSpec& eval = {});
 
   /// Any prepared request (the generic path the helpers above wrap).
   Response roundtrip(const Request& request);

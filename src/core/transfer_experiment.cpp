@@ -79,7 +79,7 @@ ColdStats compute_cold(const TransferConfig& config, std::size_t e,
   const MaxCutQaoa instance(problem, config.target_depth);
   const MultistartRuns runs =
       solve_multistart(instance, config.optimizer, config.cold_restarts, rng,
-                       config.options);
+                       config.eval, config.options);
   ColdStats out;
   out.ar = runs.best.approximation_ratio;
   out.fc = static_cast<double>(runs.total_function_calls);
@@ -102,6 +102,7 @@ TransferUnitStats compute_warm(const TransferConfig& config,
   TwoLevelConfig two_level;
   two_level.optimizer = config.optimizer;
   two_level.options = config.options;
+  two_level.eval = config.eval;
 
   TransferUnitStats out;
   for (int rep = 0; rep < config.warm_repeats; ++rep) {
@@ -246,7 +247,7 @@ std::string transfer_config_key(const TransferConfig& config) {
      << " rho_end=" << config.options.rho_end
      << " max_evals=" << config.options.max_evaluations
      << " max_iters=" << config.options.max_iterations
-     << " seed=" << config.seed;
+     << " seed=" << config.seed << ' ' << to_string(config.eval);
   return os.str();
 }
 

@@ -88,6 +88,13 @@ struct TransferConfig {
   optim::OptimizerKind optimizer = optim::OptimizerKind::kLbfgsb;
   optim::Options options{};  ///< ftol defaults to 1e-6
   std::uint64_t seed = 2020;
+
+  /// Objective evaluation for BOTH eval arms (cold multistart and warm
+  /// two-level), core/eval_spec.hpp.  The per-family training corpora
+  /// stay exact regardless — the Streif & Leib "train without a QPU"
+  /// setting: clean training optima, noisy deployment.  Part of the
+  /// transfer config key, so a spec change invalidates stale shards.
+  EvalSpec eval{};
 };
 
 /// One cell of the transfer matrix, aggregated over eval instances

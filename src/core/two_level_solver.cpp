@@ -21,14 +21,26 @@ QaoaRun run_level1(const graph::Graph& problem, const TwoLevelConfig& config,
   const MaxCutQaoa level1_instance(problem, 1);
   if (config.level1_restarts <= 1) {
     return solve_random_init(level1_instance, config.optimizer, rng,
-                             config.options);
+                             config.eval, config.options);
   }
   MultistartRuns runs =
       solve_multistart(level1_instance, config.optimizer,
-                       config.level1_restarts, rng, config.options);
+                       config.level1_restarts, rng, config.eval,
+                       config.options);
   QaoaRun best = runs.best;
   best.function_calls = runs.total_function_calls;  // all restarts count
   return best;
+}
+
+/// A warm-started stage under the config's EvalSpec.  Sampled mode
+/// draws the stage's measurement-stream seed from `rng`; exact mode
+/// leaves `rng` untouched (bit-compat with the pre-EvalSpec flow).
+QaoaRun solve_warm_stage(const MaxCutQaoa& instance,
+                         const TwoLevelConfig& config,
+                         std::span<const double> init, Rng& rng) {
+  const std::uint64_t stream_seed = config.eval.sampled() ? rng() : 0;
+  return solve_from_seeded(instance, config.optimizer, init, config.eval,
+                           stream_seed, warm_options(config));
 }
 
 }  // namespace
@@ -49,8 +61,8 @@ AcceleratedRun solve_two_level(const graph::Graph& problem, int target_depth,
                                          target_depth);
 
   const MaxCutQaoa target_instance(problem, target_depth);
-  out.final = solve_from(target_instance, config.optimizer,
-                         out.predicted_init, warm_options(config));
+  out.final = solve_warm_stage(target_instance, config, out.predicted_init,
+                               rng);
   out.total_function_calls =
       out.level1.function_calls + out.final.function_calls;
   return out;
@@ -77,15 +89,14 @@ AcceleratedRun solve_three_level(const graph::Graph& problem, int target_depth,
   // Level 2: intermediate depth, seeded by the two-level prediction.
   const std::vector<double> pm_init = coarse.predict(gamma1, beta1, pm);
   const MaxCutQaoa pm_instance(problem, pm);
-  out.intermediate =
-      solve_from(pm_instance, config.optimizer, pm_init, warm_options(config));
+  out.intermediate = solve_warm_stage(pm_instance, config, pm_init, rng);
 
   // Level 3: target depth, seeded by the hierarchical prediction.
   out.predicted_init = fine.predict_hierarchical(
       gamma1, beta1, out.intermediate.params, target_depth);
   const MaxCutQaoa target_instance(problem, target_depth);
-  out.final = solve_from(target_instance, config.optimizer,
-                         out.predicted_init, warm_options(config));
+  out.final = solve_warm_stage(target_instance, config, out.predicted_init,
+                               rng);
 
   out.total_function_calls = out.level1.function_calls +
                              out.intermediate.function_calls +

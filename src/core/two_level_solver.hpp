@@ -24,6 +24,14 @@ struct TwoLevelConfig {
   optim::Options options{};   ///< ftol defaults to 1e-6
   int level1_restarts = 1;    ///< random inits for the depth-1 stage
 
+  /// How every stage's objective is evaluated (core/eval_spec.hpp).
+  /// Sampled mode: each stage draws its measurement-stream seed from
+  /// the caller's Rng (after the pre-existing draws, so exact configs
+  /// consume the identical rng sequence as before), optimizes the
+  /// finite-shot estimate under the noisy preset, and reports
+  /// exact-rescored expectations.
+  EvalSpec eval{};
+
   /// Trust-region radius for *warm-started* stages of derivative-free
   /// methods (COBYLA).  A cold start explores with options.rho_begin;
   /// exploring that coarsely from an ML-predicted point (which sits

@@ -353,6 +353,28 @@ std::vector<std::uint64_t> Statevector::sample(Rng& rng, int shots) const {
   return out;
 }
 
+void Statevector::cumulative_probabilities(std::vector<double>& cdf) const {
+  // Serial left-to-right accumulation: cdf[z] equals the running sum of
+  // the linear-scan sample() bit for bit, for every thread count.
+  const std::size_t dim = amps_.size();
+  cdf.resize(dim);
+  double acc = 0.0;
+  for (std::size_t z = 0; z < dim; ++z) {
+    acc += std::norm(amps_[z]);
+    cdf[z] = acc;
+  }
+}
+
+std::uint64_t Statevector::sample_cdf(const std::vector<double>& cdf,
+                                      double u) {
+  require(!cdf.empty(), "Statevector::sample_cdf: empty CDF");
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  // Numerical slack: cdf.back() can fall a few ulps short of 1, so a
+  // draw past it lands on the last state, matching the linear scan.
+  if (it == cdf.end()) return cdf.size() - 1;
+  return static_cast<std::uint64_t>(it - cdf.begin());
+}
+
 Complex Statevector::inner_product(const Statevector& other) const {
   require(num_qubits_ == other.num_qubits_,
           "Statevector::inner_product: qubit count mismatch");

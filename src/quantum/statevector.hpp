@@ -111,11 +111,24 @@ class Statevector {
   /// Expectation of Z on `target`: P(bit=0) - P(bit=1).
   double expectation_z(int target) const;
 
-  /// Draws one basis state according to the Born rule.
+  /// Draws one basis state according to the Born rule (O(2^n) scan).
   std::uint64_t sample(Rng& rng) const;
 
   /// Draws `shots` basis states.
   std::vector<std::uint64_t> sample(Rng& rng, int shots) const;
+
+  /// Writes the inclusive prefix sums of |amplitude|^2 into `cdf`
+  /// (resized to the dimension, reusing its capacity).  The sum is
+  /// serial in basis-state order, so the bits are independent of
+  /// QAOAML_THREADS — this is the measurement-determinism anchor of
+  /// CDF-inversion sampling.
+  void cumulative_probabilities(std::vector<double>& cdf) const;
+
+  /// Inverts a cumulative_probabilities() table at `u` in [0, 1):
+  /// returns the first z with cdf[z] >= u (binary search, O(n) per
+  /// shot).  Bit-identical to the linear-scan sample() for the same
+  /// uniform draw, because the scan's running sum IS this CDF.
+  static std::uint64_t sample_cdf(const std::vector<double>& cdf, double u);
 
   /// <this|other>; states must have equal qubit counts.
   Complex inner_product(const Statevector& other) const;

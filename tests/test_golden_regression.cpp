@@ -125,6 +125,30 @@ const GoldenCase kGoldenCases[] = {
      {0.42, 0.17, 0.33, 0.71}, 5.4177887325276215},
 };
 
+// One pinned finite-shot estimate per ensemble family: 256 shots drawn
+// from Rng(0x5407) by CDF inversion at the same p=2 angles.  These are
+// EXACT fixtures (a fixed spec + stream is bit-deterministic by the
+// EvalSpec contract), so the tolerance is bitwise zero: any drift in
+// the state preparation, the prefix-sum CDF, the inversion search, or
+// the xoshiro stream moves them.
+struct GoldenSampledCase {
+  const char* name;
+  graph::Graph (*make)();
+  double expected;
+};
+
+const GoldenSampledCase kGoldenSampledCases[] = {
+    {"sampled_ensemble_er_seed0x5EED01", &ensemble_er, 9.59375},
+    {"sampled_ensemble_regular_seed0x5EED02", &ensemble_regular, 7.66796875},
+    {"sampled_ensemble_weighted_uniform_seed0x5EED03",
+     &ensemble_weighted_uniform, 4.8210514565072122},
+    {"sampled_ensemble_weighted_gaussian_seed0x5EED04",
+     &ensemble_weighted_gaussian, 10.733057017458975},
+    {"sampled_ensemble_small_world_seed0x5EED05", &ensemble_small_world,
+     5.625},
+    {"sampled_ensemble_mixed_seed0x5EED06", &ensemble_mixed, 5.34765625},
+};
+
 class GoldenRegression : public ::testing::TestWithParam<quantum::LayerKernel> {
 };
 
@@ -156,6 +180,24 @@ TEST(GoldenRegression, GateLevelPathMatchesFixtures) {
         << "' drifted on the gate-level path: expected <C> = "
         << ::testing::PrintToString(c.expected) << ", got "
         << ::testing::PrintToString(actual) << ".";
+  }
+}
+
+TEST(GoldenRegression, SampledExpectationsMatchCommittedFixturesBitwise) {
+  const core::EvalSpec spec = core::EvalSpec::sampled_with(256, 0x5407);
+  const std::vector<double> params{0.42, 0.17, 0.33, 0.71};
+  for (const GoldenSampledCase& c : kGoldenSampledCases) {
+    const core::MaxCutQaoa instance(c.make(), 2);
+    Rng rng(spec.seed);
+    const double actual =
+        instance.sampled_expectation(params, spec.shots, rng);
+    EXPECT_EQ(actual, c.expected)
+        << "Sampled golden fixture '" << c.name << "' drifted: expected "
+        << ::testing::PrintToString(c.expected) << ", got "
+        << ::testing::PrintToString(actual)
+        << ". Sampling is bit-deterministic by contract — a change moved "
+           "the state prep, the CDF, the inversion search, or the rng "
+           "stream; fix it or regenerate with justification.";
   }
 }
 

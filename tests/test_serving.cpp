@@ -164,6 +164,73 @@ TEST_F(ServingTest, DecodeRequestRejectsHostilePayloads) {
   EXPECT_THROW(decode_request(kPredictRequest, bytes), InvalidArgument);
 }
 
+TEST_F(ServingTest, SampledEvalBlockRoundTripsAndExactStaysOldProtocol) {
+  Request request;
+  request.mode = Mode::kSolve;
+  request.id = 9;
+  request.family = "erdos-renyi";
+  request.target_depth = 2;
+  request.problem = sample_problem(5);
+  request.seed = 77;
+  request.eval = EvalSpec::sampled_with(512, 4242, 3);
+  request.eval.seed_policy = SeedPolicy::kPerCall;
+
+  const std::string sampled_bytes = encode_request(request);
+  const Request decoded =
+      decode_request(request_frame_type(request.mode), sampled_bytes);
+  EXPECT_TRUE(decoded.eval.sampled());
+  EXPECT_EQ(decoded.eval.shots, 512);
+  EXPECT_EQ(decoded.eval.averaging, 3);
+  EXPECT_EQ(decoded.eval.seed_policy, SeedPolicy::kPerCall);
+  EXPECT_EQ(decoded.eval.seed, 4242u);
+
+  // An exact request writes NO trailing block: its bytes are a strict
+  // prefix of the sampled encoding and decode to an exact spec — which
+  // is exactly what a pre-EvalSpec client puts on the wire, so old
+  // clients keep working against new servers unchanged.
+  Request exact = request;
+  exact.eval = EvalSpec::exact();
+  const std::string exact_bytes = encode_request(exact);
+  ASSERT_LT(exact_bytes.size(), sampled_bytes.size());
+  EXPECT_EQ(exact_bytes, sampled_bytes.substr(0, exact_bytes.size()));
+  const Request exact_decoded =
+      decode_request(request_frame_type(exact.mode), exact_bytes);
+  EXPECT_FALSE(exact_decoded.eval.sampled());
+}
+
+TEST_F(ServingTest, DecodeRequestRejectsHostileEvalBlocks) {
+  Request base;
+  base.mode = Mode::kWarmStart;
+  base.family = "erdos-renyi";
+  base.problem = sample_problem(6);
+  const std::string prefix = encode_request(base);
+
+  const auto eval_block = [](std::uint32_t version, std::int32_t shots) {
+    wire::PayloadWriter writer;
+    writer.u32(version);
+    writer.i32(shots);
+    writer.i32(1);   // averaging
+    writer.u32(0);   // stream policy
+    writer.u64(7);   // seed
+    return writer.bytes();
+  };
+  // A future block version must fail loudly, not silently serve exact.
+  EXPECT_THROW(
+      decode_request(kWarmStartRequest, prefix + eval_block(99, 128)),
+      InvalidArgument);
+  // Hostile shot counts are rejected at decode time.
+  EXPECT_THROW(decode_request(kWarmStartRequest, prefix + eval_block(1, 0)),
+               InvalidArgument);
+  EXPECT_THROW(decode_request(kWarmStartRequest, prefix + eval_block(1, -8)),
+               InvalidArgument);
+  // A truncated block is a framing error.
+  const std::string block = eval_block(1, 128);
+  EXPECT_THROW(
+      decode_request(kWarmStartRequest,
+                     prefix + block.substr(0, block.size() - 3)),
+      InvalidArgument);
+}
+
 TEST_F(ServingTest, ServedPredictionIsBitIdenticalToTheBank) {
   const ParameterPredictor bank = ParameterPredictor::load(bank_path_);
   Server server(server_config("predict"));
@@ -235,6 +302,46 @@ TEST_F(ServingTest, WarmStartEvaluatesThePredictionOnTheInstance) {
   EXPECT_EQ(again.angles, response.angles);
   EXPECT_EQ(again.expectation, response.expectation);
   EXPECT_EQ(again.gamma1, response.gamma1);
+}
+
+TEST_F(ServingTest, OneSocketServesExactAndSampledRequests) {
+  // The acceptance shape of the EvalSpec wire extension: a single
+  // daemon serves pre-EvalSpec-style exact requests and shots-bearing
+  // sampled requests side by side, sampled responses are deterministic
+  // in the request bits, and the reported expectation is exact-rescored
+  // at the returned angles.
+  Server server(server_config("mixed"));
+  Client client(server.socket_path());
+  const graph::Graph problem = sample_problem(31);
+
+  const Response exact =
+      client.warm_start("erdos-renyi", problem, 2, /*seed=*/31);
+  ASSERT_TRUE(exact.ok) << exact.error;
+
+  const EvalSpec spec = EvalSpec::sampled_with(128, 1717);
+  const Response sampled = client.warm_start("erdos-renyi", problem, 2,
+                                             /*seed=*/31, 1, spec);
+  ASSERT_TRUE(sampled.ok) << sampled.error;
+  const Response sampled_again = client.warm_start("erdos-renyi", problem, 2,
+                                                   /*seed=*/31, 1, spec);
+  ASSERT_TRUE(sampled_again.ok) << sampled_again.error;
+  EXPECT_EQ(sampled.angles, sampled_again.angles);
+  EXPECT_EQ(sampled.expectation, sampled_again.expectation);
+  EXPECT_EQ(sampled.function_calls, sampled_again.function_calls);
+
+  // The exact arm reports <C> at the served angles; the sampled arm
+  // reports the finite-shot estimate a shot-limited device would — a
+  // pure function of the request, reproducible locally from its spec.
+  const MaxCutQaoa instance(problem, 2);
+  EXPECT_EQ(exact.expectation, instance.expectation(exact.angles));
+  Rng measure(spec.seed);
+  EXPECT_EQ(sampled.expectation,
+            instance.sampled_expectation(sampled.angles, spec.shots, measure));
+
+  const Response solved = client.solve("erdos-renyi", problem, 2,
+                                       /*seed=*/31, 1, spec);
+  ASSERT_TRUE(solved.ok) << solved.error;
+  EXPECT_GT(solved.function_calls, 0);
 }
 
 TEST_F(ServingTest, SolveMatchesALocalTwoLevelRunBitForBit) {

@@ -108,6 +108,59 @@ TEST(Table1ShardTest, MergedRowsIdenticalToDirectRunAcrossShardsAndThreads) {
   }
 }
 
+TEST(Table1ShardTest, SampledSweepMergesBitIdenticalAcrossShardsAndThreads) {
+  // The whole shard machinery under a shot-sampled objective: every
+  // unit is a pure function of (config, unit index) with the
+  // measurement-stream seeds drawn from the unit's own rng stream, so
+  // shard and thread counts must not change a bit of the merged rows.
+  const Harness& h = harness();
+  ExperimentConfig config = tiny_sweep();
+  config.optimizers = {optim::OptimizerKind::kNelderMead};
+  config.target_depths = {2};
+  config.eval = EvalSpec::sampled_with(64, 0);
+
+  const std::vector<TableRow> direct =
+      run_table1(h.dataset, h.test, h.predictor, config);
+
+  for (const int shards : {1, 2, 8}) {
+    for (const int threads : {1, 8}) {
+      ScopedThreadCount scoped(threads);
+      const std::string dir = unique_dir(
+          "sampled_s" + std::to_string(shards) + "t" + std::to_string(threads));
+      for (int s = 0; s < shards; ++s) {
+        run_table1_shard(h.dataset, h.test, h.predictor, config,
+                         ShardSpec{s, shards}, dir);
+      }
+      expect_rows_identical(
+          merge_table1_shards(h.dataset, h.test, config, shards, dir), direct);
+    }
+  }
+}
+
+TEST(Table1ShardTest, EvalSpecChangeInvalidatesShards) {
+  // Exact and sampled sweeps must never merge into one table: the spec
+  // is part of the shard config key.
+  const Harness& h = harness();
+  ExperimentConfig config = tiny_sweep();
+  config.optimizers = {optim::OptimizerKind::kNelderMead};
+  config.target_depths = {2};
+  const std::string dir = unique_dir("eval_key");
+  run_table1_shard(h.dataset, h.test, h.predictor, config, ShardSpec{0, 1},
+                   dir);
+
+  ExperimentConfig sampled = config;
+  sampled.eval = EvalSpec::sampled_with(64, 0);
+  EXPECT_THROW(merge_table1_shards(h.dataset, h.test, sampled, 1, dir), Error);
+
+  // Same shots, different measurement seed: still a different sweep.
+  run_table1_shard(h.dataset, h.test, h.predictor, sampled, ShardSpec{0, 1},
+                   dir);
+  ExperimentConfig reseeded = sampled;
+  reseeded.eval.seed = 1;
+  EXPECT_THROW(merge_table1_shards(h.dataset, h.test, reseeded, 1, dir),
+               Error);
+}
+
 TEST(Table1ShardTest, ResumeAfterTruncationCompletesToSameRows) {
   const Harness& h = harness();
   const ExperimentConfig config = tiny_sweep();

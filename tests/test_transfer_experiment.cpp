@@ -164,6 +164,36 @@ TEST(TransferShardTest, MergedCellsIdenticalToDirectRunAcrossShardsAndThreads) {
   }
 }
 
+TEST(TransferShardTest, SampledMatrixMergesBitIdenticalAndKeysOnSpec) {
+  // Sampled evaluation arms (training corpora stay exact — the
+  // train-without-a-QPU setting): shards and threads must still merge
+  // bit-identically, and the spec must key the shard files.
+  TransferConfig config = tiny_config();
+  config.families = {EnsembleConfig{}};  // one family: 1x1 matrix
+  config.models = {ml::RegressorKind::kLinear};
+  config.eval = EvalSpec::sampled_with(64, 5);
+
+  const std::vector<TransferCell> direct = run_transfer(config);
+  for (const int shards : {1, 2}) {
+    for (const int threads : {1, 8}) {
+      ScopedThreadCount scoped(threads);
+      const std::string dir = unique_dir(
+          "sampled_s" + std::to_string(shards) + "t" + std::to_string(threads));
+      for (int s = 0; s < shards; ++s) {
+        run_transfer_shard(config, ShardSpec{s, shards}, dir);
+      }
+      expect_cells_identical(merge_transfer_shards(config, shards, dir),
+                             direct);
+    }
+  }
+
+  const std::string dir = unique_dir("sampled_key");
+  run_transfer_shard(config, ShardSpec{0, 1}, dir);
+  TransferConfig exact = config;
+  exact.eval = EvalSpec::exact();
+  EXPECT_THROW(merge_transfer_shards(exact, 1, dir), Error);
+}
+
 TEST(TransferShardTest, ResumeAfterTruncationCompletesToSameCells) {
   const TransferConfig config = tiny_config();
   for (const double cut : {0.3, 0.6, 0.95}) {

@@ -73,6 +73,12 @@ void print_usage() {
       "  --restarts R     multistart count per (graph, depth) (default 20)\n"
       "  --optimizer S    L-BFGS-B | Nelder-Mead | SLSQP | COBYLA\n"
       "  --seed S         master seed (default 42)\n"
+      "  --objective-mode M  exact (default) | sampled — sampled optimizes\n"
+      "                   finite-shot estimates (the corpus a real device\n"
+      "                   would produce) with exact-rescored record values\n"
+      "  --shots N        shots per estimate (default 1024); implies\n"
+      "                   --objective-mode sampled\n"
+      "  --shot-averaging K  estimates averaged per objective call\n"
       "\n"
       "graph family (see docs/CONFIGURATION.md):\n"
       "  --family F       erdos-renyi (default) | regular |\n"
@@ -179,6 +185,21 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
            }},
           {"--seed",
            [&](const char* v) { return to_u64(v, options.dataset.seed); }},
+          {"--objective-mode",
+           [&](const char* v) {
+             options.dataset.eval.mode =
+                 qaoaml::core::objective_mode_from_string(v);  // throws
+             return true;
+           }},
+          {"--shots",
+           [&](const char* v) {
+             options.dataset.eval.mode = qaoaml::core::ObjectiveMode::kSampled;
+             return to_int(v, options.dataset.eval.shots);
+           }},
+          {"--shot-averaging",
+           [&](const char* v) {
+             return to_int(v, options.dataset.eval.averaging);
+           }},
           {"--dir",
            [&](const char* v) {
              options.directory = v;

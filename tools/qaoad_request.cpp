@@ -69,6 +69,10 @@ void print_usage() {
       "  --edge-prob F      ER edge probability for sampled instances\n"
       "                     (default 0.5)\n"
       "  --restarts R       server-side level-1 restarts (default 1)\n"
+      "  --shots N          evaluate warm-start/solve requests on N-shot\n"
+      "                     sampled objectives (versioned optional wire\n"
+      "                     block; exact requests stay old-client\n"
+      "                     compatible; measurement seed = instance seed)\n"
       "  --ping             liveness round trip\n"
       "  --stats            print the daemon's counters\n");
 }
@@ -112,6 +116,7 @@ int main(int argc, char** argv) {
   std::string family = "erdos-renyi";
   double edge_prob = 0.5;
   int restarts = 1;
+  int shots = 0;  // 0 = exact (no eval block on the wire)
   bool ping = false;
   bool stats = false;
   std::vector<PredictArgs> predicts;
@@ -146,6 +151,8 @@ int main(int argc, char** argv) {
       ok = to_double(value, edge_prob);
     } else if (arg == "--restarts") {
       ok = to_int(value, restarts) && restarts >= 1;
+    } else if (arg == "--shots") {
+      ok = to_int(value, shots) && shots >= 1;
     } else if (arg == "--predict") {
       PredictArgs args;
       ok = to_predict_args(value, args);
@@ -204,12 +211,21 @@ int main(int argc, char** argv) {
     ensemble.family = qaoaml::core::family_from_string(family);
     ensemble.edge_probability = edge_prob;
 
+    // Sampled evaluation reuses the instance seed as the measurement
+    // seed: the request stays reproducible from the command line alone.
+    const auto eval_spec = [&](std::uint64_t seed) {
+      return shots >= 1
+                 ? qaoaml::core::EvalSpec::sampled_with(shots, seed)
+                 : qaoaml::core::EvalSpec::exact();
+    };
+
     for (const InstanceArgs& args : warm_starts) {
       qaoaml::Rng rng(args.seed);
       const qaoaml::graph::Graph problem =
           qaoaml::core::sample_graph(ensemble, args.nodes, rng);
-      const Response response = client.warm_start(family, problem, args.depth,
-                                                  args.seed, restarts);
+      const Response response =
+          client.warm_start(family, problem, args.depth, args.seed, restarts,
+                            eval_spec(args.seed));
       if (!check(response, "warm-start")) {
         all_ok = false;
         continue;
@@ -226,8 +242,8 @@ int main(int argc, char** argv) {
       qaoaml::Rng rng(args.seed);
       const qaoaml::graph::Graph problem =
           qaoaml::core::sample_graph(ensemble, args.nodes, rng);
-      const Response response =
-          client.solve(family, problem, args.depth, args.seed, restarts);
+      const Response response = client.solve(
+          family, problem, args.depth, args.seed, restarts, eval_spec(args.seed));
       if (!check(response, "solve")) {
         all_ok = false;
         continue;

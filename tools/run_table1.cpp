@@ -105,6 +105,15 @@ void print_usage() {
       "  --ml-repeats N   two-level repeats per graph (default 3)\n"
       "  --seed S         sweep master seed (default 7)\n"
       "\n"
+      "objective evaluation (both sweep arms; the corpus stays exact):\n"
+      "  --objective-mode M  exact (default) | sampled — sampled optimizes\n"
+      "                   finite-shot estimates (noisy ftol/xtol preset)\n"
+      "                   and reports exact-rescored ARs\n"
+      "  --shots N        Born-rule shots per estimate (default 1024);\n"
+      "                   implies --objective-mode sampled\n"
+      "  --shot-averaging K  estimates averaged per objective call\n"
+      "                   (default 1)\n"
+      "\n"
       "sharding / output:\n"
       "  --dir PATH       shard-file directory (default .)\n"
       "  --shards N       total shard count (default 1)\n"
@@ -192,6 +201,21 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
            [&](const char* v) { return to_int(v, options.sweep.ml_repeats); }},
           {"--seed",
            [&](const char* v) { return to_u64(v, options.sweep.seed); }},
+          {"--objective-mode",
+           [&](const char* v) {
+             options.sweep.eval.mode =
+                 qaoaml::core::objective_mode_from_string(v);  // throws
+             return true;
+           }},
+          {"--shots",
+           [&](const char* v) {
+             options.sweep.eval.mode = qaoaml::core::ObjectiveMode::kSampled;
+             return to_int(v, options.sweep.eval.shots);
+           }},
+          {"--shot-averaging",
+           [&](const char* v) {
+             return to_int(v, options.sweep.eval.averaging);
+           }},
           {"--dir",
            [&](const char* v) {
              options.directory = v;

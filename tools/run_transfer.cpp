@@ -89,6 +89,12 @@ void print_usage() {
       "  --warm-repeats R     two-level repeats per instance (default 1)\n"
       "  --optimizer S        L-BFGS-B | Nelder-Mead | SLSQP | COBYLA\n"
       "  --seed S             master seed (default 2020)\n"
+      "  --objective-mode M   exact (default) | sampled — sampled runs both\n"
+      "                       eval arms on finite-shot estimates (training\n"
+      "                       corpora stay exact) with exact-rescored ARs\n"
+      "  --shots N            shots per estimate (default 1024); implies\n"
+      "                       --objective-mode sampled\n"
+      "  --shot-averaging K   estimates averaged per objective call\n"
       "\n"
       "sharding / output:\n"
       "  --dir PATH       shard-file directory (default .)\n"
@@ -165,6 +171,22 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
            }},
           {"--seed",
            [&](const char* v) { return to_u64(v, options.transfer.seed); }},
+          {"--objective-mode",
+           [&](const char* v) {
+             options.transfer.eval.mode =
+                 qaoaml::core::objective_mode_from_string(v);  // throws
+             return true;
+           }},
+          {"--shots",
+           [&](const char* v) {
+             options.transfer.eval.mode =
+                 qaoaml::core::ObjectiveMode::kSampled;
+             return to_int(v, options.transfer.eval.shots);
+           }},
+          {"--shot-averaging",
+           [&](const char* v) {
+             return to_int(v, options.transfer.eval.averaging);
+           }},
           {"--dir",
            [&](const char* v) {
              options.directory = v;
