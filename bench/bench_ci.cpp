@@ -22,6 +22,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -37,6 +38,7 @@
 #include "core/serving.hpp"
 #include "core/serving_client.hpp"
 #include "graph/generators.hpp"
+#include "quantum/dispatch.hpp"
 
 using namespace qaoaml;
 
@@ -168,6 +170,39 @@ double time_serving_predict() {
   return seconds;
 }
 
+/// Seconds for a fixed number of p=2 objective evaluations at `qubits`
+/// forced onto `tier` — one cell of the SIMD dispatch speedup table
+/// ({scalar, avx2, avx512} x {8, 16, 24} qubits).  The iteration counts
+/// scale inversely with the state size so every cell times a comparable
+/// amount of work.  Returns 0 when this CPU lacks the tier; the gate
+/// below reports but never gates a zero (and a baseline captured on a
+/// wider machine gates nothing here either, because the metric is then
+/// "not in baseline" from the narrow machine's perspective — see main).
+double time_simd_objective(quantum::SimdTier tier, int qubits, int iters) {
+  if (!quantum::simd_tier_supported(tier)) return 0.0;
+  // The instance (and its O(2^n) diagonal precompute) is shared across
+  // tiers and repeats; only the amplitude sweeps are timed.
+  static std::map<int, std::unique_ptr<core::MaxCutQaoa>> instances;
+  std::unique_ptr<core::MaxCutQaoa>& slot = instances[qubits];
+  if (slot == nullptr) {
+    Rng rng(0x51D0 + static_cast<std::uint64_t>(qubits));
+    slot = std::make_unique<core::MaxCutQaoa>(
+        graph::erdos_renyi_gnp(qubits, 0.5, rng), 2);
+  }
+  core::BatchEvaluator evaluator(*slot);
+  std::vector<double> params(slot->num_parameters(), 0.3);
+  const quantum::ScopedSimdTier guard(tier);
+  Timer timer;
+  double sink = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    params[0] = 0.01 * static_cast<double>(i % 100);
+    sink += evaluator.expectation(params);
+  }
+  const double seconds = timer.seconds();
+  if (sink == 42.123456) std::printf("#\n");
+  return seconds;
+}
+
 /// Minimal flat-JSON number extraction ("key": value), tolerant of
 /// everything else in the file — enough for the baseline format this
 /// tool itself writes.
@@ -219,12 +254,34 @@ int main(int argc, char** argv) {
     const char* name;
     double (*run)();
   };
+  using quantum::SimdTier;
   const Metric metrics[] = {
       {"fused_objective_s", &time_fused_objective},
       {"sampled_expectation_s", &time_sampled_expectation},
       {"corpus_pipeline_s", &time_corpus_pipeline},
       {"multistart_batched_s", &time_batched_multistart},
       {"serving_predict_s", &time_serving_predict},
+      // The SIMD dispatch speedup table: every tier on every state
+      // size, so a committed baseline pins both absolute perf and the
+      // tier-over-scalar ratios (README quotes them from this table).
+      {"simd_scalar_q8_s",
+       [] { return time_simd_objective(SimdTier::kScalar, 8, 4000); }},
+      {"simd_avx2_q8_s",
+       [] { return time_simd_objective(SimdTier::kAvx2, 8, 4000); }},
+      {"simd_avx512_q8_s",
+       [] { return time_simd_objective(SimdTier::kAvx512, 8, 4000); }},
+      {"simd_scalar_q16_s",
+       [] { return time_simd_objective(SimdTier::kScalar, 16, 60); }},
+      {"simd_avx2_q16_s",
+       [] { return time_simd_objective(SimdTier::kAvx2, 16, 60); }},
+      {"simd_avx512_q16_s",
+       [] { return time_simd_objective(SimdTier::kAvx512, 16, 60); }},
+      {"simd_scalar_q24_s",
+       [] { return time_simd_objective(SimdTier::kScalar, 24, 2); }},
+      {"simd_avx2_q24_s",
+       [] { return time_simd_objective(SimdTier::kAvx2, 24, 2); }},
+      {"simd_avx512_q24_s",
+       [] { return time_simd_objective(SimdTier::kAvx512, 24, 2); }},
   };
 
   std::map<std::string, double> medians;
@@ -284,6 +341,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   for (const auto& [name, value] : medians) {
+    if (value <= 0.0) {
+      // A SIMD tier this CPU lacks: reported, never gated.
+      std::printf("  %-22s UNSUPPORTED ON THIS CPU (not gated)\n",
+                  name.c_str());
+      continue;
+    }
     double base = 0.0;
     if (!json_number(baseline, name, base) || base <= 0.0) {
       // A metric added after the baseline was captured is reported, not

@@ -92,6 +92,14 @@ bool is_locked(const std::string& path) {
   return false;
 }
 
+bool getline_complete(std::istream& is, std::string& line) {
+  if (!std::getline(is, line)) return false;
+  // getline sets eofbit exactly when it stopped at end-of-file rather
+  // than at '\n' — i.e. when the line is an unterminated (possibly
+  // torn) tail.
+  return !is.eof();
+}
+
 void replace_file_atomic(const std::string& path, const std::string& content) {
   {
     std::ifstream is(path, std::ios::binary);

@@ -11,6 +11,7 @@
 #ifndef QAOAML_COMMON_CHECKPOINT_HPP
 #define QAOAML_COMMON_CHECKPOINT_HPP
 
+#include <iosfwd>
 #include <string>
 
 namespace qaoaml {
@@ -51,6 +52,15 @@ bool is_locked(const std::string& path);
 /// write (e.g. disk full) or a failed rename the temp file is removed
 /// before rethrowing.
 void replace_file_atomic(const std::string& path, const std::string& content);
+
+/// std::getline that additionally rejects a torn trailing line: returns
+/// true only when the line was terminated by '\n'.  A kill mid-write
+/// (or any truncation) can cut the final line inside its LAST numeric
+/// token, leaving text that still parses cleanly — e.g. "... 13" torn
+/// to "... 1" — so "does it parse" cannot detect the tear; the missing
+/// newline can.  Every resume parser must read unit lines through this,
+/// never through raw std::getline.
+bool getline_complete(std::istream& is, std::string& line);
 
 }  // namespace qaoaml
 

@@ -13,7 +13,12 @@
 //  - batch entries are scheduled instance-level with parallel_for while
 //    the per-entry amplitude kernels run serially inside the workers
 //    (nested parallel_* calls collapse to inline execution), which is
-//    the right grain for many small-to-medium states;
+//    the right grain for many small-to-medium states.  When the batch
+//    is smaller than the pool AND the states are large enough for
+//    amplitude-range sharding (see shards_amplitudes), the grain flips:
+//    entries run sequentially on the calling thread and each
+//    evaluation's amplitude kernels fan out over the whole pool, so ONE
+//    large-n objective evaluation saturates the machine;
 //  - every evaluation runs through MaxCutQaoa::state_into and therefore
 //    honors the fused/unfused layer-kernel switch
 //    (quantum::default_layer_kernel()); the fused default collapses each
@@ -97,6 +102,17 @@ class BatchEvaluator {
   /// bit-identical across thread counts and against the sequential
   /// evaluate() path.
   static std::vector<double> evaluations(std::span<const BatchJob> jobs);
+
+  /// Scheduling policy of the batch entry points: true when a batch of
+  /// `batch_size` evaluations on up-to-`num_qubits`-qubit states should
+  /// run sequentially with amplitude-range sharding INSIDE each
+  /// evaluation (batch smaller than the pool, states at or above the
+  /// kernels' parallel threshold), false for the classic
+  /// one-entry-per-worker fan-out.  Pure function of its arguments —
+  /// exposed so tests can pin the crossover; either branch produces
+  /// bit-identical values.
+  static bool shards_amplitudes(std::size_t batch_size, int num_qubits,
+                                int threads);
 
  private:
   const MaxCutQaoa* instance_;

@@ -52,14 +52,14 @@ ParsedShard parse_shard_file(const std::string& path,
   std::ifstream is(path);
   if (!is.good()) return out;
   std::string line;
-  if (!std::getline(is, line) || line != kShardHeader) return out;
-  if (!std::getline(is, line) || line != config_line) return out;
+  if (!getline_complete(is, line) || line != kShardHeader) return out;
+  if (!getline_complete(is, line) || line != config_line) return out;
 
   bool in_block = false;
   std::size_t current = 0;
   std::vector<InstanceRecord> pending;
   try {
-    while (std::getline(is, line)) {
+    while (getline_complete(is, line)) {
       if (line.empty()) continue;
       std::istringstream ls(line);
       std::string tag;
@@ -125,9 +125,9 @@ bool read_manifest(const std::string& path, const std::string& config_line,
   std::ifstream is(path);
   if (!is.good()) return false;
   std::string line;
-  if (!std::getline(is, line) || line != kManifestHeader) return false;
-  if (!std::getline(is, line) || line != config_line) return false;
-  while (std::getline(is, line)) {
+  if (!getline_complete(is, line) || line != kManifestHeader) return false;
+  if (!getline_complete(is, line) || line != config_line) return false;
+  while (getline_complete(is, line)) {
     if (line.empty()) continue;
     std::istringstream ls(line);
     std::size_t unit = 0;

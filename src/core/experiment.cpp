@@ -194,7 +194,8 @@ void write_unit_line(std::ostream& os, std::size_t unit,
 /// The longest valid prefix of unit lines in a Table-I shard file.
 /// Units are one line each, so the only damage a kill can leave is a
 /// torn trailing line — anything after the first malformed,
-/// out-of-order or foreign-unit line is discarded and regenerated.
+/// unterminated, out-of-order or foreign-unit line is discarded and
+/// regenerated.
 struct ParsedTable1Shard {
   std::vector<std::size_t> units;   ///< ascending, owned
   std::vector<GraphStats> stats;    ///< stats[i] is units[i]
@@ -208,9 +209,9 @@ ParsedTable1Shard parse_table1_shard(const std::string& path,
   std::ifstream is(path);
   if (!is.good()) return out;
   std::string line;
-  if (!std::getline(is, line) || line != kTable1Header) return out;
-  if (!std::getline(is, line) || line != config_line) return out;
-  while (std::getline(is, line)) {
+  if (!getline_complete(is, line) || line != kTable1Header) return out;
+  if (!getline_complete(is, line) || line != config_line) return out;
+  while (getline_complete(is, line)) {
     if (line.empty()) continue;
     std::istringstream ls(line);
     std::string tag;

@@ -270,8 +270,8 @@ void write_unit_line(std::ostream& os, std::size_t unit,
 /// Longest valid prefix of unit lines in a transfer shard file — the
 /// same resume contract as the Table-I and corpus shards: one line per
 /// unit, so a kill can only tear the trailing line, and anything after
-/// the first malformed, out-of-order or foreign-unit line is discarded
-/// and regenerated.
+/// the first malformed, unterminated, out-of-order or foreign-unit
+/// line is discarded and regenerated.
 struct ParsedTransferShard {
   std::vector<std::size_t> units;       ///< ascending, owned
   std::vector<TransferUnitStats> stats; ///< stats[i] is units[i]
@@ -285,9 +285,9 @@ ParsedTransferShard parse_transfer_shard(const std::string& path,
   std::ifstream is(path);
   if (!is.good()) return out;
   std::string line;
-  if (!std::getline(is, line) || line != kTransferHeader) return out;
-  if (!std::getline(is, line) || line != config_line) return out;
-  while (std::getline(is, line)) {
+  if (!getline_complete(is, line) || line != kTransferHeader) return out;
+  if (!getline_complete(is, line) || line != config_line) return out;
+  while (getline_complete(is, line)) {
     if (line.empty()) continue;
     std::istringstream ls(line);
     std::string tag;

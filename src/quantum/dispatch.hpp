@@ -1,0 +1,74 @@
+// Runtime SIMD dispatch for the amplitude kernels.
+//
+// The fused QAOA sweeps (quantum/fused_kernels.hpp) and the diagonal
+// expectation reduction have explicit AVX2 and AVX-512 implementations
+// (quantum/simd_kernels.hpp) next to the portable scalar code.  This
+// header owns tier *selection*: the highest instruction set the CPU
+// reports via CPUID is picked at runtime, so one portable binary runs
+// the widest vectors the machine has — the Intel-QS / qHiPSTER shape.
+//
+// Every tier computes bit-identical results: the vector kernels perform
+// the same sequence of IEEE-754 operations per amplitude as the scalar
+// fallback (no FMA contraction, no reassociation outside the canonical
+// reduction tree), so switching tiers can never move a committed
+// fixture by a single bit.  The differential suite
+// (tests/test_simd_kernels.cpp) enforces this.
+//
+// Selection precedence, mirroring the threading and layer-kernel knobs:
+// ScopedSimdTier override > QAOAML_SIMD environment variable
+// (scalar|avx2|avx512) > highest CPU-supported tier.  Forcing a tier
+// the CPU cannot execute throws instead of crashing on SIGILL later.
+#ifndef QAOAML_QUANTUM_DISPATCH_HPP
+#define QAOAML_QUANTUM_DISPATCH_HPP
+
+#include <optional>
+#include <string_view>
+
+namespace qaoaml::quantum {
+
+/// The available amplitude-kernel instruction tiers, widest last.
+enum class SimdTier {
+  kScalar,  ///< portable fused sweeps (auto-vectorized by the compiler)
+  kAvx2,    ///< 256-bit explicit kernels (4 doubles / 2 amplitudes)
+  kAvx512,  ///< 512-bit explicit kernels (8 doubles / 4 amplitudes)
+};
+
+/// Widest tier this CPU supports, probed once via CPUID and cached.
+/// kAvx512 additionally requires AVX512DQ (for the packed-double
+/// bitwise ops the kernels use); every AVX-512 server core since
+/// Skylake-X has it.  Non-x86 builds always report kScalar.
+SimdTier detected_simd_tier();
+
+/// True when `tier` can execute on this CPU (kScalar always can).
+bool simd_tier_supported(SimdTier tier);
+
+/// Active tier: the ScopedSimdTier override when set, else QAOAML_SIMD
+/// when set (throws InvalidArgument on an unknown value or on a tier
+/// this CPU cannot execute — a typo must not silently change what a
+/// benchmark measures), else detected_simd_tier().
+SimdTier active_simd_tier();
+
+/// "scalar" | "avx2" | "avx512".
+const char* to_string(SimdTier tier);
+
+/// Parses the QAOAML_SIMD grammar; nullopt on anything else.
+std::optional<SimdTier> parse_simd_tier(std::string_view text);
+
+/// RAII override of active_simd_tier() for the enclosing scope.  Takes
+/// precedence over QAOAML_SIMD; throws InvalidArgument when the CPU
+/// cannot execute the requested tier.  Intended for tests and
+/// benchmarks that compare tiers within one process.
+class ScopedSimdTier {
+ public:
+  explicit ScopedSimdTier(SimdTier tier);
+  ~ScopedSimdTier();
+  ScopedSimdTier(const ScopedSimdTier&) = delete;
+  ScopedSimdTier& operator=(const ScopedSimdTier&) = delete;
+
+ private:
+  int previous_;
+};
+
+}  // namespace qaoaml::quantum
+
+#endif  // QAOAML_QUANTUM_DISPATCH_HPP

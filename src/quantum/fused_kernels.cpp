@@ -6,50 +6,23 @@
 
 #include "common/parallel.hpp"
 #include "quantum/kernel_util.hpp"
+#include "quantum/simd_kernels.hpp"
 
 namespace qaoaml::quantum::fused {
 namespace {
-
-using detail::multiply_amp;
-using detail::pair_base;
 
 // Parallel grain blocks must contain whole sweep-1 tiles, so tile loops
 // never straddle a range boundary.
 static_assert(kBlockQubits <= kParallelGrainLog2,
               "sweep-1 tiles must divide a parallel grain block");
 
-/// RX(beta) butterfly with c = cos(beta/2), s = sin(beta/2):
-///   a0' = c*a0 - i*s*a1,  a1' = -i*s*a0 + c*a1.
-/// Expanded into real arithmetic (4 multiplies) so GCC neither calls
-/// __muldc3 nor spills through the generic 2x2 gate path.
-inline void rx_butterfly(Complex& amp0, Complex& amp1, double c, double s) {
-  const double a0r = amp0.real(), a0i = amp0.imag();
-  const double a1r = amp1.real(), a1i = amp1.imag();
-  amp0 = Complex{c * a0r + s * a1i, c * a0i - s * a1r};
-  amp1 = Complex{c * a1r + s * a0i, c * a1i - s * a0r};
-}
-
-/// Mixer butterflies for the `m` low qubits of one cache-resident tile.
-inline void mix_low_qubits(Complex* tile, int m, double c, double s) {
-  const std::size_t tile_size = std::size_t{1} << m;
-  for (int t = 0; t < m; ++t) {
-    const std::size_t stride = std::size_t{1} << t;
-    for (std::size_t base = 0; base < tile_size; base += 2 * stride) {
-      Complex* p0 = tile + base;
-      Complex* p1 = p0 + stride;
-      for (std::size_t j = 0; j < stride; ++j) {
-        rx_butterfly(p0[j], p1[j], c, s);
-      }
-    }
-  }
-}
-
 /// Sweep 1: phase + low-qubit mixer, tile by tile.  `phase_tile(lo, hi)`
 /// applies the diagonal phase to amplitudes [lo, hi); the tile is then
 /// still L1-hot for the butterfly levels.
 template <typename PhaseTile>
 void sweep_low(Complex* amps, std::size_t dim, int m, double c, double s,
-               int threads, PhaseTile&& phase_tile) {
+               int threads, const simd::KernelTable& kt,
+               PhaseTile&& phase_tile) {
   const std::size_t tile_size = std::size_t{1} << m;
   parallel_for_range(
       dim,
@@ -58,7 +31,7 @@ void sweep_low(Complex* amps, std::size_t dim, int m, double c, double s,
         // hold whole tiles (static_assert above).
         for (std::size_t lo = begin; lo < end; lo += tile_size) {
           phase_tile(lo, lo + tile_size);
-          mix_low_qubits(amps + lo, m, c, s);
+          kt.mix_tile(amps + lo, m, c, s);
         }
       },
       threads);
@@ -70,7 +43,7 @@ void sweep_low(Complex* amps, std::size_t dim, int m, double c, double s,
 /// contiguous k runs of length s map to stride-1 runs in all four
 /// streams.
 void mix_high_pair(Complex* amps, std::size_t dim, int t, double c, double s,
-                   int threads) {
+                   int threads, const simd::KernelTable& kt) {
   const std::size_t stride = std::size_t{1} << t;
   parallel_for_range(
       dim / 4,
@@ -83,12 +56,7 @@ void mix_high_pair(Complex* amps, std::size_t dim, int t, double c, double s,
           Complex* p1 = p0 + stride;
           Complex* p2 = p1 + stride;
           Complex* p3 = p2 + stride;
-          for (std::size_t j = 0; j < len; ++j) {
-            rx_butterfly(p0[j], p1[j], c, s);  // qubit t
-            rx_butterfly(p2[j], p3[j], c, s);
-            rx_butterfly(p0[j], p2[j], c, s);  // qubit t+1
-            rx_butterfly(p1[j], p3[j], c, s);
-          }
+          kt.butterfly_quad(p0, p1, p2, p3, len, c, s);
           k += len;
         }
       },
@@ -97,7 +65,7 @@ void mix_high_pair(Complex* amps, std::size_t dim, int t, double c, double s,
 
 /// Sweep-2 pass for a single leftover high level t.
 void mix_high_single(Complex* amps, std::size_t dim, int t, double c, double s,
-                     int threads) {
+                     int threads, const simd::KernelTable& kt) {
   const std::size_t stride = std::size_t{1} << t;
   parallel_for_range(
       dim / 2,
@@ -106,52 +74,49 @@ void mix_high_single(Complex* amps, std::size_t dim, int t, double c, double s,
         while (k < end) {
           const std::size_t low = k & (stride - 1);
           const std::size_t len = std::min(end - k, stride - low);
-          Complex* p0 = amps + pair_base(k, t, stride);
+          Complex* p0 = amps + detail::pair_base(k, t, stride);
           Complex* p1 = p0 + stride;
-          for (std::size_t j = 0; j < len; ++j) {
-            rx_butterfly(p0[j], p1[j], c, s);
-          }
+          kt.butterfly_pair(p0, p1, len, c, s);
           k += len;
         }
       },
       threads);
 }
 
+/// Shared layer skeleton: the kernel table is resolved ONCE per layer
+/// (tier selection reads an env var), then every sweep runs that tier.
 template <typename PhaseTile>
 void apply_layer_impl(Complex* amps, int num_qubits, double beta, int threads,
-                      PhaseTile&& phase_tile) {
+                      const simd::KernelTable& kt, PhaseTile&& phase_tile) {
   const std::size_t dim = std::size_t{1} << num_qubits;
   const int m = std::min(num_qubits, kBlockQubits);
   const double c = std::cos(beta / 2.0);
   const double s = std::sin(beta / 2.0);
-  sweep_low(amps, dim, m, c, s, threads, phase_tile);
+  sweep_low(amps, dim, m, c, s, threads, kt, phase_tile);
   int t = m;
-  for (; t + 1 < num_qubits; t += 2) mix_high_pair(amps, dim, t, c, s, threads);
-  if (t < num_qubits) mix_high_single(amps, dim, t, c, s, threads);
+  for (; t + 1 < num_qubits; t += 2) {
+    mix_high_pair(amps, dim, t, c, s, threads, kt);
+  }
+  if (t < num_qubits) mix_high_single(amps, dim, t, c, s, threads, kt);
 }
 
 }  // namespace
 
 void apply_layer(Complex* amps, int num_qubits, const double* diag,
                  double gamma, double beta, int threads) {
-  apply_layer_impl(amps, num_qubits, beta, threads,
+  const simd::KernelTable& kt = simd::active_kernels();
+  apply_layer_impl(amps, num_qubits, beta, threads, kt,
                    [&](std::size_t lo, std::size_t hi) {
-                     for (std::size_t z = lo; z < hi; ++z) {
-                       const double phi = -gamma * diag[z];
-                       multiply_amp(amps[z], std::cos(phi), std::sin(phi));
-                     }
+                     kt.phase_general(amps + lo, diag + lo, gamma, hi - lo);
                    });
 }
 
 void apply_layer_integral(Complex* amps, int num_qubits, const int* diag,
                           const Complex* phases, double beta, int threads) {
-  apply_layer_impl(amps, num_qubits, beta, threads,
+  const simd::KernelTable& kt = simd::active_kernels();
+  apply_layer_impl(amps, num_qubits, beta, threads, kt,
                    [&](std::size_t lo, std::size_t hi) {
-                     for (std::size_t z = lo; z < hi; ++z) {
-                       const Complex& p =
-                           phases[static_cast<std::size_t>(diag[z])];
-                       multiply_amp(amps[z], p.real(), p.imag());
-                     }
+                     kt.phase_integral(amps + lo, diag + lo, phases, hi - lo);
                    });
 }
 

@@ -18,8 +18,14 @@
 // For n <= kBlockQubits + 2 the whole layer is one or two passes; in
 // general it is 1 + ceil((n - kBlockQubits) / 2) instead of n + 1.
 //
+// The contiguous inner loops of every sweep run through the runtime-
+// dispatched SIMD kernel table (quantum/simd_kernels.hpp): explicit
+// AVX2 / AVX-512 code where the CPU has it, the original scalar loops
+// otherwise, selected once per layer by quantum/dispatch.hpp.
+//
 // Determinism: every kernel is element-wise independent (no reductions),
-// so results are bit-identical for every thread count and partition.
+// and all dispatch tiers are bit-identical by construction, so results
+// are bit-identical for every thread count, partition, and SIMD tier.
 #ifndef QAOAML_QUANTUM_FUSED_KERNELS_HPP
 #define QAOAML_QUANTUM_FUSED_KERNELS_HPP
 

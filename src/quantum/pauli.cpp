@@ -63,7 +63,8 @@ void PauliString::apply_to(Statevector& state) const {
   // P|z> = phase(z) |z ^ x_mask>:
   //   Z contributes (-1)^{z & z_mask}; Y contributes an extra i (or -i)
   //   depending on the flipped bit value.
-  std::vector<Complex> amps = state.amplitudes();
+  const std::vector<Complex> amps(state.amplitudes().begin(),
+                                  state.amplitudes().end());
   std::vector<Complex> out(amps.size());
   const int y_count = std::popcount(y_mask_);
   // Global factor from Y = i X Z: each Y contributes a factor i.

@@ -1,0 +1,574 @@
+// Per-tier kernel implementations.  See simd_kernels.hpp for the
+// bit-identity contract every function here honors; the vector code
+// annotates each deviation from the literal scalar op order with the
+// exact IEEE identity that makes it bitwise safe.
+//
+// This translation unit must be compiled with FP contraction disabled
+// (-ffp-contract=off, set in src/CMakeLists.txt): under -march=native
+// the compiler would otherwise fuse the scalar mul+add sequences into
+// FMAs, which round once instead of twice and would break bit-identity
+// between the scalar tier and the explicit vector tiers.
+#include "quantum/simd_kernels.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "quantum/kernel_util.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define QAOAML_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define QAOAML_SIMD_X86 0
+#endif
+
+namespace qaoaml::quantum::simd {
+namespace {
+
+using detail::multiply_amp;
+
+// ---------------------------------------------------------------------------
+// Scalar tier: the reference op sequences.  These are byte-for-byte the
+// loops the fused kernels ran before dispatch existed (PR 2), so the
+// scalar tier reproduces every committed fixture exactly.
+// ---------------------------------------------------------------------------
+
+/// RX(beta) butterfly with c = cos(beta/2), s = sin(beta/2):
+///   a0' = c*a0 - i*s*a1,  a1' = -i*s*a0 + c*a1.
+/// Expanded into real arithmetic (4 multiplies) so GCC neither calls
+/// __muldc3 nor spills through the generic 2x2 gate path.
+inline void rx_butterfly(Complex& amp0, Complex& amp1, double c, double s) {
+  const double a0r = amp0.real(), a0i = amp0.imag();
+  const double a1r = amp1.real(), a1i = amp1.imag();
+  amp0 = Complex{c * a0r + s * a1i, c * a0i - s * a1r};
+  amp1 = Complex{c * a1r + s * a0i, c * a1i - s * a0r};
+}
+
+void scalar_phase_general(Complex* amps, const double* diag, double gamma,
+                          std::size_t count) {
+  for (std::size_t z = 0; z < count; ++z) {
+    const double phi = -gamma * diag[z];
+    multiply_amp(amps[z], std::cos(phi), std::sin(phi));
+  }
+}
+
+void scalar_phase_integral(Complex* amps, const int* diag,
+                           const Complex* phases, std::size_t count) {
+  for (std::size_t z = 0; z < count; ++z) {
+    const Complex& p = phases[static_cast<std::size_t>(diag[z])];
+    multiply_amp(amps[z], p.real(), p.imag());
+  }
+}
+
+void scalar_mix_tile(Complex* tile, int m, double c, double s) {
+  const std::size_t tile_size = std::size_t{1} << m;
+  for (int t = 0; t < m; ++t) {
+    const std::size_t stride = std::size_t{1} << t;
+    for (std::size_t base = 0; base < tile_size; base += 2 * stride) {
+      Complex* p0 = tile + base;
+      Complex* p1 = p0 + stride;
+      for (std::size_t j = 0; j < stride; ++j) {
+        rx_butterfly(p0[j], p1[j], c, s);
+      }
+    }
+  }
+}
+
+void scalar_butterfly_pair(Complex* p0, Complex* p1, std::size_t len, double c,
+                           double s) {
+  for (std::size_t j = 0; j < len; ++j) rx_butterfly(p0[j], p1[j], c, s);
+}
+
+void scalar_butterfly_quad(Complex* p0, Complex* p1, Complex* p2, Complex* p3,
+                           std::size_t len, double c, double s) {
+  for (std::size_t j = 0; j < len; ++j) {
+    rx_butterfly(p0[j], p1[j], c, s);  // qubit t
+    rx_butterfly(p2[j], p3[j], c, s);
+    rx_butterfly(p0[j], p2[j], c, s);  // qubit t+1
+    rx_butterfly(p1[j], p3[j], c, s);
+  }
+}
+
+/// The canonical 8-lane reduction (simd_kernels.hpp header comment).
+/// The vector tiers spill their accumulators into the same `lane` shape
+/// before the tail and the final combine, so all tiers share these
+/// exact lines.
+double scalar_expectation_block(const Complex* amps, const double* diag,
+                                std::size_t count) {
+  double lane[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  std::size_t k = 0;
+  for (; k + 8 <= count; k += 8) {
+    for (int j = 0; j < 8; ++j) {
+      const double ar = amps[k + j].real();
+      const double ai = amps[k + j].imag();
+      lane[j] += (ar * ar + ai * ai) * diag[k + j];
+    }
+  }
+  for (int j = 0; k + static_cast<std::size_t>(j) < count; ++j) {
+    const double ar = amps[k + j].real();
+    const double ai = amps[k + j].imag();
+    lane[j] += (ar * ar + ai * ai) * diag[k + j];
+  }
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+constexpr KernelTable scalar_table = {
+    SimdTier::kScalar,    scalar_phase_general,  scalar_phase_integral,
+    scalar_mix_tile,      scalar_butterfly_pair, scalar_butterfly_quad,
+    scalar_expectation_block,
+};
+
+#if QAOAML_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 tier: 2 amplitudes (4 doubles) per register.
+//
+// Amplitudes are interleaved [re, im]; a register holds [a0r, a0i, a1r,
+// a1i].  The two bitwise-exact rewrites used throughout:
+//  - IEEE subtraction is addition of the negated operand, so
+//    x + (-y) == x - y and x - (-y) == x + y bit for bit;
+//  - negation (sign-bit xor) and multiplication commute exactly:
+//    (-s)*x == -(s*x).
+// ---------------------------------------------------------------------------
+
+/// [x0, x1, x2, x3] -> [x1, x0, x3, x2] (swap re/im within amplitudes).
+__attribute__((target("avx2"))) inline __m256d avx2_swap_pairs(__m256d x) {
+  return _mm256_permute_pd(x, 0x5);
+}
+
+/// amps[k] *= p[k] with pr = [p0r, p0r, p1r, p1r], pi = [p0i, p0i, p1i,
+/// p1i]: re' = ar*pr - ai*pi, im' = ai*pr + ar*pi — the addsub realizes
+/// exactly multiply_amp's (ar*pr - ai*pi, ar*pi + ai*pr) since IEEE
+/// addition commutes bitwise.
+__attribute__((target("avx2"))) inline __m256d avx2_complex_mul(__m256d v,
+                                                                __m256d pr,
+                                                                __m256d pi) {
+  return _mm256_addsub_pd(_mm256_mul_pd(v, pr),
+                          _mm256_mul_pd(avx2_swap_pairs(v), pi));
+}
+
+/// One side of the RX butterfly: c*self + rotate(other), where
+/// rotate(a) = (s*ai, -(s*ar)).  Even lanes add s*other_i (same ops as
+/// scalar c*a0r + s*a1i); odd lanes add -(s*other_r), bitwise equal to
+/// the scalar subtraction.
+__attribute__((target("avx2"))) inline __m256d
+avx2_butterfly_side(__m256d self, __m256d other, __m256d c_vec, __m256d s_vec,
+                    __m256d odd_neg) {
+  const __m256d rot = _mm256_xor_pd(
+      _mm256_mul_pd(s_vec, avx2_swap_pairs(other)), odd_neg);
+  return _mm256_add_pd(_mm256_mul_pd(c_vec, self), rot);
+}
+
+__attribute__((target("avx2"))) void avx2_phase_general(Complex* amps,
+                                                        const double* diag,
+                                                        double gamma,
+                                                        std::size_t count) {
+  double* a = reinterpret_cast<double*>(amps);
+  std::size_t z = 0;
+  for (; z + 2 <= count; z += 2) {
+    // libm cos/sin stay scalar on every tier (the bit-identity anchor);
+    // only the complex multiply is vectorized.
+    const double phi0 = -gamma * diag[z];
+    const double phi1 = -gamma * diag[z + 1];
+    const __m256d p = _mm256_set_pd(std::sin(phi1), std::cos(phi1),
+                                    std::sin(phi0), std::cos(phi0));
+    const __m256d pr = _mm256_movedup_pd(p);
+    const __m256d pi = _mm256_permute_pd(p, 0xF);
+    const __m256d v = _mm256_loadu_pd(a + 2 * z);
+    _mm256_storeu_pd(a + 2 * z, avx2_complex_mul(v, pr, pi));
+  }
+  for (; z < count; ++z) {
+    const double phi = -gamma * diag[z];
+    multiply_amp(amps[z], std::cos(phi), std::sin(phi));
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_phase_integral(Complex* amps,
+                                                         const int* diag,
+                                                         const Complex* phases,
+                                                         std::size_t count) {
+  double* a = reinterpret_cast<double*>(amps);
+  std::size_t z = 0;
+  for (; z + 2 <= count; z += 2) {
+    const __m128d q0 = _mm_loadu_pd(
+        reinterpret_cast<const double*>(phases + diag[z]));
+    const __m128d q1 = _mm_loadu_pd(
+        reinterpret_cast<const double*>(phases + diag[z + 1]));
+    const __m256d p = _mm256_set_m128d(q1, q0);
+    const __m256d pr = _mm256_movedup_pd(p);
+    const __m256d pi = _mm256_permute_pd(p, 0xF);
+    const __m256d v = _mm256_loadu_pd(a + 2 * z);
+    _mm256_storeu_pd(a + 2 * z, avx2_complex_mul(v, pr, pi));
+  }
+  for (; z < count; ++z) {
+    const Complex& p = phases[static_cast<std::size_t>(diag[z])];
+    multiply_amp(amps[z], p.real(), p.imag());
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_butterfly_pair(Complex* p0,
+                                                         Complex* p1,
+                                                         std::size_t len,
+                                                         double c, double s) {
+  const __m256d c_vec = _mm256_set1_pd(c);
+  const __m256d s_vec = _mm256_set1_pd(s);
+  const __m256d odd_neg = _mm256_setr_pd(0.0, -0.0, 0.0, -0.0);
+  double* r0 = reinterpret_cast<double*>(p0);
+  double* r1 = reinterpret_cast<double*>(p1);
+  std::size_t j = 0;
+  for (; j + 2 <= len; j += 2) {
+    const __m256d v0 = _mm256_loadu_pd(r0 + 2 * j);
+    const __m256d v1 = _mm256_loadu_pd(r1 + 2 * j);
+    _mm256_storeu_pd(r0 + 2 * j,
+                     avx2_butterfly_side(v0, v1, c_vec, s_vec, odd_neg));
+    _mm256_storeu_pd(r1 + 2 * j,
+                     avx2_butterfly_side(v1, v0, c_vec, s_vec, odd_neg));
+  }
+  for (; j < len; ++j) rx_butterfly(p0[j], p1[j], c, s);
+}
+
+__attribute__((target("avx2"))) void avx2_butterfly_quad(
+    Complex* p0, Complex* p1, Complex* p2, Complex* p3, std::size_t len,
+    double c, double s) {
+  const __m256d c_vec = _mm256_set1_pd(c);
+  const __m256d s_vec = _mm256_set1_pd(s);
+  const __m256d odd_neg = _mm256_setr_pd(0.0, -0.0, 0.0, -0.0);
+  double* r0 = reinterpret_cast<double*>(p0);
+  double* r1 = reinterpret_cast<double*>(p1);
+  double* r2 = reinterpret_cast<double*>(p2);
+  double* r3 = reinterpret_cast<double*>(p3);
+  std::size_t j = 0;
+  for (; j + 2 <= len; j += 2) {
+    __m256d v0 = _mm256_loadu_pd(r0 + 2 * j);
+    __m256d v1 = _mm256_loadu_pd(r1 + 2 * j);
+    __m256d v2 = _mm256_loadu_pd(r2 + 2 * j);
+    __m256d v3 = _mm256_loadu_pd(r3 + 2 * j);
+    // Same butterfly order per element as the scalar quad: (0,1), (2,3)
+    // for qubit t, then (0,2), (1,3) for qubit t+1.
+    const __m256d w0 = avx2_butterfly_side(v0, v1, c_vec, s_vec, odd_neg);
+    const __m256d w1 = avx2_butterfly_side(v1, v0, c_vec, s_vec, odd_neg);
+    const __m256d w2 = avx2_butterfly_side(v2, v3, c_vec, s_vec, odd_neg);
+    const __m256d w3 = avx2_butterfly_side(v3, v2, c_vec, s_vec, odd_neg);
+    v0 = avx2_butterfly_side(w0, w2, c_vec, s_vec, odd_neg);
+    v2 = avx2_butterfly_side(w2, w0, c_vec, s_vec, odd_neg);
+    v1 = avx2_butterfly_side(w1, w3, c_vec, s_vec, odd_neg);
+    v3 = avx2_butterfly_side(w3, w1, c_vec, s_vec, odd_neg);
+    _mm256_storeu_pd(r0 + 2 * j, v0);
+    _mm256_storeu_pd(r1 + 2 * j, v1);
+    _mm256_storeu_pd(r2 + 2 * j, v2);
+    _mm256_storeu_pd(r3 + 2 * j, v3);
+  }
+  for (; j < len; ++j) {
+    rx_butterfly(p0[j], p1[j], c, s);
+    rx_butterfly(p2[j], p3[j], c, s);
+    rx_butterfly(p0[j], p2[j], c, s);
+    rx_butterfly(p1[j], p3[j], c, s);
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_mix_tile(Complex* tile, int m,
+                                                   double c, double s) {
+  const std::size_t tile_size = std::size_t{1} << m;
+  if (m >= 1) {
+    // Level t = 0: the pair partner is the adjacent amplitude, so both
+    // halves of one butterfly live in a single register.  With
+    // a = [a0r, a0i, a1r, a1i], reversing the quadwords gives
+    // [a1i, a1r, a0i, a0r]; scaling by s and flipping the odd lanes
+    // yields [s*a1i, -(s*a1r), s*a0i, -(s*a0r)], and adding c*a lands
+    // exactly on the scalar butterfly outputs.
+    const __m256d c_vec = _mm256_set1_pd(c);
+    const __m256d s_vec = _mm256_set1_pd(s);
+    const __m256d odd_neg = _mm256_setr_pd(0.0, -0.0, 0.0, -0.0);
+    double* r = reinterpret_cast<double*>(tile);
+    for (std::size_t base = 0; base < tile_size; base += 2) {
+      const __m256d v = _mm256_loadu_pd(r + 2 * base);
+      const __m256d cross = _mm256_permute4x64_pd(v, 0x1B);
+      const __m256d rot =
+          _mm256_xor_pd(_mm256_mul_pd(s_vec, cross), odd_neg);
+      _mm256_storeu_pd(r + 2 * base,
+                       _mm256_add_pd(_mm256_mul_pd(c_vec, v), rot));
+    }
+  }
+  for (int t = 1; t < m; ++t) {
+    const std::size_t stride = std::size_t{1} << t;
+    for (std::size_t base = 0; base < tile_size; base += 2 * stride) {
+      avx2_butterfly_pair(tile + base, tile + base + stride, stride, c, s);
+    }
+  }
+}
+
+__attribute__((target("avx2"))) double avx2_expectation_block(
+    const Complex* amps, const double* diag, std::size_t count) {
+  const double* a = reinterpret_cast<const double*>(amps);
+  __m256d acc_lo = _mm256_setzero_pd();  // offset series [0, 2, 1, 3]
+  __m256d acc_hi = _mm256_setzero_pd();  // offset series [4, 6, 5, 7]
+  std::size_t k = 0;
+  for (; k + 8 <= count; k += 8) {
+    const __m256d a01 = _mm256_loadu_pd(a + 2 * k);
+    const __m256d a23 = _mm256_loadu_pd(a + 2 * k + 4);
+    const __m256d a45 = _mm256_loadu_pd(a + 2 * k + 8);
+    const __m256d a67 = _mm256_loadu_pd(a + 2 * k + 12);
+    // hadd([ar0^2, ai0^2, ar1^2, ai1^2], [ar2^2, ...]) = [n0, n2, n1,
+    // n3]; permuting the diagonal into the same order (imm 0xD8 selects
+    // [d0, d2, d1, d3]) keeps term z multiplied by diag[z].
+    const __m256d n0213 = _mm256_hadd_pd(_mm256_mul_pd(a01, a01),
+                                         _mm256_mul_pd(a23, a23));
+    const __m256d n4657 = _mm256_hadd_pd(_mm256_mul_pd(a45, a45),
+                                         _mm256_mul_pd(a67, a67));
+    const __m256d d0213 =
+        _mm256_permute4x64_pd(_mm256_loadu_pd(diag + k), 0xD8);
+    const __m256d d4657 =
+        _mm256_permute4x64_pd(_mm256_loadu_pd(diag + k + 4), 0xD8);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(n0213, d0213));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(n4657, d4657));
+  }
+  // Spill into canonical lane order (see the offset series above), then
+  // run the scalar tail + combine — the same lines as the scalar tier.
+  double lo[4], hi[4];
+  _mm256_storeu_pd(lo, acc_lo);
+  _mm256_storeu_pd(hi, acc_hi);
+  double lane[8] = {lo[0], lo[2], lo[1], lo[3], hi[0], hi[2], hi[1], hi[3]};
+  for (int j = 0; k + static_cast<std::size_t>(j) < count; ++j) {
+    const double ar = amps[k + j].real();
+    const double ai = amps[k + j].imag();
+    lane[j] += (ar * ar + ai * ai) * diag[k + j];
+  }
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+const KernelTable avx2_table = {
+    SimdTier::kAvx2,    avx2_phase_general,  avx2_phase_integral,
+    avx2_mix_tile,      avx2_butterfly_pair, avx2_butterfly_quad,
+    avx2_expectation_block,
+};
+
+// ---------------------------------------------------------------------------
+// AVX-512 tier: 4 amplitudes (8 doubles) per register.
+//
+// AVX-512 has no addsub, so the scalar subtractions become xor of the
+// sign bit followed by add — bitwise the same operation.  The packed-
+// double xor (_mm512_xor_pd) is AVX512DQ, which is why the dispatcher
+// gates this tier on F+DQ.  Remainders fall through a 2-amplitude
+// 256-bit step and then the scalar loop, all bit-identical, covering
+// every odd/short length the property sweeps throw at the tier.
+// ---------------------------------------------------------------------------
+
+#define QAOAML_AVX512_TARGET target("avx512f,avx512dq,avx2")
+
+__attribute__((QAOAML_AVX512_TARGET)) inline __m512d avx512_swap_pairs(
+    __m512d x) {
+  return _mm512_permute_pd(x, 0x55);
+}
+
+__attribute__((QAOAML_AVX512_TARGET)) inline __m512d avx512_odd_neg() {
+  return _mm512_set_pd(-0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0);
+}
+
+__attribute__((QAOAML_AVX512_TARGET)) inline __m512d avx512_even_neg() {
+  return _mm512_set_pd(0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0);
+}
+
+/// addsub emulation: even lanes x - y (as x + (-y)), odd lanes x + y.
+__attribute__((QAOAML_AVX512_TARGET)) inline __m512d avx512_complex_mul(
+    __m512d v, __m512d pr, __m512d pi) {
+  return _mm512_add_pd(
+      _mm512_mul_pd(v, pr),
+      _mm512_xor_pd(_mm512_mul_pd(avx512_swap_pairs(v), pi),
+                    avx512_even_neg()));
+}
+
+__attribute__((QAOAML_AVX512_TARGET)) inline __m512d avx512_butterfly_side(
+    __m512d self, __m512d other, __m512d c_vec, __m512d s_vec,
+    __m512d odd_neg) {
+  const __m512d rot = _mm512_xor_pd(
+      _mm512_mul_pd(s_vec, avx512_swap_pairs(other)), odd_neg);
+  return _mm512_add_pd(_mm512_mul_pd(c_vec, self), rot);
+}
+
+__attribute__((QAOAML_AVX512_TARGET)) void avx512_phase_general(
+    Complex* amps, const double* diag, double gamma, std::size_t count) {
+  double* a = reinterpret_cast<double*>(amps);
+  std::size_t z = 0;
+  for (; z + 4 <= count; z += 4) {
+    const double phi0 = -gamma * diag[z];
+    const double phi1 = -gamma * diag[z + 1];
+    const double phi2 = -gamma * diag[z + 2];
+    const double phi3 = -gamma * diag[z + 3];
+    const __m512d p = _mm512_set_pd(std::sin(phi3), std::cos(phi3),
+                                    std::sin(phi2), std::cos(phi2),
+                                    std::sin(phi1), std::cos(phi1),
+                                    std::sin(phi0), std::cos(phi0));
+    const __m512d pr = _mm512_movedup_pd(p);
+    const __m512d pi = _mm512_permute_pd(p, 0xFF);
+    const __m512d v = _mm512_loadu_pd(a + 2 * z);
+    _mm512_storeu_pd(a + 2 * z, avx512_complex_mul(v, pr, pi));
+  }
+  for (; z < count; ++z) {
+    const double phi = -gamma * diag[z];
+    multiply_amp(amps[z], std::cos(phi), std::sin(phi));
+  }
+}
+
+__attribute__((QAOAML_AVX512_TARGET)) void avx512_phase_integral(
+    Complex* amps, const int* diag, const Complex* phases,
+    std::size_t count) {
+  double* a = reinterpret_cast<double*>(amps);
+  std::size_t z = 0;
+  for (; z + 4 <= count; z += 4) {
+    const __m128d q0 = _mm_loadu_pd(
+        reinterpret_cast<const double*>(phases + diag[z]));
+    const __m128d q1 = _mm_loadu_pd(
+        reinterpret_cast<const double*>(phases + diag[z + 1]));
+    const __m128d q2 = _mm_loadu_pd(
+        reinterpret_cast<const double*>(phases + diag[z + 2]));
+    const __m128d q3 = _mm_loadu_pd(
+        reinterpret_cast<const double*>(phases + diag[z + 3]));
+    const __m512d p = _mm512_insertf64x4(
+        _mm512_castpd256_pd512(_mm256_set_m128d(q1, q0)),
+        _mm256_set_m128d(q3, q2), 1);
+    const __m512d pr = _mm512_movedup_pd(p);
+    const __m512d pi = _mm512_permute_pd(p, 0xFF);
+    const __m512d v = _mm512_loadu_pd(a + 2 * z);
+    _mm512_storeu_pd(a + 2 * z, avx512_complex_mul(v, pr, pi));
+  }
+  for (; z < count; ++z) {
+    const Complex& p = phases[static_cast<std::size_t>(diag[z])];
+    multiply_amp(amps[z], p.real(), p.imag());
+  }
+}
+
+__attribute__((QAOAML_AVX512_TARGET)) void avx512_butterfly_pair(
+    Complex* p0, Complex* p1, std::size_t len, double c, double s) {
+  const __m512d c512 = _mm512_set1_pd(c);
+  const __m512d s512 = _mm512_set1_pd(s);
+  const __m512d odd512 = avx512_odd_neg();
+  double* r0 = reinterpret_cast<double*>(p0);
+  double* r1 = reinterpret_cast<double*>(p1);
+  std::size_t j = 0;
+  for (; j + 4 <= len; j += 4) {
+    const __m512d v0 = _mm512_loadu_pd(r0 + 2 * j);
+    const __m512d v1 = _mm512_loadu_pd(r1 + 2 * j);
+    _mm512_storeu_pd(r0 + 2 * j,
+                     avx512_butterfly_side(v0, v1, c512, s512, odd512));
+    _mm512_storeu_pd(r1 + 2 * j,
+                     avx512_butterfly_side(v1, v0, c512, s512, odd512));
+  }
+  if (j + 2 <= len) {
+    // 256-bit step: the stride-2 rows of mixer level t = 1 land here.
+    const __m256d c256 = _mm256_set1_pd(c);
+    const __m256d s256 = _mm256_set1_pd(s);
+    const __m256d odd256 = _mm256_setr_pd(0.0, -0.0, 0.0, -0.0);
+    const __m256d v0 = _mm256_loadu_pd(r0 + 2 * j);
+    const __m256d v1 = _mm256_loadu_pd(r1 + 2 * j);
+    _mm256_storeu_pd(r0 + 2 * j,
+                     avx2_butterfly_side(v0, v1, c256, s256, odd256));
+    _mm256_storeu_pd(r1 + 2 * j,
+                     avx2_butterfly_side(v1, v0, c256, s256, odd256));
+    j += 2;
+  }
+  for (; j < len; ++j) rx_butterfly(p0[j], p1[j], c, s);
+}
+
+__attribute__((QAOAML_AVX512_TARGET)) void avx512_butterfly_quad(
+    Complex* p0, Complex* p1, Complex* p2, Complex* p3, std::size_t len,
+    double c, double s) {
+  const __m512d c512 = _mm512_set1_pd(c);
+  const __m512d s512 = _mm512_set1_pd(s);
+  const __m512d odd512 = avx512_odd_neg();
+  double* r0 = reinterpret_cast<double*>(p0);
+  double* r1 = reinterpret_cast<double*>(p1);
+  double* r2 = reinterpret_cast<double*>(p2);
+  double* r3 = reinterpret_cast<double*>(p3);
+  std::size_t j = 0;
+  for (; j + 4 <= len; j += 4) {
+    const __m512d v0 = _mm512_loadu_pd(r0 + 2 * j);
+    const __m512d v1 = _mm512_loadu_pd(r1 + 2 * j);
+    const __m512d v2 = _mm512_loadu_pd(r2 + 2 * j);
+    const __m512d v3 = _mm512_loadu_pd(r3 + 2 * j);
+    const __m512d w0 = avx512_butterfly_side(v0, v1, c512, s512, odd512);
+    const __m512d w1 = avx512_butterfly_side(v1, v0, c512, s512, odd512);
+    const __m512d w2 = avx512_butterfly_side(v2, v3, c512, s512, odd512);
+    const __m512d w3 = avx512_butterfly_side(v3, v2, c512, s512, odd512);
+    _mm512_storeu_pd(r0 + 2 * j,
+                     avx512_butterfly_side(w0, w2, c512, s512, odd512));
+    _mm512_storeu_pd(r2 + 2 * j,
+                     avx512_butterfly_side(w2, w0, c512, s512, odd512));
+    _mm512_storeu_pd(r1 + 2 * j,
+                     avx512_butterfly_side(w1, w3, c512, s512, odd512));
+    _mm512_storeu_pd(r3 + 2 * j,
+                     avx512_butterfly_side(w3, w1, c512, s512, odd512));
+  }
+  if (j < len) {
+    avx2_butterfly_quad(p0 + j, p1 + j, p2 + j, p3 + j, len - j, c, s);
+  }
+}
+
+__attribute__((QAOAML_AVX512_TARGET)) void avx512_mix_tile(Complex* tile,
+                                                           int m, double c,
+                                                           double s) {
+  const std::size_t tile_size = std::size_t{1} << m;
+  if (m >= 2) {
+    // Level t = 0 over 4 amplitudes (2 butterflies) per register:
+    // reversing the quadwords of each 256-bit half pairs every
+    // amplitude with its neighbor, exactly the AVX2 t = 0 pattern
+    // twice over.
+    const __m512d c512 = _mm512_set1_pd(c);
+    const __m512d s512 = _mm512_set1_pd(s);
+    const __m512d odd512 = avx512_odd_neg();
+    double* r = reinterpret_cast<double*>(tile);
+    for (std::size_t base = 0; base < tile_size; base += 4) {
+      const __m512d v = _mm512_loadu_pd(r + 2 * base);
+      const __m512d cross = _mm512_permutex_pd(v, 0x1B);
+      const __m512d rot =
+          _mm512_xor_pd(_mm512_mul_pd(s512, cross), odd512);
+      _mm512_storeu_pd(r + 2 * base,
+                       _mm512_add_pd(_mm512_mul_pd(c512, v), rot));
+    }
+  } else if (m == 1) {
+    rx_butterfly(tile[0], tile[1], c, s);
+    return;
+  }
+  for (int t = 1; t < m; ++t) {
+    const std::size_t stride = std::size_t{1} << t;
+    for (std::size_t base = 0; base < tile_size; base += 2 * stride) {
+      avx512_butterfly_pair(tile + base, tile + base + stride, stride, c, s);
+    }
+  }
+}
+
+const KernelTable avx512_table = {
+    SimdTier::kAvx512,    avx512_phase_general,  avx512_phase_integral,
+    avx512_mix_tile,      avx512_butterfly_pair, avx512_butterfly_quad,
+    // The AVX2 reduction already realizes the canonical 8-lane tree (one
+    // full AVX-512 register of lanes); reusing it keeps one reduction
+    // implementation per lane layout instead of a third copy.
+    avx2_expectation_block,
+};
+
+#endif  // QAOAML_SIMD_X86
+
+}  // namespace
+
+const KernelTable& kernels(SimdTier tier) {
+  require(simd_tier_supported(tier),
+          std::string("simd::kernels: this CPU does not support ") +
+              to_string(tier));
+#if QAOAML_SIMD_X86
+  switch (tier) {
+    case SimdTier::kScalar:
+      return scalar_table;
+    case SimdTier::kAvx2:
+      return avx2_table;
+    case SimdTier::kAvx512:
+      return avx512_table;
+  }
+#endif
+  return scalar_table;
+}
+
+const KernelTable& active_kernels() { return kernels(active_simd_tier()); }
+
+}  // namespace qaoaml::quantum::simd

@@ -1,0 +1,89 @@
+// Explicit SIMD amplitude-kernel primitives, one implementation per
+// dispatch tier (quantum/dispatch.hpp).
+//
+// The fused-layer driver (quantum/fused_kernels.cpp) and the diagonal
+// expectation reduction (quantum/statevector.cpp) keep all range
+// orchestration — tiling, amplitude-range sharding over the thread
+// pool, the blocked reduction tree — and delegate the contiguous inner
+// loops to the function-pointer table below, selected once per sweep by
+// the active tier.
+//
+// Bit-identity contract: every tier computes, per amplitude, the SAME
+// sequence of IEEE-754 double operations as the scalar implementation.
+// The vector kernels therefore use separate multiply and add (never
+// FMA), flip signs only through exact operations (xor of the sign bit,
+// multiplication by +-1.0), and exploit only bitwise-exact algebraic
+// identities (commutativity of +, x*(-y) == -(x*y)).  This is what lets
+// the differential suite pin AVX2 and AVX-512 against the scalar path
+// with == on doubles, not a tolerance, and what keeps every committed
+// golden fixture valid on every machine.
+//
+// Reduction tree: expectation_block reduces one fixed-size block with
+// EIGHT independent lane accumulators (lane j sums the terms of
+// elements j, j+8, j+16, ... of the block, in index order) combined as
+//   ((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7)).
+// The lane count matches one AVX-512 register (two AVX2 registers,
+// eight scalar accumulators), so all three tiers realize the identical
+// summation tree and the blocked parallel_reduce on top of it stays
+// bit-deterministic for every thread and shard count.
+#ifndef QAOAML_QUANTUM_SIMD_KERNELS_HPP
+#define QAOAML_QUANTUM_SIMD_KERNELS_HPP
+
+#include <cstddef>
+
+#include "quantum/dispatch.hpp"
+#include "quantum/gates.hpp"
+
+namespace qaoaml::quantum::simd {
+
+/// Contiguous inner-loop primitives for one dispatch tier.  All lengths
+/// are in amplitudes (complex doubles); arrays must not alias except
+/// where noted.  Every function tolerates arbitrary (also odd) lengths
+/// via scalar tail loops that reuse the identical per-element formulas.
+struct KernelTable {
+  SimdTier tier;
+
+  /// amps[z] *= exp(-i * gamma * diag[z]) for z in [0, count).  The
+  /// phase arguments go through scalar std::cos/std::sin on every tier
+  /// (libm is the bit-identity anchor); only the complex multiply is
+  /// vectorized.
+  void (*phase_general)(Complex* amps, const double* diag, double gamma,
+                        std::size_t count);
+
+  /// amps[z] *= phases[diag[z]] for z in [0, count); every diag entry
+  /// must index into `phases` (callers validate).
+  void (*phase_integral)(Complex* amps, const int* diag,
+                         const Complex* phases, std::size_t count);
+
+  /// RX(beta) butterflies for all `m` low qubit levels of one
+  /// cache-resident tile of 2^m amplitudes, level order t = 0..m-1,
+  /// with c = cos(beta/2), s = sin(beta/2).
+  void (*mix_tile)(Complex* tile, int m, double c, double s);
+
+  /// One RX butterfly level over two parallel rows: for j in [0, len),
+  /// (p0[j], p1[j]) <- butterfly(p0[j], p1[j]).
+  void (*butterfly_pair)(Complex* p0, Complex* p1, std::size_t len, double c,
+                         double s);
+
+  /// Two fused RX levels over four parallel rows (the high-qubit quad
+  /// sweep): per j, butterflies (p0,p1), (p2,p3), then (p0,p2), (p1,p3)
+  /// — exactly the scalar order.
+  void (*butterfly_quad)(Complex* p0, Complex* p1, Complex* p2, Complex* p3,
+                         std::size_t len, double c, double s);
+
+  /// Canonical 8-lane tree reduction of sum_z |amps[z]|^2 * diag[z]
+  /// over one block (see the header comment for the exact tree).
+  double (*expectation_block)(const Complex* amps, const double* diag,
+                              std::size_t count);
+};
+
+/// The table for `tier`; throws InvalidArgument when this build or CPU
+/// cannot execute it.
+const KernelTable& kernels(SimdTier tier);
+
+/// kernels(active_simd_tier()).
+const KernelTable& active_kernels();
+
+}  // namespace qaoaml::quantum::simd
+
+#endif  // QAOAML_QUANTUM_SIMD_KERNELS_HPP

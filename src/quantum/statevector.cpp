@@ -8,6 +8,7 @@
 #include "common/parallel.hpp"
 #include "quantum/fused_kernels.hpp"
 #include "quantum/kernel_util.hpp"
+#include "quantum/simd_kernels.hpp"
 
 namespace qaoaml::quantum {
 namespace {
@@ -15,15 +16,8 @@ namespace {
 using detail::multiply_amp;
 using detail::pair_base;
 
-/// States below this dimension run every kernel serially: the loops are
-/// too short to amortize pool dispatch.  At or above it, element-wise
-/// kernels fan out over fixed kParallelGrain blocks and reductions use
-/// the blocked deterministic path, so results are bit-identical for
-/// every thread count.
-constexpr std::size_t kParallelDim = std::size_t{2} * kParallelGrain;
-
 inline int kernel_threads(std::size_t dim) {
-  return dim >= kParallelDim ? default_thread_count() : 1;
+  return dim >= kAmplitudeParallelDim ? default_thread_count() : 1;
 }
 
 }  // namespace
@@ -44,7 +38,9 @@ Statevector Statevector::from_amplitudes(std::vector<Complex> amplitudes) {
   require(qubits >= 1, "Statevector: need at least one qubit");
   Statevector sv;
   sv.num_qubits_ = qubits;
-  sv.amps_ = std::move(amplitudes);
+  // Copy into the aligned allocator's storage: the public signature
+  // stays std::vector, the internal buffer gains the 64-byte guarantee.
+  sv.amps_.assign(amplitudes.begin(), amplitudes.end());
   return sv;
 }
 
@@ -190,13 +186,12 @@ void Statevector::apply_diagonal_evolution(const std::vector<double>& diag,
   require(diag.size() == amps_.size(),
           "Statevector: diagonal length must equal dimension");
   const std::size_t dim = amps_.size();
+  const simd::KernelTable& kt = simd::active_kernels();
   parallel_for_range(
       dim,
       [&](std::size_t begin, std::size_t end) {
-        for (std::size_t z = begin; z < end; ++z) {
-          const double phi = -angle * diag[z];
-          multiply_amp(amps_[z], std::cos(phi), std::sin(phi));
-        }
+        kt.phase_general(amps_.data() + begin, diag.data() + begin, angle,
+                         end - begin);
       },
       kernel_threads(dim));
 }
@@ -244,13 +239,12 @@ void Statevector::apply_diagonal_evolution_integral(
   check_integral_diagonal(diag, max_value, !entries_prevalidated);
   const std::vector<Complex> phases = integral_phase_table(angle, max_value);
   const std::size_t dim = amps_.size();
+  const simd::KernelTable& kt = simd::active_kernels();
   parallel_for_range(
       dim,
       [&](std::size_t begin, std::size_t end) {
-        for (std::size_t z = begin; z < end; ++z) {
-          const Complex& p = phases[static_cast<std::size_t>(diag[z])];
-          multiply_amp(amps_[z], p.real(), p.imag());
-        }
+        kt.phase_integral(amps_.data() + begin, diag.data() + begin,
+                          phases.data(), end - begin);
       },
       kernel_threads(dim));
 }
@@ -308,14 +302,15 @@ double Statevector::expectation_diagonal(const std::vector<double>& diag) const 
   require(diag.size() == amps_.size(),
           "Statevector: diagonal length must equal dimension");
   const std::size_t dim = amps_.size();
+  const simd::KernelTable& kt = simd::active_kernels();
+  // Block partials use the canonical 8-lane tree inside the dispatched
+  // kernel and are combined in block order by parallel_reduce, so the
+  // result is bit-identical for every thread count and SIMD tier.
   return parallel_reduce(
       dim, 0.0,
       [&](std::size_t begin, std::size_t end) {
-        double partial = 0.0;
-        for (std::size_t z = begin; z < end; ++z) {
-          partial += std::norm(amps_[z]) * diag[z];
-        }
-        return partial;
+        return kt.expectation_block(amps_.data() + begin, diag.data() + begin,
+                                    end - begin);
       },
       kernel_threads(dim));
 }
@@ -354,15 +349,64 @@ std::vector<std::uint64_t> Statevector::sample(Rng& rng, int shots) const {
 }
 
 void Statevector::cumulative_probabilities(std::vector<double>& cdf) const {
-  // Serial left-to-right accumulation: cdf[z] equals the running sum of
-  // the linear-scan sample() bit for bit, for every thread count.
   const std::size_t dim = amps_.size();
   cdf.resize(dim);
-  double acc = 0.0;
-  for (std::size_t z = 0; z < dim; ++z) {
-    acc += std::norm(amps_[z]);
-    cdf[z] = acc;
+  const std::size_t blocks = (dim + kParallelGrain - 1) / kParallelGrain;
+  if (blocks <= 1) {
+    // Serial left-to-right accumulation: cdf[z] equals the running sum
+    // of the linear-scan sample() bit for bit, for every thread count.
+    // Every committed sampled fixture lives in this regime, so the
+    // blocked path below can never move their bits.
+    double acc = 0.0;
+    for (std::size_t z = 0; z < dim; ++z) {
+      acc += std::norm(amps_[z]);
+      cdf[z] = acc;
+    }
+    return;
   }
+  // Blocked three-pass scan over the fixed kParallelGrain partition.
+  // The passes iterate explicit BLOCK indices through parallel_for, not
+  // parallel_for_range: the latter's single-thread fast path hands the
+  // body one range covering everything, which would silently turn pass 1
+  // into a global prefix at QAOAML_THREADS=1 and a per-block prefix at
+  // =8 — different bits.  With the partition fixed here, the summation
+  // structure depends only on the block layout, so the bits are
+  // deterministic for every thread count, and one large-n evaluation
+  // parallelizes its CDF build instead of serializing ~2^n additions.
+  const int threads = kernel_threads(dim);
+  // Pass 1: local prefix sums within each block, in parallel.
+  parallel_for(
+      blocks,
+      [&](std::size_t b) {
+        const std::size_t begin = b * kParallelGrain;
+        const std::size_t end = std::min(dim, begin + kParallelGrain);
+        double acc = 0.0;
+        for (std::size_t z = begin; z < end; ++z) {
+          acc += std::norm(amps_[z]);
+          cdf[z] = acc;
+        }
+      },
+      threads);
+  // Pass 2: serial scan of the block totals into starting offsets.
+  std::vector<double> offset(blocks);
+  double acc = 0.0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    offset[b] = acc;
+    const std::size_t last = std::min(dim, (b + 1) * kParallelGrain) - 1;
+    acc += cdf[last];
+  }
+  // Pass 3: shift each block by its offset, in parallel.  Block 0 keeps
+  // its exact pass-1 bits — its offset is zero by construction.
+  parallel_for(
+      blocks - 1,
+      [&](std::size_t i) {
+        const std::size_t b = i + 1;
+        const std::size_t begin = b * kParallelGrain;
+        const std::size_t end = std::min(dim, begin + kParallelGrain);
+        const double off = offset[b];
+        for (std::size_t z = begin; z < end; ++z) cdf[z] += off;
+      },
+      threads);
 }
 
 std::uint64_t Statevector::sample_cdf(const std::vector<double>& cdf,

@@ -22,10 +22,24 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "quantum/aligned.hpp"
 #include "quantum/gates.hpp"
 
 namespace qaoaml::quantum {
+
+/// Amplitude storage: a vector whose heap buffer is 64-byte aligned
+/// (one cacheline / one AVX-512 vector) for the explicit SIMD kernels.
+using AmpVector = std::vector<Complex, AlignedAllocator<Complex, kAmplitudeAlignment>>;
+
+/// States at or above this dimension run the amplitude kernels on their
+/// blocked parallel paths (fixed kParallelGrain blocks over the thread
+/// pool); smaller states stay serial — the loops are too short to
+/// amortize pool dispatch.  Exported so instance-level schedulers
+/// (core/batch_evaluator.cpp) can tell which regime an evaluation is in
+/// when choosing between batch-parallel and amplitude-parallel.
+inline constexpr std::size_t kAmplitudeParallelDim = std::size_t{2} * kParallelGrain;
 
 /// Dense n-qubit quantum state.
 class Statevector {
@@ -48,7 +62,9 @@ class Statevector {
 
   int num_qubits() const { return num_qubits_; }
   std::size_t dimension() const { return amps_.size(); }
-  const std::vector<Complex>& amplitudes() const { return amps_; }
+
+  /// The raw amplitudes; data() is kAmplitudeAlignment-byte aligned.
+  const AmpVector& amplitudes() const { return amps_; }
 
   /// Applies a single-qubit gate to `target`.
   void apply_gate(const Gate1Q& gate, int target);
@@ -105,7 +121,10 @@ class Statevector {
   /// |amplitude|^2 for every basis state.
   std::vector<double> probabilities() const;
 
-  /// <psi| diag |psi> for a diagonal observable.
+  /// <psi| diag |psi> for a diagonal observable.  Runs the dispatched
+  /// SIMD reduction kernel over fixed-size blocks; the canonical 8-lane
+  /// summation tree (quantum/simd_kernels.hpp) makes the result
+  /// bit-identical across thread counts AND dispatch tiers.
   double expectation_diagonal(const std::vector<double>& diag) const;
 
   /// Expectation of Z on `target`: P(bit=0) - P(bit=1).
@@ -118,16 +137,22 @@ class Statevector {
   std::vector<std::uint64_t> sample(Rng& rng, int shots) const;
 
   /// Writes the inclusive prefix sums of |amplitude|^2 into `cdf`
-  /// (resized to the dimension, reusing its capacity).  The sum is
-  /// serial in basis-state order, so the bits are independent of
-  /// QAOAML_THREADS — this is the measurement-determinism anchor of
-  /// CDF-inversion sampling.
+  /// (resized to the dimension, reusing its capacity).  States that fit
+  /// in one parallel grain block use the plain serial scan; larger
+  /// states use a blocked three-pass scan (per-block local prefixes in
+  /// parallel, a serial block-offset scan, a parallel offset add) whose
+  /// summation structure depends only on the fixed kParallelGrain
+  /// partition.  Either way the bits are independent of QAOAML_THREADS
+  /// and of the SIMD tier — this is the measurement-determinism anchor
+  /// of CDF-inversion sampling.
   void cumulative_probabilities(std::vector<double>& cdf) const;
 
   /// Inverts a cumulative_probabilities() table at `u` in [0, 1):
   /// returns the first z with cdf[z] >= u (binary search, O(n) per
-  /// shot).  Bit-identical to the linear-scan sample() for the same
-  /// uniform draw, because the scan's running sum IS this CDF.
+  /// shot).  For single-block states this is bit-identical to the
+  /// linear-scan sample() for the same uniform draw, because the scan's
+  /// running sum IS that CDF; larger states' blocked CDF can differ
+  /// from the linear scan by final-ulp rounding, deterministically.
   static std::uint64_t sample_cdf(const std::vector<double>& cdf, double u);
 
   /// <this|other>; states must have equal qubit counts.
@@ -140,7 +165,7 @@ class Statevector {
                                bool scan_entries) const;
 
   int num_qubits_ = 0;
-  std::vector<Complex> amps_;
+  AmpVector amps_;
 };
 
 }  // namespace qaoaml::quantum

@@ -222,14 +222,14 @@ TEST(FusedQaoa, AmplitudesBitIdenticalAcrossThreadCounts) {
   const std::vector<double> params = core::random_angles(2, rng);
   const ScopedLayerKernel guard(LayerKernel::kFused);
 
-  std::vector<Complex> baseline;
+  quantum::AmpVector baseline;
   {
     const ScopedThreadCount threads(1);
     baseline = instance.state(params).amplitudes();
   }
   for (int threads : {2, 3, 8}) {
     const ScopedThreadCount scoped(threads);
-    const std::vector<Complex> amps = instance.state(params).amplitudes();
+    const quantum::AmpVector amps = instance.state(params).amplitudes();
     ASSERT_EQ(amps.size(), baseline.size());
     std::size_t mismatches = 0;
     for (std::size_t z = 0; z < amps.size(); ++z) {

@@ -14,12 +14,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "core/graph_ensemble.hpp"
 #include "core/qaoa_objective.hpp"
 #include "graph/generators.hpp"
+#include "quantum/dispatch.hpp"
 #include "quantum/sim_config.hpp"
 
 namespace qaoaml {
@@ -149,11 +153,27 @@ const GoldenSampledCase kGoldenSampledCases[] = {
     {"sampled_ensemble_mixed_seed0x5EED06", &ensemble_mixed, 5.34765625},
 };
 
-class GoldenRegression : public ::testing::TestWithParam<quantum::LayerKernel> {
+/// Every (layer kernel, SIMD tier) combination must reproduce the
+/// committed fixtures; tiers the CPU lacks are skipped.
+using GoldenPathCase = std::tuple<quantum::LayerKernel, quantum::SimdTier>;
+
+class GoldenRegression : public ::testing::TestWithParam<GoldenPathCase> {
+ protected:
+  void SetUp() override {
+    const auto [kernel, tier] = GetParam();
+    if (!quantum::simd_tier_supported(tier)) {
+      GTEST_SKIP() << quantum::to_string(tier) << " unsupported on this CPU";
+    }
+    kernel_guard_.emplace(kernel);
+    tier_guard_.emplace(tier);
+  }
+
+ private:
+  std::optional<quantum::ScopedLayerKernel> kernel_guard_;
+  std::optional<quantum::ScopedSimdTier> tier_guard_;
 };
 
 TEST_P(GoldenRegression, ExpectationsMatchCommittedFixtures) {
-  const quantum::ScopedLayerKernel guard(GetParam());
   for (const GoldenCase& c : kGoldenCases) {
     const core::MaxCutQaoa instance(c.make(), c.depth);
     const double actual = instance.expectation(c.params);
@@ -164,6 +184,18 @@ TEST_P(GoldenRegression, ExpectationsMatchCommittedFixtures) {
         << ::testing::PrintToString(actual) << " (drift " << drift
         << "). A kernel change moved a committed reference expectation; "
            "fix the kernel or regenerate the fixtures with justification.";
+    // Beyond the committed decimal fixture, the dispatched tier must
+    // agree with the scalar tier to the BIT — the simd_kernels.hpp
+    // identity contract applied to every golden case.
+    double scalar = 0.0;
+    {
+      const quantum::ScopedSimdTier scalar_guard(quantum::SimdTier::kScalar);
+      scalar = instance.expectation(c.params);
+    }
+    EXPECT_EQ(actual, scalar)
+        << "Golden fixture '" << c.name << "' is not bit-identical across "
+        << "SIMD tiers: " << quantum::to_string(std::get<1>(GetParam()))
+        << " diverged from scalar.";
   }
 }
 
@@ -183,7 +215,11 @@ TEST(GoldenRegression, GateLevelPathMatchesFixtures) {
   }
 }
 
-TEST(GoldenRegression, SampledExpectationsMatchCommittedFixturesBitwise) {
+TEST_P(GoldenRegression, SampledExpectationsMatchCommittedFixturesBitwise) {
+  // The sampled fixtures were committed from the scalar path; shot
+  // sampling is bit-deterministic AND tier-independent by contract
+  // (identical amplitudes -> identical CDF -> identical inversions), so
+  // the comparison stays EXPECT_EQ on every dispatch tier.
   const core::EvalSpec spec = core::EvalSpec::sampled_with(256, 0x5407);
   const std::vector<double> params{0.42, 0.17, 0.33, 0.71};
   for (const GoldenSampledCase& c : kGoldenSampledCases) {
@@ -203,10 +239,16 @@ TEST(GoldenRegression, SampledExpectationsMatchCommittedFixturesBitwise) {
 
 INSTANTIATE_TEST_SUITE_P(
     Paths, GoldenRegression,
-    ::testing::Values(quantum::LayerKernel::kFused,
-                      quantum::LayerKernel::kUnfused),
-    [](const ::testing::TestParamInfo<quantum::LayerKernel>& info) {
-      return info.param == quantum::LayerKernel::kFused ? "fused" : "unfused";
+    ::testing::Combine(::testing::Values(quantum::LayerKernel::kFused,
+                                         quantum::LayerKernel::kUnfused),
+                       ::testing::Values(quantum::SimdTier::kScalar,
+                                         quantum::SimdTier::kAvx2,
+                                         quantum::SimdTier::kAvx512)),
+    [](const ::testing::TestParamInfo<GoldenPathCase>& info) {
+      const std::string kernel =
+          std::get<0>(info.param) == quantum::LayerKernel::kFused ? "fused"
+                                                                  : "unfused";
+      return kernel + "_" + quantum::to_string(std::get<1>(info.param));
     });
 
 }  // namespace

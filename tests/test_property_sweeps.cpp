@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 #include <string>
 #include <tuple>
 
@@ -12,7 +13,9 @@
 #include "graph/generators.hpp"
 #include "graph/maxcut.hpp"
 #include "optim/optimizer.hpp"
+#include "quantum/dispatch.hpp"
 #include "quantum/sim_config.hpp"
+#include "quantum/statevector.hpp"
 
 namespace qaoaml {
 namespace {
@@ -189,16 +192,34 @@ TEST(WeightScaling, ExpectationScalesWithUniformWeights) {
 
 // ---------------------------------------------------------------------
 // Sweep 5: simulator-path invariances — physical symmetries of the QAOA
-// energy, each checked on both the fused and the unfused layer kernels.
+// energy, each checked on every (layer kernel, SIMD tier) combination:
+// fused and unfused sweeps, each under the scalar, AVX2 and AVX-512
+// dispatch tiers (tiers this CPU lacks are skipped).
 // ---------------------------------------------------------------------
 
-class SimulatorPathSweep
-    : public ::testing::TestWithParam<quantum::LayerKernel> {};
+using SimPathCase = std::tuple<quantum::LayerKernel, quantum::SimdTier>;
+
+class SimulatorPathSweep : public ::testing::TestWithParam<SimPathCase> {
+ protected:
+  /// Skips tiers this CPU cannot execute; otherwise pins both switches
+  /// for the duration of the test body.
+  void SetUp() override {
+    const auto [kernel, tier] = GetParam();
+    if (!quantum::simd_tier_supported(tier)) {
+      GTEST_SKIP() << quantum::to_string(tier) << " unsupported on this CPU";
+    }
+    kernel_guard_.emplace(kernel);
+    tier_guard_.emplace(tier);
+  }
+
+ private:
+  std::optional<quantum::ScopedLayerKernel> kernel_guard_;
+  std::optional<quantum::ScopedSimdTier> tier_guard_;
+};
 
 TEST_P(SimulatorPathSweep, EnergyInvariantUnderQubitRelabeling) {
   // Relabeling the graph nodes permutes the qubits; the cost spectrum
   // and the (qubit-symmetric) mixer are unchanged, so <C> must be too.
-  const quantum::ScopedLayerKernel guard(GetParam());
   Rng rng(0xAB12);
   for (int trial = 0; trial < 4; ++trial) {
     const int n = 8;
@@ -233,7 +254,6 @@ TEST_P(SimulatorPathSweep, EnergyInvariantUnderAngleSymmetryShifts) {
   // RX(pi) = -iX on every qubit; X^(x)n propagates through the later
   // layers because C is invariant under flipping every bit (a cut and
   // its complement cut the same edges), so <C> is unchanged as well.
-  const quantum::ScopedLayerKernel guard(GetParam());
   Rng rng(0xCD34);
   const graph::Graph graphs[] = {graph::cycle_graph(7),
                                  graph::complete_graph(5),
@@ -267,7 +287,6 @@ TEST_P(SimulatorPathSweep, ScaledWeightsShrinkTheGammaPeriod) {
   // With every weight scaled by c, the spectrum is c * integers, so the
   // gamma period contracts from 2*pi to 2*pi/c (the "2*pi/scale"
   // symmetry); the beta period stays pi as above.
-  const quantum::ScopedLayerKernel guard(GetParam());
   Rng rng(0xEF56);
   const double scale = 2.5;
   graph::Graph g(6);
@@ -287,12 +306,56 @@ TEST_P(SimulatorPathSweep, ScaledWeightsShrinkTheGammaPeriod) {
   }
 }
 
+TEST_P(SimulatorPathSweep, NormPreservedOverDeepCircuits) {
+  // Unitarity holds on every path; the small qubit counts force the
+  // vector kernels through their remainder lanes (dim 2 and 4 are below
+  // one full AVX-512 vector of amplitudes).
+  Rng rng(0x0112);
+  for (int n : {1, 2, 3, 5, 9}) {
+    quantum::Statevector sv = quantum::Statevector::uniform(n);
+    std::vector<double> diag(sv.dimension());
+    for (double& d : diag) d = rng.uniform(-4.0, 4.0);
+    for (int layer = 0; layer < 6; ++layer) {
+      sv.apply_qaoa_layer(diag, rng.uniform(-M_PI, M_PI),
+                          rng.uniform(-M_PI, M_PI));
+    }
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-12) << "n=" << n;
+  }
+}
+
+TEST_P(SimulatorPathSweep, OddLaneSizesMatchTheScalarTierBitwise) {
+  // Dimensions 4..32 exercise every remainder-lane shape of the vector
+  // kernels (partial 512-bit vectors, the lone 256-bit step, scalar
+  // tails); the energies must still be bit-identical to the scalar
+  // tier, not merely close.
+  Rng rng(0x0DD5);
+  for (int n : {2, 3, 4, 5}) {
+    const graph::Graph g =
+        n == 2 ? graph::complete_graph(2) : graph::cycle_graph(n);
+    const core::MaxCutQaoa instance(g, 2);
+    const std::vector<double> params = core::random_angles(2, rng);
+    const double dispatched = instance.expectation(params);
+    double scalar = 0.0;
+    {
+      const quantum::ScopedSimdTier scalar_guard(quantum::SimdTier::kScalar);
+      scalar = instance.expectation(params);
+    }
+    EXPECT_EQ(dispatched, scalar) << "n=" << n;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Paths, SimulatorPathSweep,
-    ::testing::Values(quantum::LayerKernel::kFused,
-                      quantum::LayerKernel::kUnfused),
-    [](const ::testing::TestParamInfo<quantum::LayerKernel>& info) {
-      return info.param == quantum::LayerKernel::kFused ? "fused" : "unfused";
+    ::testing::Combine(::testing::Values(quantum::LayerKernel::kFused,
+                                         quantum::LayerKernel::kUnfused),
+                       ::testing::Values(quantum::SimdTier::kScalar,
+                                         quantum::SimdTier::kAvx2,
+                                         quantum::SimdTier::kAvx512)),
+    [](const ::testing::TestParamInfo<SimPathCase>& info) {
+      const std::string kernel =
+          std::get<0>(info.param) == quantum::LayerKernel::kFused ? "fused"
+                                                                  : "unfused";
+      return kernel + "_" + quantum::to_string(std::get<1>(info.param));
     });
 
 }  // namespace
